@@ -1,0 +1,121 @@
+// CONT-1: contention for shared resources (paper §2.1: "Contention for
+// shared resources causes delays while one requesting execution site is
+// blocked by another accessing the same needed resource").
+//
+// N ParalleX threads perform fixed per-thread updates against:
+//   (a) one central mutex LCO (the shared channel/bank);
+//   (b) 16 sharded mutex LCOs (distributed resource);
+//   (c) hardware atomics (the locality's compound-atomic guarantee).
+// Reported: wall time vs requester count — the contention curve the model
+// tries to flatten by distributing control state into LCOs.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "lco/lco.hpp"
+#include "threads/scheduler.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace px;
+
+constexpr int kUpdatesPerThread = 3000;
+constexpr int kShards = 16;
+
+double central_ms(threads::scheduler& sched, int requesters) {
+  lco::mutex mtx;
+  std::int64_t value = 0;
+  const double ms = bench::time_ms([&] {
+    for (int r = 0; r < requesters; ++r) {
+      sched.spawn([&] {
+        for (int i = 0; i < kUpdatesPerThread; ++i) {
+          std::lock_guard lock(mtx);
+          value += 1;
+        }
+      });
+    }
+    sched.wait_quiescent();
+  });
+  if (value != static_cast<std::int64_t>(requesters) * kUpdatesPerThread) {
+    std::fprintf(stderr, "central count mismatch\n");
+  }
+  return ms;
+}
+
+double sharded_ms(threads::scheduler& sched, int requesters) {
+  struct shard {
+    lco::mutex mtx;
+    std::int64_t value = 0;
+  };
+  std::vector<std::unique_ptr<shard>> shards;
+  for (int s = 0; s < kShards; ++s) shards.push_back(std::make_unique<shard>());
+  const double ms = bench::time_ms([&] {
+    for (int r = 0; r < requesters; ++r) {
+      sched.spawn([&, r] {
+        for (int i = 0; i < kUpdatesPerThread; ++i) {
+          shard& s = *shards[static_cast<std::size_t>((r * 31 + i) % kShards)];
+          std::lock_guard lock(s.mtx);
+          s.value += 1;
+        }
+      });
+    }
+    sched.wait_quiescent();
+  });
+  return ms;
+}
+
+double atomic_ms(threads::scheduler& sched, int requesters) {
+  std::atomic<std::int64_t> value{0};
+  const double ms = bench::time_ms([&] {
+    for (int r = 0; r < requesters; ++r) {
+      sched.spawn([&] {
+        for (int i = 0; i < kUpdatesPerThread; ++i) {
+          value.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    sched.wait_quiescent();
+  });
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "CONT-1 / shared-resource contention (paper section 2.1)",
+      "\"Contention for shared resources causes delays while one requesting "
+      "execution site is blocked by another accessing the same needed "
+      "resource.\"");
+
+  threads::scheduler sched(threads::scheduler_params{
+      .workers = std::max(2u, std::thread::hardware_concurrency())});
+  sched.start();
+
+  util::text_table table({"requesters", "central mutex (ms)",
+                          "16 shards (ms)", "atomic (ms)",
+                          "central/sharded"});
+  for (const int requesters : {1, 2, 4, 8, 16, 32}) {
+    // Best of three: contention cost is structural, noise only adds.
+    double central = 1e300, sharded = 1e300, atomics = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      central = std::min(central, central_ms(sched, requesters));
+      sharded = std::min(sharded, sharded_ms(sched, requesters));
+      atomics = std::min(atomics, atomic_ms(sched, requesters));
+    }
+    table.add_row(requesters, central, sharded, atomics, central / sharded);
+  }
+  table.print("3000 updates per requester, 4 workers");
+  std::printf("%s", table.render_csv().c_str());
+  std::printf(
+      "\nshape check: the central resource's delay grows with requester "
+      "count; distributing control state (shards / locality atomics) "
+      "flattens the curve.\n");
+  sched.stop();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// NET-1: Data-Vortex-style fabric vs mesh vs crossbar (paper §3.2).
+//
+// The design point assumes "the innovative Data Vortex network": a
+// low-diameter, high-path-diversity fabric.  This harness sweeps offered
+// load under uniform and hot-spot traffic and reports latency curves for
+// the three topology models; the property that matters for the paper is
+// that the vortex tracks the (unbuildable-at-scale) crossbar far more
+// closely than a mesh does.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gilgamesh/vortex.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+px::gilgamesh::network_result run_one(px::net::topology_kind topo,
+                                      double load, double hotspot) {
+  px::gilgamesh::network_params np;
+  np.nodes = 256;
+  np.topology = topo;
+  px::gilgamesh::network_model nm(np);
+  px::gilgamesh::traffic_params t;
+  t.load = load;
+  t.hotspot_fraction = hotspot;
+  t.messages_per_node = 150;
+  return nm.run(t);
+}
+
+}  // namespace
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "NET-1 / interconnect comparison (paper section 3.2)",
+      "\"The system is assumed to be connected by the innovative Data Vortex "
+      "network\" — a low-diameter fabric whose contention behaviour stays "
+      "near the ideal crossbar's at a fraction of the cost.");
+
+  for (const double hotspot : {0.0, 0.05}) {
+    util::text_table table({"load", "crossbar mean/p99 (ns)",
+                            "vortex mean/p99 (ns)", "mesh mean/p99 (ns)",
+                            "vortex/crossbar", "mesh/vortex"});
+    for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const auto xb =
+          run_one(net::topology_kind::crossbar, load, hotspot);
+      const auto vx = run_one(net::topology_kind::vortex, load, hotspot);
+      const auto ms = run_one(net::topology_kind::mesh2d, load, hotspot);
+      char xbs[64], vxs[64], mss[64];
+      std::snprintf(xbs, sizeof xbs, "%.0f / %.0f", xb.mean_latency_ns,
+                    xb.p99_latency_ns);
+      std::snprintf(vxs, sizeof vxs, "%.0f / %.0f", vx.mean_latency_ns,
+                    vx.p99_latency_ns);
+      std::snprintf(mss, sizeof mss, "%.0f / %.0f", ms.mean_latency_ns,
+                    ms.p99_latency_ns);
+      table.add_row(load, xbs, vxs, mss,
+                    vx.mean_latency_ns / xb.mean_latency_ns,
+                    ms.mean_latency_ns / vx.mean_latency_ns);
+    }
+    table.print(hotspot == 0.0
+                    ? "Uniform random traffic (256 nodes)"
+                    : "Hot-spot traffic (5% of all messages to node 0; the "
+                      "hot ejection port saturates every topology — an "
+                      "endpoint bound no fabric can remove)");
+  }
+  std::printf(
+      "shape check: vortex latency stays within a small factor of the "
+      "crossbar across load; the mesh diverges with distance and load.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// DP-1: regenerate the Gilgamesh II design-point arithmetic (paper §3.2).
+//
+// The paper's quantitative claims — 16 PIM x 32 MIND per chip, ~10 TF/chip,
+// >1 EF from 100K chips, 4 PB with the Penultimate Store — derived from
+// per-unit technology parameters instead of quoted.
+#include <cstdio>
+
+#include "common.hpp"
+#include "gilgamesh/tech.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "DP-1 / design point (paper section 3.2)",
+      "\"A peak performance in excess of 1 Exaflops is achievable with 100K "
+      "chips. Each Gilgamesh chip is a heterogeneous multicore subsystem "
+      "with a dataflow accelerator and 16 PIM modules, each with 32 MIND "
+      "nodes. Each chip is capable of approximately 10 Teraflops... a DRAM "
+      "backing store referred to as the Penultimate Store is included on an "
+      "additional 100K chips for a total memory storage of 4 Petabytes.\"");
+
+  const gilgamesh::design_point dp;
+  gilgamesh::chip_composition_table(dp).print("Chip composition (Figure 1)");
+  gilgamesh::design_point_table(dp).print("System design point");
+
+  std::printf("checks: chip ~10 TF: %s | system > 1 EF: %s | memory ~4 PB: %s\n",
+              (dp.chip_sustained_tflops >= 9 && dp.chip_sustained_tflops <= 11)
+                  ? "PASS" : "FAIL",
+              dp.system_peak_pflops > 1000 ? "PASS" : "FAIL",
+              (dp.total_memory_pbytes > 3.75 && dp.total_memory_pbytes < 4.25)
+                  ? "PASS" : "FAIL");
+  return 0;
+}

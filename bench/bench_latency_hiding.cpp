@@ -1,0 +1,112 @@
+// LAT-1: intrinsic latency hiding — ParalleX message-driven multithreading
+// vs the blocking CSP baseline, on the same fabric.
+//
+// Workload: 384 items; each needs one value from a remote "server"
+// locality/rank plus 10us of local compute.  CSP issues a blocking
+// request/reply per item (2 traversals exposed per item); ParalleX spawns
+// one thread per item — a thread that suspends on its future is a
+// *depleted thread* costing nothing while parcels fly, so compute and
+// communication overlap automatically ("intrinsic mechanisms for automatic
+// latency hiding").
+#include <cstdio>
+#include <vector>
+
+#include "baseline/csp.hpp"
+#include "common.hpp"
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace px;
+
+constexpr int kItems = 384;
+constexpr double kComputeUs = 10.0;
+
+double serve_value(std::uint64_t key) {
+  return static_cast<double>(key) * 1.5;
+}
+PX_REGISTER_ACTION(serve_value)
+
+double parallex_run_ms(std::uint64_t latency_ns) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 2;
+  p.fabric.base_latency_ns = latency_ns;
+  core::runtime rt(p);
+  rt.start();
+  double elapsed = 0;
+  rt.run([&] {
+    elapsed = bench::time_ms([&] {
+      lco::and_gate done(kItems);
+      for (int i = 0; i < kItems; ++i) {
+        core::this_locality()->spawn([&, i] {
+          auto fut = core::async<&serve_value>(rt.locality_gid(1),
+                                               static_cast<std::uint64_t>(i));
+          const double v = fut.get();  // suspends; worker runs other items
+          (void)v;
+          bench::busy_spin_us(kComputeUs);
+          done.signal();
+        });
+      }
+      done.wait();
+    });
+  });
+  rt.stop();
+  return elapsed;
+}
+
+double csp_run_ms(std::uint64_t latency_ns) {
+  baseline::csp_params p;
+  p.ranks = 2;
+  p.fabric.base_latency_ns = latency_ns;
+  baseline::csp_runtime rt(p);
+  double elapsed = 0;
+  rt.run([&](baseline::rank_context& ctx) {
+    if (ctx.rank() == 0) {
+      elapsed = bench::time_ms([&] {
+        for (int i = 0; i < kItems; ++i) {
+          ctx.send_value(1, 1, static_cast<std::uint64_t>(i));
+          (void)ctx.recv_value<double>(1, 2);  // rank blocks: latency exposed
+          bench::busy_spin_us(kComputeUs);
+        }
+        ctx.send_value(1, 1, std::uint64_t(~0ull));  // stop token
+      });
+    } else {
+      for (;;) {
+        const auto key = ctx.recv_value<std::uint64_t>(0, 1);
+        if (key == ~0ull) break;
+        ctx.send_value(0, 2, static_cast<double>(key) * 1.5);
+      }
+    }
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "LAT-1 / latency hiding (paper sections 1, 2.1, 2.2)",
+      "\"The message driven paradigm combined with multithreading ... "
+      "provides intrinsic latency hiding at multiple levels within the "
+      "system\"; blocking on remote access is the baseline's cost.");
+
+  util::text_table table({"latency (us)", "CSP (ms)", "ParalleX (ms)",
+                          "speedup", "CSP exposed/item (us)"});
+  for (const std::uint64_t lat_us : {0ull, 5ull, 20ull, 50ull, 100ull}) {
+    const double csp = csp_run_ms(lat_us * 1000);
+    const double pxm = parallex_run_ms(lat_us * 1000);
+    table.add_row(static_cast<std::int64_t>(lat_us), csp, pxm, csp / pxm,
+                  csp * 1000.0 / kItems - kComputeUs);
+  }
+  table.print("384 items x (remote fetch + 10us compute)");
+  std::printf("%s", table.render_csv().c_str());
+  std::printf(
+      "\nshape check: CSP time grows linearly with latency (2 traversals "
+      "exposed per item); ParalleX stays near the compute bound.\n");
+  return 0;
+}

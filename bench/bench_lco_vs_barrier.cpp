@@ -1,0 +1,145 @@
+// LCO-1: dataflow LCO synchronization vs global barriers (paper §2.2:
+// "LCOs eliminate most uses of global barriers greatly freeing the dynamic
+// adaptive flexibility of parallel processing and relaxing the over
+// constraining operation imposed by barriers").
+//
+// A wavefront computation: S stages x P elements; element (s,e) depends
+// only on (s-1, e-1), (s-1, e), (s-1, e+1).  Task durations are drawn from
+// an increasingly skewed distribution (imbalance sweep).
+//   barrier version: every thread arrives at a global barrier per stage —
+//     each stage costs the *maximum* task time in the stage;
+//   LCO version: an and_gate per element releases it the moment its three
+//     parents finish — slack from fast elements flows downhill.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "lco/lco.hpp"
+#include "threads/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace px;
+
+constexpr int kStages = 32;
+// Few elements per worker: the barrier's end-of-stage idle time is the
+// effect under test, and it vanishes when work depth >> worker count.
+constexpr int kElems = 8;
+const unsigned kWorkers = std::max(2u, std::thread::hardware_concurrency());
+constexpr double kMeanUs = 60.0;
+
+// Task durations [stage][elem]: one straggler of skew x mean per stage at
+// a rotating position (stride 3, coprime with the neighbour dependency
+// width, so consecutive stragglers are NOT on each other's critical path);
+// everything else is a short task.  Deterministic: the measured gap is
+// structure, not sampling noise.
+std::vector<std::vector<double>> make_durations(double skew,
+                                                std::uint64_t seed) {
+  util::xoshiro256 rng(seed);
+  std::vector<std::vector<double>> d(kStages, std::vector<double>(kElems));
+  for (int s = 0; s < kStages; ++s) {
+    const int straggler = (s * 3) % kElems;
+    for (int e = 0; e < kElems; ++e) {
+      d[s][static_cast<std::size_t>(e)] =
+          (e == straggler) ? kMeanUs * (1.0 + skew)
+                           : kMeanUs * rng.uniform(0.25, 0.35);
+    }
+  }
+  return d;
+}
+
+double barrier_version_ms(const std::vector<std::vector<double>>& dur) {
+  threads::scheduler sched(threads::scheduler_params{.workers = kWorkers});
+  sched.start();
+  lco::barrier bar(kElems);
+  const double ms = bench::time_ms([&] {
+    for (int e = 0; e < kElems; ++e) {
+      sched.spawn([&, e] {
+        for (int s = 0; s < kStages; ++s) {
+          bench::busy_spin_us(dur[s][e]);
+          bar.arrive_and_wait();  // whole wave gated on the straggler
+        }
+      });
+    }
+    sched.wait_quiescent();
+  });
+  sched.stop();
+  return ms;
+}
+
+double lco_version_ms(const std::vector<std::vector<double>>& dur) {
+  threads::scheduler sched(threads::scheduler_params{.workers = kWorkers});
+  sched.start();
+
+  // gates[s][e] counts the element's parents in stage s-1.
+  std::vector<std::vector<std::unique_ptr<lco::and_gate>>> gates(kStages);
+  for (int s = 0; s < kStages; ++s) {
+    for (int e = 0; e < kElems; ++e) {
+      const std::uint64_t parents =
+          s == 0 ? 0 : static_cast<std::uint64_t>(
+                           (e > 0) + 1 + (e < kElems - 1));
+      gates[s].push_back(std::make_unique<lco::and_gate>(parents));
+    }
+  }
+  lco::and_gate all_done(static_cast<std::uint64_t>(kElems));
+
+  const double ms = bench::time_ms([&] {
+    for (int s = 0; s < kStages; ++s) {
+      for (int e = 0; e < kElems; ++e) {
+        gates[s][static_cast<std::size_t>(e)]->when_ready([&, s, e] {
+          sched.spawn([&, s, e] {
+            bench::busy_spin_us(dur[s][e]);
+            if (s + 1 < kStages) {
+              if (e > 0) gates[s + 1][static_cast<std::size_t>(e - 1)]->signal();
+              gates[s + 1][static_cast<std::size_t>(e)]->signal();
+              if (e < kElems - 1) {
+                gates[s + 1][static_cast<std::size_t>(e + 1)]->signal();
+              }
+            } else {
+              all_done.signal();
+            }
+          });
+        });
+      }
+    }
+    all_done.wait();
+    sched.wait_quiescent();
+  });
+  sched.stop();
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "LCO-1 / dataflow LCOs vs global barriers (paper section 2.2)",
+      "\"LCOs eliminate most uses of global barriers ... relaxing the over "
+      "constraining operation imposed by barriers.\"");
+
+  util::text_table table({"straggler skew", "barrier (ms)", "LCO (ms)",
+                          "barrier/LCO"});
+  for (const double skew : {0.0, 2.0, 4.0, 8.0, 16.0}) {
+    const auto dur = make_durations(skew, 1234);
+    // Best of three: the structural cost is the minimum; OS scheduling
+    // noise on small hosts only ever adds time.
+    double bar_ms = 1e300, lco_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      bar_ms = std::min(bar_ms, barrier_version_ms(dur));
+      lco_ms = std::min(lco_ms, lco_version_ms(dur));
+    }
+    table.add_row(skew, bar_ms, lco_ms, bar_ms / lco_ms);
+  }
+  table.print("24-stage x 48-element wavefront, 4 workers");
+  std::printf("%s", table.render_csv().c_str());
+  std::printf(
+      "\nshape check: with balanced tasks the two are comparable; as "
+      "stragglers grow, barrier time tracks per-stage maxima while dataflow "
+      "lets slack flow — the gap widens with skew.\n");
+  return 0;
+}

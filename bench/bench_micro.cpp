@@ -1,0 +1,187 @@
+// THR-1: micro-costs of the mechanisms the model requires to be cheap
+// (paper §2.1: "Incorporation of low overhead mechanisms for managing
+// global system parallelism including synchronization, scheduling, data
+// movement...").  google-benchmark timings for thread lifecycle, context
+// switches, LCO operations, AGAS resolution, and parcel handling.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "gas/agas.hpp"
+#include "lco/lco.hpp"
+#include "parcel/parcel.hpp"
+#include "threads/context.hpp"
+#include "threads/scheduler.hpp"
+
+namespace {
+
+using namespace px;
+
+// ------------------------------------------------------- raw context swap
+
+struct swap_fixture {
+  threads::context main_ctx;
+  threads::context fiber_ctx;
+  std::vector<char> stack = std::vector<char>(32 * 1024);
+  bool stop = false;
+};
+swap_fixture* g_swap = nullptr;
+
+void swap_entry(void*) {
+  for (;;) {
+    threads::context::swap(g_swap->fiber_ctx, g_swap->main_ctx, nullptr);
+  }
+}
+
+void BM_ContextSwapPair(benchmark::State& state) {
+  swap_fixture fx;
+  g_swap = &fx;
+  fx.fiber_ctx = threads::context::make(fx.stack.data() + fx.stack.size(),
+                                        &swap_entry);
+  for (auto _ : state) {
+    // One round trip = two swaps.
+    threads::context::swap(fx.main_ctx, fx.fiber_ctx, nullptr);
+  }
+}
+BENCHMARK(BM_ContextSwapPair);
+
+// ------------------------------------------------------- thread lifecycle
+
+void BM_ThreadSpawnToCompletion(benchmark::State& state) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 2});
+  sched.start();
+  for (auto _ : state) {
+    std::atomic<bool> ran{false};
+    sched.spawn([&] { ran.store(true, std::memory_order_release); });
+    while (!ran.load(std::memory_order_acquire)) {
+    }
+  }
+  sched.wait_quiescent();
+  sched.stop();
+}
+BENCHMARK(BM_ThreadSpawnToCompletion);
+
+void BM_ThreadSpawnThroughput(benchmark::State& state) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 4});
+  sched.start();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::atomic<int> remaining{10000};
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      sched.spawn([&] { remaining.fetch_sub(1, std::memory_order_relaxed); });
+    }
+    sched.wait_quiescent();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  sched.stop();
+}
+BENCHMARK(BM_ThreadSpawnThroughput);
+
+// ------------------------------------------------------------------- LCO
+
+void BM_FutureSetAndGetReady(benchmark::State& state) {
+  for (auto _ : state) {
+    lco::promise<int> prom;
+    auto fut = prom.get_future();
+    prom.set_value(1);
+    benchmark::DoNotOptimize(fut.get());
+  }
+}
+BENCHMARK(BM_FutureSetAndGetReady);
+
+void BM_SuspendResumeRoundTrip(benchmark::State& state) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 2});
+  sched.start();
+  // Two threads ping-pong through gates; measures park/wake cost under the
+  // depleted-thread machinery.
+  for (auto _ : state) {
+    lco::counting_semaphore ping(0), pong(0);
+    std::atomic<bool> done{false};
+    sched.spawn([&] {
+      for (int i = 0; i < 100; ++i) {
+        ping.release();
+        pong.acquire();
+      }
+      done.store(true);
+    });
+    sched.spawn([&] {
+      for (int i = 0; i < 100; ++i) {
+        ping.acquire();
+        pong.release();
+      }
+    });
+    while (!done.load()) {
+    }
+    sched.wait_quiescent();
+  }
+  state.SetItemsProcessed(state.iterations() * 200);  // parks+wakes
+  sched.stop();
+}
+BENCHMARK(BM_SuspendResumeRoundTrip);
+
+// ------------------------------------------------------------------ AGAS
+
+void BM_AgasResolveCached(benchmark::State& state) {
+  gas::agas directory(8);
+  const gas::gid g = directory.allocate(gas::gid_kind::data, 3);
+  directory.bind(g, 3);
+  (void)directory.resolve(0, g);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory.resolve(0, g));
+  }
+}
+BENCHMARK(BM_AgasResolveCached);
+
+void BM_AgasResolveAuthoritative(benchmark::State& state) {
+  gas::agas directory(8);
+  const gas::gid g = directory.allocate(gas::gid_kind::data, 3);
+  directory.bind(g, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directory.resolve_authoritative(0, g));
+  }
+}
+BENCHMARK(BM_AgasResolveAuthoritative);
+
+// ---------------------------------------------------------------- parcels
+
+void BM_ParcelEncodeDecode(benchmark::State& state) {
+  parcel::parcel p;
+  p.destination = gas::gid::make(gas::gid_kind::data, 1, 99);
+  p.action = 3;
+  p.cont.target = gas::gid::make(gas::gid_kind::lco, 0, 7);
+  p.cont.action = 1;
+  p.arguments = util::to_bytes(std::uint64_t{42}, 3.14);
+  for (auto _ : state) {
+    auto bytes = parcel::encode(p);
+    benchmark::DoNotOptimize(parcel::decode(bytes));
+  }
+}
+BENCHMARK(BM_ParcelEncodeDecode);
+
+int identity(int x) { return x; }
+PX_REGISTER_ACTION(identity)
+
+void BM_LocalAsyncRoundTrip(benchmark::State& state) {
+  core::runtime_params params;
+  params.localities = 2;
+  params.workers_per_locality = 2;
+  core::runtime rt(params);
+  rt.start();
+  for (auto _ : state) {
+    std::atomic<int> out{-1};
+    rt.at(0).spawn([&] {
+      out.store(core::async<&identity>(rt.locality_gid(1), 5).get());
+    });
+    while (out.load() != 5) {
+    }
+  }
+  rt.stop();
+}
+BENCHMARK(BM_LocalAsyncRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

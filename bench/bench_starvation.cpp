@@ -1,0 +1,112 @@
+// STARV-1: starvation from static work placement vs message-driven work
+// queues (paper §2.1: "Starvation is the lack of work and therefore the
+// idle cycles experienced by an execution site ... caused either due to
+// inadequate program parallelism or due to poor load balancing").
+//
+// A skewed bag of tasks (a few large stragglers among many small tasks) is
+// executed by (a) four isolated single-worker schedulers with a static
+// round-robin pre-partition — a rank that finishes early starves — and
+// (b) one four-worker work-stealing scheduler fed the identical bag.
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "threads/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace px;
+
+// Execution sites = physical cores; more would time-share and blur the
+// static-placement starvation this experiment measures.
+const unsigned kSites = std::max(2u, std::thread::hardware_concurrency());
+constexpr std::size_t kTasks = 256;
+constexpr double kMeanUs = 200.0;
+
+// The bag models a spatial domain whose expensive region is contiguous:
+// 16 stragglers sit at indices that index-round-robin assigns to the SAME
+// site — the classic way static decomposition starves its peers (cost
+// correlates with position, placement does not know it).
+std::vector<double> make_bag(double skew, std::uint64_t seed) {
+  util::xoshiro256 rng(seed);
+  std::vector<double> bag(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    bag[i] = kMeanUs * rng.uniform(0.2, 0.4);
+  }
+  for (std::size_t k = 0; k < 16; ++k) {
+    bag[k * kSites] = kMeanUs * (1.0 + skew);
+  }
+  return bag;
+}
+
+double static_partition_ms(const std::vector<double>& bag) {
+  std::vector<std::unique_ptr<threads::scheduler>> sites;
+  for (unsigned s = 0; s < kSites; ++s) {
+    sites.push_back(std::make_unique<threads::scheduler>(
+        threads::scheduler_params{.workers = 1}));
+    sites.back()->start();
+  }
+  const double ms = bench::time_ms([&] {
+    for (std::size_t i = 0; i < bag.size(); ++i) {
+      const double us = bag[i];
+      sites[i % kSites]->spawn([us] { bench::busy_spin_us(us); });
+    }
+    for (auto& site : sites) site->wait_quiescent();
+  });
+  for (auto& site : sites) site->stop();
+  return ms;
+}
+
+double work_queue_ms(const std::vector<double>& bag) {
+  threads::scheduler sched(threads::scheduler_params{.workers = kSites});
+  sched.start();
+  const double ms = bench::time_ms([&] {
+    for (const double us : bag) {
+      sched.spawn([us] { bench::busy_spin_us(us); });
+    }
+    sched.wait_quiescent();
+  });
+  sched.stop();
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "STARV-1 / starvation under static vs dynamic placement (section 2.1)",
+      "\"Starvation is the lack of work and therefore the idle cycles "
+      "experienced by an execution site ... caused either due to inadequate "
+      "program parallelism or due to poor load balancing.\"");
+
+  util::text_table table({"straggler skew", "static (ms)", "work-queue (ms)",
+                          "static/dynamic", "static idle %"});
+  for (const double skew : {0.0, 4.0, 8.0, 16.0, 32.0}) {
+    const auto bag = make_bag(skew, 777);
+    double busy_ms = 0;
+    for (const double t : bag) busy_ms += t / 1000.0;
+    const double ideal_ms = busy_ms / kSites;
+
+    // Best of three: scheduling noise only adds time.
+    double stat_ms = 1e300, dyn_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      stat_ms = std::min(stat_ms, static_partition_ms(bag));
+      dyn_ms = std::min(dyn_ms, work_queue_ms(bag));
+    }
+    const double idle_frac = 1.0 - ideal_ms / stat_ms;
+    table.add_row(skew, stat_ms, dyn_ms, stat_ms / dyn_ms,
+                  100.0 * idle_frac);
+  }
+  table.print("256 tasks; 16 stragglers land on one site under round-robin");
+  std::printf("%s", table.render_csv().c_str());
+  std::printf(
+      "\nshape check: static placement idles sites behind the straggler "
+      "partition (static/dynamic grows with skew); the shared work-queue "
+      "model keeps all sites fed.\n");
+  return 0;
+}

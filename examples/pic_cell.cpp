@@ -1,0 +1,163 @@
+// Particle-in-cell skeleton (paper §2.1: "particle in cell (magneto hydro
+// dynamics)") — the third irregular-parallelism workload the paper names.
+//
+// A 1-D periodic domain is split into cells owned by localities.  Each
+// step: (1) deposit charge per cell, (2) a dataflow reduction produces the
+// mean field — no global barrier, the reduction *is* the synchronization —
+// and (3) particles push and migrate; a particle leaving its cell is SENT
+// to the neighbour cell's locality as a parcel (move work to data), not
+// gathered by the neighbour.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+#include "util/rng.hpp"
+#include "util/spinlock.hpp"
+
+namespace {
+
+using namespace px;
+
+constexpr std::size_t kCells = 64;
+constexpr double kDomain = 1.0;
+constexpr double kDt = 0.005;
+
+struct particle {
+  double x = 0, v = 0;
+  template <typename Ar>
+  friend void serialize(Ar& ar, particle& p) {
+    ar& p.x& p.v;
+  }
+};
+
+struct cell_store {
+  util::spinlock lock;
+  std::vector<particle> parts;
+};
+
+core::runtime* g_rt = nullptr;
+std::vector<std::shared_ptr<cell_store>> g_cells;  // kCells entries
+std::atomic<std::uint64_t> g_migrations{0};
+
+gas::locality_id owner_of_cell(std::size_t c) {
+  return static_cast<gas::locality_id>(c * g_rt->num_localities() / kCells);
+}
+
+std::size_t cell_of(double x) {
+  const double wrapped = x - kDomain * std::floor(x / kDomain);
+  return std::min(kCells - 1,
+                  static_cast<std::size_t>(wrapped / kDomain * kCells));
+}
+
+// Action: charge in cells [first, last) at this locality.
+double deposit_range(std::uint64_t first, std::uint64_t last) {
+  double q = 0;
+  for (std::uint64_t c = first; c < last; ++c) {
+    std::lock_guard lock(g_cells[c]->lock);
+    q += static_cast<double>(g_cells[c]->parts.size());
+  }
+  return q;
+}
+PX_REGISTER_ACTION(deposit_range)
+
+// Action: accept a migrated particle into cell `c` (work moved to data).
+void accept_particle(std::uint64_t c, particle p) {
+  std::lock_guard lock(g_cells[c]->lock);
+  g_cells[c]->parts.push_back(p);
+}
+PX_REGISTER_ACTION(accept_particle)
+
+// Action: push every particle in cells [first, last) with field E; emit
+// leavers as parcels to their new cell's owner.
+void push_range(std::uint64_t first, std::uint64_t last, double field) {
+  for (std::uint64_t c = first; c < last; ++c) {
+    std::vector<particle> stay;
+    std::vector<std::pair<std::size_t, particle>> leave;
+    {
+      std::lock_guard lock(g_cells[c]->lock);
+      for (auto& p : g_cells[c]->parts) {
+        p.v += field * kDt;
+        p.x += p.v * kDt;
+        const std::size_t nc = cell_of(p.x);
+        if (nc == c) {
+          stay.push_back(p);
+        } else {
+          leave.emplace_back(nc, p);
+        }
+      }
+      g_cells[c]->parts.swap(stay);
+    }
+    for (auto& [nc, p] : leave) {
+      g_migrations.fetch_add(1);
+      core::apply<&accept_particle>(
+          g_rt->locality_gid(owner_of_cell(nc)), nc, p);
+    }
+  }
+}
+PX_REGISTER_ACTION(push_range)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 40;
+  const std::size_t particles_per_cell = 200;
+
+  core::runtime_params params;
+  params.localities = 4;
+  params.workers_per_locality = 2;
+  params.fabric.base_latency_ns = 2'000;
+  core::runtime rt(params);
+  g_rt = &rt;
+  rt.start();
+
+  util::xoshiro256 rng(11);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    auto store = std::make_shared<cell_store>();
+    for (std::size_t i = 0; i < particles_per_cell; ++i) {
+      particle p;
+      p.x = (static_cast<double>(c) + rng.uniform01()) / kCells;
+      p.v = rng.uniform(-0.4, 0.4) + (p.x < 0.5 ? 0.2 : -0.2);  // two streams
+      store->parts.push_back(p);
+    }
+    g_cells.push_back(std::move(store));
+  }
+
+  const std::size_t cells_per_loc = kCells / rt.num_localities();
+  for (int s = 0; s < steps; ++s) {
+    rt.run([&] {
+      // Phase 1+2: distributed deposit, dataflow reduction of mean charge.
+      std::vector<lco::future<double>> partial;
+      for (std::size_t l = 0; l < rt.num_localities(); ++l) {
+        partial.push_back(core::async<&deposit_range>(
+            rt.locality_gid(static_cast<gas::locality_id>(l)),
+            l * cells_per_loc, (l + 1) * cells_per_loc));
+      }
+      lco::when_all(partial).wait();
+      double mean_q = 0;
+      for (auto& f : partial) mean_q += f.get();
+      mean_q /= kCells;
+      // Toy restoring field proportional to deviation (keeps it bounded).
+      const double field = 0.1 * std::sin(2 * M_PI * s * kDt) - 1e-4 * mean_q;
+
+      // Phase 3: push + migrate (fire-and-forget; quiescence closes step).
+      for (std::size_t l = 0; l < rt.num_localities(); ++l) {
+        core::apply<&push_range>(
+            rt.locality_gid(static_cast<gas::locality_id>(l)),
+            l * cells_per_loc, (l + 1) * cells_per_loc, field);
+      }
+    });
+  }
+
+  std::size_t total = 0;
+  for (const auto& c : g_cells) total += c->parts.size();
+  std::printf("pic: %d steps, %zu particles conserved (expected %zu), "
+              "%llu inter-cell migrations\n",
+              steps, total, kCells * particles_per_cell,
+              static_cast<unsigned long long>(g_migrations.load()));
+  rt.stop();
+  return total == kCells * particles_per_cell ? 0 : 1;
+}

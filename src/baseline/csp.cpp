@@ -1,0 +1,133 @@
+#include "baseline/csp.hpp"
+
+#include "util/assert.hpp"
+
+namespace px::baseline {
+
+namespace {
+
+// Internal tag space for collectives, disjoint from user tags by the high
+// bit.  Epochs keep successive collective rounds from cross-matching.
+constexpr std::uint64_t kInternalBit = 1ull << 63;
+constexpr std::uint64_t kBarrierArrive = kInternalBit | (1ull << 62);
+constexpr std::uint64_t kBarrierRelease = kInternalBit | (1ull << 61);
+constexpr std::uint64_t kReduceGather = kInternalBit | (1ull << 60);
+constexpr std::uint64_t kReduceResult = kInternalBit | (1ull << 59);
+
+}  // namespace
+
+csp_runtime::csp_runtime(csp_params params) : params_(params) {
+  PX_ASSERT(params_.ranks >= 1);
+  params_.fabric.endpoints = params_.ranks;
+  for (std::size_t i = 0; i < params_.ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<mailbox>());
+  }
+  fabric_ = std::make_unique<net::fabric>(params_.fabric);
+  for (std::size_t i = 0; i < params_.ranks; ++i) {
+    fabric_->set_handler(
+        static_cast<net::endpoint_id>(i), [this, i](net::message m) {
+          envelope env;
+          env.source = static_cast<int>(m.source);
+          env.tag = m.tag;
+          env.payload = std::move(m.payload);
+          post(static_cast<int>(i), std::move(env));
+        });
+  }
+}
+
+csp_runtime::~csp_runtime() = default;
+
+void csp_runtime::post(int dest, envelope env) {
+  mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back(std::move(env));
+  }
+  box.cv.notify_all();
+}
+
+csp_runtime::envelope csp_runtime::take_matching(int rank, int source,
+                                                 std::uint64_t tag) {
+  mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->tag == tag && (source < 0 || it->source == source)) {
+        envelope env = std::move(*it);
+        box.messages.erase(it);
+        return env;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void csp_runtime::run(const std::function<void(rank_context&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(params_.ranks);
+  for (std::size_t r = 0; r < params_.ranks; ++r) {
+    threads.emplace_back([this, r, &body] {
+      rank_context ctx(*this, static_cast<int>(r));
+      body(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  fabric_->drain();
+}
+
+rank_context::rank_context(csp_runtime& rt, int rank)
+    : rt_(rt), rank_(rank) {}
+
+int rank_context::size() const noexcept {
+  return static_cast<int>(rt_.ranks());
+}
+
+void rank_context::send(int dest, std::uint64_t tag,
+                        std::vector<std::byte> payload) {
+  PX_ASSERT(dest >= 0 && dest < size());
+  if (dest == rank_) {
+    // Self-sends bypass the fabric, as a local memcpy would.
+    csp_runtime::envelope env{rank_, tag, std::move(payload)};
+    rt_.post(rank_, std::move(env));
+    return;
+  }
+  net::message m;
+  m.source = static_cast<net::endpoint_id>(rank_);
+  m.dest = static_cast<net::endpoint_id>(dest);
+  m.tag = tag;
+  m.payload = std::move(payload);
+  rt_.fabric().send(std::move(m));
+}
+
+std::vector<std::byte> rank_context::recv(int source, std::uint64_t tag) {
+  return rt_.take_matching(rank_, source, tag).payload;
+}
+
+void rank_context::barrier() {
+  const std::uint64_t epoch = barrier_epoch_++;
+  const std::uint64_t arrive = kBarrierArrive | epoch;
+  const std::uint64_t release = kBarrierRelease | epoch;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) (void)recv(-1, arrive);
+    for (int r = 1; r < size(); ++r) send(r, release, {});
+  } else {
+    send(0, arrive, {});
+    (void)recv(0, release);
+  }
+}
+
+double rank_context::allreduce_sum(double value) {
+  const std::uint64_t epoch = collective_epoch_++;
+  const std::uint64_t gather = kReduceGather | epoch;
+  const std::uint64_t result = kReduceResult | epoch;
+  if (rank_ == 0) {
+    double sum = value;
+    for (int r = 1; r < size(); ++r) sum += recv_value<double>(-1, gather);
+    for (int r = 1; r < size(); ++r) send_value(r, result, sum);
+    return sum;
+  }
+  send_value(0, gather, value);
+  return recv_value<double>(0, result);
+}
+
+}  // namespace px::baseline

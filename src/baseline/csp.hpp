@@ -1,0 +1,117 @@
+// CSP baseline: the "communicating sequential processes" model the paper
+// positions ParalleX against (§1: "the dominant model of computation has
+// been the communication sequential process or more commonly the message
+// passing model represented by various implementations of MPI").
+//
+// SPMD ranks, blocking two-sided send/recv, global barriers, and collective
+// reductions — run over the *same* latency-modelled fabric as the ParalleX
+// runtime, so every head-to-head experiment isolates the execution model
+// from the interconnect physics.
+//
+// Deliberate baseline properties (this is what the experiments measure):
+//   * recv() blocks the whole rank — no overlap of communication with
+//     computation unless the programmer hand-pipelines;
+//   * barrier() costs two fabric traversals and serializes at rank 0;
+//   * work distribution is static — a straggling rank idles its peers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "util/serialize.hpp"
+
+namespace px::baseline {
+
+struct csp_params {
+  std::size_t ranks = 4;
+  net::fabric_params fabric{};  // endpoints overwritten with `ranks`
+};
+
+class csp_runtime;
+
+// Per-rank communication context handed to the SPMD body.
+class rank_context {
+ public:
+  rank_context(csp_runtime& rt, int rank);
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  // Buffered send: enqueues into the fabric and returns (MPI_Send with a
+  // buffered protocol).  The *receive* side is where CSP blocks.
+  void send(int dest, std::uint64_t tag, std::vector<std::byte> payload);
+
+  // Blocks until a message with (source, tag) arrives.
+  std::vector<std::byte> recv(int source, std::uint64_t tag);
+
+  template <typename T>
+  void send_value(int dest, std::uint64_t tag, const T& value) {
+    send(dest, tag, util::to_bytes(value));
+  }
+
+  template <typename T>
+  T recv_value(int source, std::uint64_t tag) {
+    return util::from_bytes<T>(recv(source, tag));
+  }
+
+  // Linear global barrier: everyone reports to rank 0, rank 0 releases.
+  // Costs 2 fabric traversals; the paper's "synchronous global barriers".
+  void barrier();
+
+  // Sum-allreduce via gather-to-0 + broadcast.
+  double allreduce_sum(double value);
+
+ private:
+  csp_runtime& rt_;
+  int rank_;
+  std::uint64_t barrier_epoch_ = 0;
+  std::uint64_t collective_epoch_ = 0;
+};
+
+class csp_runtime {
+ public:
+  explicit csp_runtime(csp_params params);
+  ~csp_runtime();
+
+  csp_runtime(const csp_runtime&) = delete;
+  csp_runtime& operator=(const csp_runtime&) = delete;
+
+  std::size_t ranks() const noexcept { return params_.ranks; }
+  net::fabric& fabric() noexcept { return *fabric_; }
+
+  // Runs body(rank_context&) on every rank concurrently; returns when all
+  // ranks complete.  Callable repeatedly.
+  void run(const std::function<void(rank_context&)>& body);
+
+ private:
+  friend class rank_context;
+
+  struct envelope {
+    int source;
+    std::uint64_t tag;
+    std::vector<std::byte> payload;
+  };
+
+  struct mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<envelope> messages;
+  };
+
+  void post(int dest, envelope env);
+  envelope take_matching(int rank, int source, std::uint64_t tag);
+
+  csp_params params_;
+  std::unique_ptr<net::fabric> fabric_;
+  std::vector<std::unique_ptr<mailbox>> mailboxes_;
+};
+
+}  // namespace px::baseline

@@ -1,0 +1,160 @@
+#include "core/echo.hpp"
+
+#include <mutex>
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace px::core {
+
+// --------------------------------------------------------- echo actions
+//
+// The echo protocol's wire surface: three plain actions.  `commit` runs at
+// the home (the version authority), `update` at every replica, `fetch`
+// serves authoritative re-reads after a stale commit.
+namespace echo_actions {
+
+bool commit(std::uint64_t gid_bits, std::uint64_t read_version,
+            std::vector<std::byte> value) {
+  locality* here = this_locality();
+  return here->rt().echo_mgr().home_commit(gas::gid::from_bits(gid_bits),
+                                           read_version, std::move(value));
+}
+
+void update(std::uint64_t gid_bits, std::uint64_t version,
+            std::vector<std::byte> value) {
+  locality* here = this_locality();
+  here->rt().echo_mgr().replica_update(
+      here->id(), gas::gid::from_bits(gid_bits), version, std::move(value));
+}
+
+std::pair<std::vector<std::byte>, std::uint64_t> fetch(
+    std::uint64_t gid_bits) {
+  locality* here = this_locality();
+  return here->rt().echo_mgr().home_read(gas::gid::from_bits(gid_bits));
+}
+
+}  // namespace echo_actions
+
+PX_REGISTER_ACTION(px::core::echo_actions::commit)
+PX_REGISTER_ACTION(px::core::echo_actions::update)
+PX_REGISTER_ACTION(px::core::echo_actions::fetch)
+
+// --------------------------------------------------------- echo_manager
+
+echo_manager::echo_manager(runtime& rt)
+    : rt_(rt), tables_(rt.num_localities()) {}
+
+echo_manager::table& echo_manager::table_at(gas::locality_id at) {
+  PX_ASSERT(at < tables_.size());
+  return *tables_[at];
+}
+
+gas::gid echo_manager::create(gas::locality_id home,
+                              std::vector<std::byte> initial) {
+  const gas::gid id = rt_.gas().allocate(gas::gid_kind::data, home);
+  rt_.gas().bind(id, home);
+  // Control-plane setup: implant the replica tree (paper: "the tree of
+  // equivalent locations") at every locality.
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    table& t = *tables_[i];
+    std::lock_guard lock(t.lock);
+    t.entries.emplace(id, replica{initial, 1});
+  }
+  return id;
+}
+
+echo_manager::replica echo_manager::read_replica(gas::locality_id at,
+                                                 gas::gid id) {
+  table& t = table_at(at);
+  std::lock_guard lock(t.lock);
+  const auto it = t.entries.find(id);
+  PX_ASSERT_MSG(it != t.entries.end(), "echo read of unknown object");
+  return it->second;
+}
+
+std::pair<std::vector<std::byte>, std::uint64_t> echo_manager::read(
+    gas::locality_id at, gas::gid id) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  replica r = read_replica(at, id);
+  return {std::move(r.value), r.version};
+}
+
+lco::future<bool> echo_manager::commit(locality& from, gas::gid id,
+                                       std::uint64_t read_version,
+                                       std::vector<std::byte> new_value) {
+  return async_from<&echo_actions::commit>(from,
+                                           rt_.locality_gid(id.home()),
+                                           id.bits(), read_version,
+                                           std::move(new_value));
+}
+
+lco::future<std::pair<std::vector<std::byte>, std::uint64_t>>
+echo_manager::fetch(locality& from, gas::gid id) {
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  return async_from<&echo_actions::fetch>(from, rt_.locality_gid(id.home()),
+                                          id.bits());
+}
+
+bool echo_manager::home_commit(gas::gid id, std::uint64_t read_version,
+                               std::vector<std::byte> new_value) {
+  const gas::locality_id home = id.home();
+  std::uint64_t new_version = 0;
+  {
+    table& t = table_at(home);
+    std::lock_guard lock(t.lock);
+    const auto it = t.entries.find(id);
+    PX_ASSERT_MSG(it != t.entries.end(), "echo commit to unknown object");
+    if (it->second.version != read_version) {
+      commits_stale_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    it->second.version += 1;
+    it->second.value = new_value;
+    new_version = it->second.version;
+  }
+  commits_ok_.fetch_add(1, std::memory_order_relaxed);
+  // Propagate down the replica tree.  Replicas apply monotonically by
+  // version, so reordered updates cannot regress a copy.
+  locality& here = rt_.at(home);
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (i == home) continue;
+    update_broadcasts_.fetch_add(1, std::memory_order_relaxed);
+    apply_from<&echo_actions::update>(
+        here, rt_.locality_gid(static_cast<gas::locality_id>(i)), id.bits(),
+        new_version, new_value);
+  }
+  return true;
+}
+
+void echo_manager::replica_update(gas::locality_id at, gas::gid id,
+                                  std::uint64_t version,
+                                  std::vector<std::byte> value) {
+  table& t = table_at(at);
+  std::lock_guard lock(t.lock);
+  const auto it = t.entries.find(id);
+  PX_ASSERT_MSG(it != t.entries.end(), "echo update for unknown object");
+  if (version > it->second.version) {
+    it->second.version = version;
+    it->second.value = std::move(value);
+  }
+}
+
+std::pair<std::vector<std::byte>, std::uint64_t> echo_manager::home_read(
+    gas::gid id) {
+  replica r = read_replica(id.home(), id);
+  return {std::move(r.value), r.version};
+}
+
+echo_stats echo_manager::stats() const {
+  echo_stats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.commits_ok = commits_ok_.load(std::memory_order_relaxed);
+  s.commits_stale = commits_stale_.load(std::memory_order_relaxed);
+  s.update_broadcasts = update_broadcasts_.load(std::memory_order_relaxed);
+  s.fetches = fetches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace px::core

@@ -1,0 +1,180 @@
+// Echo: ParalleX copy semantics for shared writable data without cache
+// coherence.
+//
+// Paper §2.2 "Echo": when one writable variable is used by many execution
+// points in the same interval, echo "identifies the tree of equivalent
+// locations all of which are to be operated upon as if a single value".
+// There is no coherence protocol outside a locality; instead:
+//
+//   * reads return the local replica immediately, tagged with the version
+//     the reader saw (optimistic, zero latency);
+//   * side-effect commits are split-phase: the writer proposes
+//     (read_version, new_value) to the object's home, continues computing,
+//     and only treats the side effect as durable when the acknowledgement
+//     arrives confirming the value it used was current;
+//   * a stale commit is rejected and the writer retries against the
+//     authoritative copy (the home serializes commits, so retries make
+//     progress).
+//
+// This realizes the paper's "overlap between coherency verification and
+// continued computation with the latest known value".  Inspired by — but
+// deliberately simpler than — location consistency [Gao & Sarkar 2000].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "lco/lco.hpp"
+#include "util/cache.hpp"
+#include "util/serialize.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::core {
+
+class runtime;
+class locality;
+
+struct echo_stats {
+  std::uint64_t reads = 0;
+  std::uint64_t commits_ok = 0;
+  std::uint64_t commits_stale = 0;
+  std::uint64_t update_broadcasts = 0;  // replica refresh parcels sent
+  std::uint64_t fetches = 0;            // authoritative re-reads after stale
+};
+
+// Type-erased value plane: values travel and are stored serialized, exactly
+// as they would cross a real fabric.  The typed view is `echo<T>` below.
+class echo_manager {
+ public:
+  explicit echo_manager(runtime& rt);
+
+  // Creates an echo object homed at `home`, replicated everywhere
+  // (control-plane setup, analogous to object construction).
+  gas::gid create(gas::locality_id home, std::vector<std::byte> initial);
+
+  // Immediate local read at `at`: (replica bytes, version seen).
+  std::pair<std::vector<std::byte>, std::uint64_t> read(gas::locality_id at,
+                                                        gas::gid id);
+
+  // Split-phase commit from locality `from`; resolves true when the home
+  // accepted (our read version was current), false when stale.
+  lco::future<bool> commit(locality& from, gas::gid id,
+                           std::uint64_t read_version,
+                           std::vector<std::byte> new_value);
+
+  // Authoritative (home) read: used by writers after a stale commit.
+  lco::future<std::pair<std::vector<std::byte>, std::uint64_t>> fetch(
+      locality& from, gas::gid id);
+
+  echo_stats stats() const;
+
+  // --- internal, used by the registered echo actions ---
+  bool home_commit(gas::gid id, std::uint64_t read_version,
+                   std::vector<std::byte> new_value);
+  void replica_update(gas::locality_id at, gas::gid id, std::uint64_t version,
+                      std::vector<std::byte> value);
+  std::pair<std::vector<std::byte>, std::uint64_t> home_read(gas::gid id);
+
+ private:
+  struct replica {
+    std::vector<std::byte> value;
+    std::uint64_t version = 1;
+  };
+  struct table {
+    util::spinlock lock;
+    std::unordered_map<gas::gid, replica> entries;
+  };
+
+  table& table_at(gas::locality_id at);
+  replica read_replica(gas::locality_id at, gas::gid id);
+
+  runtime& rt_;
+  std::vector<util::padded<table>> tables_;
+
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> commits_ok_{0};
+  std::atomic<std::uint64_t> commits_stale_{0};
+  std::atomic<std::uint64_t> update_broadcasts_{0};
+  std::atomic<std::uint64_t> fetches_{0};
+};
+
+// Typed echo handle.  T must be archive-serializable.
+template <typename T>
+class echo {
+ public:
+  echo() = default;
+  echo(runtime& rt, gas::locality_id home, const T& initial);
+
+  gas::gid id() const noexcept { return id_; }
+  bool valid() const noexcept { return id_.valid(); }
+
+  // Immediate optimistic read at the calling thread's locality.
+  std::pair<T, std::uint64_t> read() const;
+
+  // Split-phase commit; see echo_manager::commit.
+  lco::future<bool> commit(std::uint64_t read_version, const T& value) const;
+
+  // Read-modify-write with validation/retry; returns the committed value.
+  // Blocks the calling ParalleX thread only on round trips, not on other
+  // writers' compute.
+  T update(const std::function<T(T)>& fn) const;
+
+ private:
+  gas::gid id_;
+};
+
+}  // namespace px::core
+
+// ---------------------------------------------------------------------
+// echo<T> implementation (needs the complete runtime type).
+
+#include "core/runtime.hpp"
+
+namespace px::core {
+
+template <typename T>
+echo<T>::echo(runtime& rt, gas::locality_id home, const T& initial)
+    : id_(rt.echo_mgr().create(home, util::to_bytes(initial))) {}
+
+template <typename T>
+std::pair<T, std::uint64_t> echo<T>::read() const {
+  locality* here = this_locality();
+  PX_ASSERT_MSG(here != nullptr, "echo read outside a ParalleX thread");
+  auto [bytes, version] = here->rt().echo_mgr().read(here->id(), id_);
+  return {util::from_bytes<T>(bytes), version};
+}
+
+template <typename T>
+lco::future<bool> echo<T>::commit(std::uint64_t read_version,
+                                  const T& value) const {
+  locality* here = this_locality();
+  PX_ASSERT_MSG(here != nullptr, "echo commit outside a ParalleX thread");
+  return here->rt().echo_mgr().commit(*here, id_, read_version,
+                                      util::to_bytes(value));
+}
+
+template <typename T>
+T echo<T>::update(const std::function<T(T)>& fn) const {
+  locality* here = this_locality();
+  PX_ASSERT_MSG(here != nullptr, "echo update outside a ParalleX thread");
+  echo_manager& mgr = here->rt().echo_mgr();
+
+  // First attempt against the optimistic local replica; on staleness,
+  // re-arm from the authoritative home copy (the home serializes commits,
+  // so a bounded number of retries always lands).
+  auto [value, version] = read();
+  for (;;) {
+    T proposed = fn(value);
+    if (commit(version, proposed).get()) return proposed;
+    auto fetched = mgr.fetch(*here, id_).get();
+    value = util::from_bytes<T>(fetched.first);
+    version = fetched.second;
+  }
+}
+
+}  // namespace px::core

@@ -1,0 +1,131 @@
+#include "core/locality.hpp"
+
+#include <mutex>
+
+#include "core/runtime.hpp"
+#include "util/assert.hpp"
+
+namespace px::core {
+
+namespace {
+thread_local locality* tl_locality = nullptr;
+}
+
+// Not inlined: must be re-evaluated after suspension points (a ParalleX
+// thread only ever resumes on workers of its own locality, but the
+// compiler cannot know that TLS is stable across the switch).
+__attribute__((noinline)) locality* this_locality() noexcept {
+  return tl_locality;
+}
+
+void detail::set_this_locality(locality* loc) noexcept { tl_locality = loc; }
+
+locality::locality(runtime& rt, gas::locality_id id,
+                   threads::scheduler_params sched_params)
+    : rt_(rt), id_(id), sched_(sched_params) {
+  // Every worker OS thread of this scheduler serves exactly this locality;
+  // establish the context once per worker so it holds for spawned *and*
+  // resumed threads alike.
+  sched_.set_worker_init([this](unsigned) { detail::set_this_locality(this); });
+}
+
+void locality::spawn(std::function<void()> fn) {
+  threads_spawned_.fetch_add(1, std::memory_order_relaxed);
+  sched_.spawn(std::move(fn));
+}
+
+void locality::put_object(gas::gid id, std::shared_ptr<void> object) {
+  PX_ASSERT(object != nullptr);
+  std::lock_guard lock(objects_lock_);
+  objects_[id] = std::move(object);
+}
+
+std::shared_ptr<void> locality::get_object(gas::gid id) const {
+  std::lock_guard lock(objects_lock_);
+  const auto it = objects_.find(id);
+  return it != objects_.end() ? it->second : nullptr;
+}
+
+bool locality::has_object(gas::gid id) const {
+  std::lock_guard lock(objects_lock_);
+  return objects_.count(id) != 0;
+}
+
+bool locality::erase_object(gas::gid id) {
+  std::lock_guard lock(objects_lock_);
+  return objects_.erase(id) != 0;
+}
+
+std::size_t locality::object_count() const {
+  std::lock_guard lock(objects_lock_);
+  return objects_.size();
+}
+
+gas::gid locality::register_sink(std::function<void(parcel::parcel)> fire) {
+  const gas::gid id = rt_.gas().allocate(gas::gid_kind::lco, id_);
+  std::lock_guard lock(sinks_lock_);
+  sinks_.emplace(id, std::move(fire));
+  return id;
+}
+
+bool locality::fire_sink(gas::gid id, parcel::parcel p) {
+  std::function<void(parcel::parcel)> fn;
+  {
+    std::lock_guard lock(sinks_lock_);
+    auto it = sinks_.find(id);
+    if (it == sinks_.end()) return false;
+    fn = std::move(it->second);
+    sinks_.erase(it);
+  }
+  fn(std::move(p));
+  return true;
+}
+
+void locality::send(parcel::parcel p) {
+  parcels_sent_.fetch_add(1, std::memory_order_relaxed);
+  p.source = id_;
+  rt_.route(id_, std::move(p));
+}
+
+void locality::deliver(parcel::parcel p) {
+  parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
+  // Establish locality context for the delivery path: on the fabric
+  // progress thread this makes sink-fired continuations (and anything they
+  // apply) run with the receiving locality as "here".  On a worker thread
+  // the destination equals the current locality, so the write is
+  // idempotent.
+  detail::set_this_locality(this);
+
+  // Ownership check for migratable kinds: if the object moved away and we
+  // were reached through a stale cache, forward toward the authoritative
+  // owner (bounded; each forward refreshes the sender-side cache).
+  const gas::gid dest = p.destination;
+  if (dest.kind() == gas::gid_kind::data ||
+      dest.kind() == gas::gid_kind::process) {
+    if (!has_object(dest)) {
+      const auto owner = rt_.gas().resolve_authoritative(id_, dest);
+      PX_ASSERT_MSG(owner.has_value(), "parcel for unbound object gid");
+      if (*owner != id_) {
+        PX_ASSERT_MSG(p.forwards < 8, "parcel forwarding loop");
+        p.forwards += 1;
+        parcels_forwarded_.fetch_add(1, std::memory_order_relaxed);
+        rt_.route(id_, std::move(p));
+        return;
+      }
+      // Authoritative owner is us but the object is gone: creation racing
+      // delivery; fall through and let the action handle or assert.
+    }
+  }
+  parcel::action_registry::global().dispatch(this, std::move(p));
+}
+
+locality_stats locality::stats() const {
+  locality_stats s;
+  s.parcels_sent = parcels_sent_.load(std::memory_order_relaxed);
+  s.parcels_delivered = parcels_delivered_.load(std::memory_order_relaxed);
+  s.parcels_forwarded = parcels_forwarded_.load(std::memory_order_relaxed);
+  s.threads_spawned = threads_spawned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace px::core

@@ -1,0 +1,112 @@
+// Locality: the ParalleX unit of guaranteed synchronous operation.
+//
+// Paper §2.2 "Locality": "the locus of resources that can be guaranteed to
+// operate synchronously and for which hardware can guarantee compound
+// atomic operations on local data elements".  Here a locality owns a
+// work-stealing scheduler (its execution sites), an object table (the local
+// partition of the global address space), an LCO sink table (single-shot
+// continuation targets such as future write-ends), and a parcel port on the
+// shared fabric.
+//
+// Threads are locality-bound: work crosses localities only as parcels.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "gas/gid.hpp"
+#include "parcel/parcel.hpp"
+#include "threads/scheduler.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::core {
+
+class runtime;
+
+struct locality_stats {
+  std::uint64_t parcels_sent = 0;
+  std::uint64_t parcels_delivered = 0;
+  std::uint64_t parcels_forwarded = 0;  // stale AGAS cache reroutes
+  std::uint64_t threads_spawned = 0;
+};
+
+class locality {
+ public:
+  locality(runtime& rt, gas::locality_id id,
+           threads::scheduler_params sched_params);
+
+  locality(const locality&) = delete;
+  locality& operator=(const locality&) = delete;
+
+  gas::locality_id id() const noexcept { return id_; }
+  runtime& rt() noexcept { return rt_; }
+  threads::scheduler& sched() noexcept { return sched_; }
+
+  // The typed hardware name of this locality in the global name space.
+  gas::gid here() const noexcept { return here_; }
+
+  // ------------------------------------------------------------- threads
+
+  // Spawns a ParalleX thread on this locality (establishes the
+  // this_locality() context for the thread).
+  void spawn(std::function<void()> fn);
+
+  // -------------------------------------------------------- object table
+
+  void put_object(gas::gid id, std::shared_ptr<void> object);
+  std::shared_ptr<void> get_object(gas::gid id) const;  // nullptr if absent
+  bool has_object(gas::gid id) const;
+  bool erase_object(gas::gid id);
+  std::size_t object_count() const;
+
+  // ----------------------------------------------------------- LCO sinks
+
+  // Registers a single-shot parcel target (e.g. a future's write end) and
+  // returns its gid; the sink is erased when fired.
+  gas::gid register_sink(std::function<void(parcel::parcel)> fire);
+  // Fires and erases; returns false for unknown/already-fired gids.
+  bool fire_sink(gas::gid id, parcel::parcel p);
+
+  // -------------------------------------------------------------- parcels
+
+  // Routes a parcel toward its destination (local fast path or fabric).
+  void send(parcel::parcel p);
+
+  // A parcel has arrived at this locality (from the fabric or the local
+  // fast path): verify ownership, forward if stale, else dispatch.
+  void deliver(parcel::parcel p);
+
+  locality_stats stats() const;
+
+ private:
+  friend class runtime;
+
+  runtime& rt_;
+  gas::locality_id id_;
+  gas::gid here_;
+  threads::scheduler sched_;
+
+  mutable util::spinlock objects_lock_;
+  std::unordered_map<gas::gid, std::shared_ptr<void>> objects_;
+
+  mutable util::spinlock sinks_lock_;
+  std::unordered_map<gas::gid, std::function<void(parcel::parcel)>> sinks_;
+
+  std::atomic<std::uint64_t> parcels_sent_{0};
+  std::atomic<std::uint64_t> parcels_delivered_{0};
+  std::atomic<std::uint64_t> parcels_forwarded_{0};
+  std::atomic<std::uint64_t> threads_spawned_{0};
+};
+
+// The locality whose scheduler runs the calling thread (set for ParalleX
+// threads and for parcel handlers), or nullptr on an unrelated OS thread.
+locality* this_locality() noexcept;
+
+namespace detail {
+void set_this_locality(locality* loc) noexcept;
+}
+
+}  // namespace px::core

@@ -1,0 +1,36 @@
+#include "core/percolation.hpp"
+
+namespace px::core {
+
+percolation_manager::percolation_manager(runtime& rt,
+                                         unsigned staging_slots_per_locality)
+    : rt_(rt), slots_per_locality_(staging_slots_per_locality) {
+  PX_ASSERT(staging_slots_per_locality >= 1);
+  for (std::size_t i = 0; i < rt_.num_localities(); ++i) {
+    slots_.push_back(std::make_unique<lco::counting_semaphore>(
+        staging_slots_per_locality));
+  }
+}
+
+void percolation_manager::acquire_slot(gas::locality_id target) {
+  PX_ASSERT(target < slots_.size());
+  lco::counting_semaphore& sem = *slots_[target];
+  if (!sem.try_acquire()) {
+    slot_waits_.fetch_add(1, std::memory_order_relaxed);
+    sem.acquire();
+  }
+}
+
+void percolation_manager::release_slot(gas::locality_id target) {
+  PX_ASSERT(target < slots_.size());
+  slots_[target]->release();
+}
+
+percolation_stats percolation_manager::stats() const {
+  percolation_stats s;
+  s.tasks_percolated = tasks_.load(std::memory_order_relaxed);
+  s.slot_waits = slot_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace px::core

@@ -1,0 +1,103 @@
+// Percolation: prestaging work and data at a precious compute resource.
+//
+// Paper §2.2 "Percolation": "a workflow strategy that employs ancillary
+// mechanisms to prestage data and tasks in high speed memory near the high
+// cost compute elements when a task is to be performed" — a parcel variant
+// whose target is *hardware*, devised (HTMT project) so the expensive
+// execution unit never stalls on remote fetches and never pays the
+// prestaging overhead itself (that is the difference from prefetching,
+// which the compute element issues and accounts for).
+//
+// Model: each locality owns a bounded staging area (task slots standing in
+// for staging memory).  percolate<Fn>(target, args...) (1) reserves a slot
+// at the target — parking the *source* thread when the area is full, which
+// is exactly the back-pressure a real prestaging engine applies upstream —
+// (2) ships task+operands in one parcel, and (3) releases the slot at the
+// target when the task retires.  The competing strategies measured by
+// PERC-1 (demand fetch; compute-element-issued prefetch) are built from the
+// ordinary apply/async API in the bench harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/locality.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+
+namespace px::core {
+
+struct percolation_stats {
+  std::uint64_t tasks_percolated = 0;
+  std::uint64_t slot_waits = 0;  // times a source stalled on a full area
+};
+
+class percolation_manager {
+ public:
+  percolation_manager(runtime& rt, unsigned staging_slots_per_locality);
+
+  unsigned staging_slots() const noexcept { return slots_per_locality_; }
+
+  // Reserves a staging slot at `target`; parks the calling ParalleX thread
+  // when the area is full.
+  void acquire_slot(gas::locality_id target);
+  void release_slot(gas::locality_id target);
+
+  void note_percolated() {
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  percolation_stats stats() const;
+
+ private:
+  runtime& rt_;
+  unsigned slots_per_locality_;
+  std::vector<std::unique_ptr<lco::counting_semaphore>> slots_;
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> slot_waits_{0};
+};
+
+namespace detail {
+
+// Wraps the user task so the staging slot is released at the *target* when
+// the task retires, whatever Fn returns.
+template <auto Fn, typename ArgsTuple>
+struct percolate_wrapper;
+
+template <auto Fn, typename... As>
+struct percolate_wrapper<Fn, std::tuple<As...>> {
+  using result_type = std::invoke_result_t<decltype(Fn), As...>;
+
+  static result_type run(As... args) {
+    locality* here = this_locality();
+    if constexpr (std::is_void_v<result_type>) {
+      Fn(std::move(args)...);
+      here->rt().percolation_mgr().release_slot(here->id());
+    } else {
+      result_type r = Fn(std::move(args)...);
+      here->rt().percolation_mgr().release_slot(here->id());
+      return r;
+    }
+  }
+};
+
+}  // namespace detail
+
+// Prestages Fn(args...) at `target`; returns the completion future.  Must
+// be called on a ParalleX thread (it may park for back-pressure).
+template <auto Fn, typename... Args>
+auto percolate(gas::locality_id target, Args&&... args) {
+  locality* here = this_locality();
+  PX_ASSERT_MSG(here != nullptr, "percolate outside a ParalleX thread");
+  runtime& rt = here->rt();
+  percolation_manager& pm = rt.percolation_mgr();
+  pm.acquire_slot(target);
+  pm.note_percolated();
+  using W = detail::percolate_wrapper<Fn, typename action<Fn>::args_tuple>;
+  return async_from<&W::run>(*here, rt.locality_gid(target),
+                             std::forward<Args>(args)...);
+}
+
+}  // namespace px::core

@@ -1,0 +1,55 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace px::core {
+
+process::process(runtime& rt, gas::gid id, std::vector<gas::locality_id> span)
+    : rt_(rt), id_(id), span_(std::move(span)) {
+  PX_ASSERT(!span_.empty());
+}
+
+void process::spawn(gas::locality_id where, std::function<void()> fn) {
+  PX_ASSERT_MSG(std::find(span_.begin(), span_.end(), where) != span_.end(),
+                "spawn outside the process span");
+  const std::int64_t prev =
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  PX_ASSERT_MSG(prev > 0, "spawn on a terminated process");
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  // The child holds a shared_ptr so the process outlives all its work.
+  rt_.at(where).spawn(
+      [self = shared_from_this(), fn = std::move(fn)]() mutable {
+        fn();
+        self->complete_one();
+      });
+}
+
+void process::spawn_any(std::function<void()> fn) {
+  const std::uint64_t slot =
+      next_placement_.fetch_add(1, std::memory_order_relaxed);
+  spawn(span_[slot % span_.size()], std::move(fn));
+}
+
+void process::seal() { complete_one(); }
+
+void process::complete_one() {
+  const std::int64_t prev =
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  PX_ASSERT(prev >= 1);
+  if (prev == 1) done_.set_value();
+}
+
+std::shared_ptr<process> create_process(runtime& rt,
+                                        std::vector<gas::locality_id> span) {
+  PX_ASSERT(!span.empty());
+  const gas::locality_id primary = span.front();
+  const gas::gid id = rt.gas().allocate(gas::gid_kind::process, primary);
+  rt.gas().bind(id, primary);
+  auto proc = std::make_shared<process>(rt, id, std::move(span));
+  rt.at(primary).put_object(id, proc);
+  return proc;
+}
+
+}  // namespace px::core

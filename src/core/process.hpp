@@ -1,0 +1,79 @@
+// Parallel processes: first-class process objects spanning localities.
+//
+// Paper §2.2 "Parallel Processes": a process "may have many parts, either
+// subprocesses or threads, running concurrently ... and distributed across
+// many execution sites", and — being object oriented — new work is created
+// by messages incident on the process.  Here a process is a gid-addressable
+// object whose child threads may run on any locality in its span; its
+// termination event is an LCO detected by activity counting (the creator
+// holds a token until seal(), children hold one each, the event fires when
+// the count drains — sound because counts live in one address space; a
+// distributed build would use Dijkstra–Scholten credits over parcels).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/locality.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+
+namespace px::core {
+
+class process : public std::enable_shared_from_this<process> {
+ public:
+  process(runtime& rt, gas::gid id, std::vector<gas::locality_id> span);
+
+  gas::gid id() const noexcept { return id_; }
+  const std::vector<gas::locality_id>& span() const noexcept { return span_; }
+  gas::locality_id primary() const noexcept { return span_.front(); }
+
+  // Spawns a tracked child thread at `where` (must be in the span).  Legal
+  // from any thread, including the process's own children (nesting).
+  void spawn(gas::locality_id where, std::function<void()> fn);
+
+  // Round-robin placement over the span.
+  void spawn_any(std::function<void()> fn);
+
+  // Invokes action Fn(args...) on every locality of the span (untracked
+  // fire-and-forget parcels; use spawn for tracked work).
+  template <auto Fn, typename... Args>
+  void broadcast(locality& from, Args&&... args) {
+    for (const auto where : span_) {
+      apply_from<Fn>(from, rt_.locality_gid(where), args...);
+    }
+  }
+
+  // Drops the creator's activity token: after this, the process terminates
+  // when the last child (and its descendants) retires.
+  void seal();
+
+  // Fires once the process has terminated.
+  lco::future<void> terminated() const { return done_.get_future(); }
+
+  std::uint64_t children_spawned() const noexcept {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void complete_one();
+
+  runtime& rt_;
+  gas::gid id_;
+  std::vector<gas::locality_id> span_;
+  std::atomic<std::int64_t> outstanding_{1};  // creator token
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> next_placement_{0};
+  lco::promise<void> done_;
+};
+
+// Creates a process spanning `span` (primary = span.front()), binds its gid
+// and registers the instance at the primary locality.
+std::shared_ptr<process> create_process(runtime& rt,
+                                        std::vector<gas::locality_id> span);
+
+}  // namespace px::core

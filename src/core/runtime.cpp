@@ -1,0 +1,187 @@
+#include "core/runtime.hpp"
+
+#include <mutex>
+
+#include "core/action.hpp"
+#include "core/echo.hpp"
+#include "core/percolation.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace px::core {
+
+// Built-in continuation target: fire a single-shot LCO sink.  Runs on the
+// fabric progress thread by design — firing a future is enqueue-only work
+// and skipping the thread spawn keeps continuation latency minimal.
+parcel::action_id sink_action_id() {
+  static const parcel::action_id id =
+      parcel::action_registry::global().register_action(
+          "px.sink", [](void* ctx, parcel::parcel p) {
+            auto* loc = static_cast<locality*>(ctx);
+            const bool fired = loc->fire_sink(p.destination, std::move(p));
+            PX_ASSERT_MSG(fired, "continuation parcel for unknown sink");
+          });
+  return id;
+}
+
+runtime::runtime(runtime_params params)
+    : params_(params), agas_(params.localities) {
+  PX_ASSERT(params_.localities >= 1);
+  params_.fabric.endpoints = params_.localities;
+
+  threads::scheduler_params sp;
+  sp.workers = params_.workers_per_locality;
+  sp.stack_bytes = params_.stack_bytes;
+
+  for (std::size_t i = 0; i < params_.localities; ++i) {
+    sp.seed = params_.seed + i * 0x9e3779b9u;
+    localities_.push_back(std::make_unique<locality>(
+        *this, static_cast<gas::locality_id>(i), sp));
+  }
+
+  // Bind the typed hardware name of each locality and expose it in the
+  // symbolic namespace ("hw/locality/<i>").
+  for (std::size_t i = 0; i < params_.localities; ++i) {
+    const auto lid = static_cast<gas::locality_id>(i);
+    const gas::gid g = agas_.allocate(gas::gid_kind::hardware, lid);
+    agas_.bind(g, lid);
+    locality_gids_.push_back(g);
+    localities_[i]->here_ = g;
+    names_.register_name("hw/locality/" + std::to_string(i), g);
+  }
+
+  fabric_ = std::make_unique<net::fabric>(params_.fabric);
+  for (std::size_t i = 0; i < params_.localities; ++i) {
+    fabric_->set_handler(static_cast<net::endpoint_id>(i),
+                         [this](net::message m) {
+                           deliver_from_fabric(std::move(m));
+                         });
+  }
+
+  echo_ = std::make_unique<echo_manager>(*this);
+  percolation_ = std::make_unique<percolation_manager>(
+      *this, params_.staging_slots_per_locality);
+}
+
+runtime::~runtime() {
+  if (started_) stop();
+}
+
+void runtime::start() {
+  PX_ASSERT_MSG(!started_, "runtime started twice");
+  for (auto& loc : localities_) loc->sched_.start();
+  started_ = true;
+  PX_LOG_INFO("parallex runtime up: %zu localities x %u workers",
+              localities_.size(), params_.workers_per_locality);
+}
+
+void runtime::stop() {
+  if (!started_) return;
+  wait_quiescent();
+  for (auto& loc : localities_) loc->sched_.stop();
+  started_ = false;
+}
+
+locality& runtime::at(gas::locality_id id) {
+  PX_ASSERT(id < localities_.size());
+  return *localities_[id];
+}
+
+gas::gid runtime::locality_gid(gas::locality_id id) const {
+  PX_ASSERT(id < locality_gids_.size());
+  return locality_gids_[id];
+}
+
+gas::locality_id runtime::owner_of(gas::locality_id from, gas::gid id) {
+  // LCO sinks and hardware names never migrate: the home *is* the owner.
+  // Data/process objects go through AGAS (cache, then home directory).
+  if (id.kind() == gas::gid_kind::lco ||
+      id.kind() == gas::gid_kind::hardware) {
+    return id.home();
+  }
+  const auto owner = agas_.resolve(from, id);
+  return owner.value_or(gas::invalid_locality);
+}
+
+void runtime::route(gas::locality_id from, parcel::parcel p) {
+  const gas::locality_id owner = owner_of(from, p.destination);
+  PX_ASSERT_MSG(owner != gas::invalid_locality,
+                "route: destination gid is unbound");
+  if (owner == from) {
+    // Local fast path: intra-locality parcels do not touch the fabric
+    // (the locality is the synchronous domain; its internal latency is
+    // the scheduler's, not the network's).
+    at(owner).deliver(std::move(p));
+    return;
+  }
+  net::message m;
+  m.source = from;
+  m.dest = owner;
+  m.payload = parcel::encode(p);
+  fabric_->send(std::move(m));
+}
+
+void runtime::deliver_from_fabric(net::message m) {
+  parcel::parcel p = parcel::decode(m.payload);
+  at(m.dest).deliver(std::move(p));
+}
+
+void runtime::wait_quiescent() {
+  // Fixed point: every scheduler idle AND no parcel in flight.  A drained
+  // fabric can re-populate schedulers (handlers spawn threads) and idle
+  // schedulers can re-populate the fabric, so loop until a pass observes
+  // both conditions with no intervening activity.
+  for (;;) {
+    for (auto& loc : localities_) loc->sched_.wait_quiescent();
+    fabric_->drain();
+    bool stable = fabric_->in_flight() == 0;
+    for (auto& loc : localities_) {
+      stable = stable && loc->sched_.live_threads() == 0;
+    }
+    if (stable) return;
+  }
+}
+
+void runtime::run(std::function<void()> root) {
+  if (!started_) start();
+  at(0).spawn(std::move(root));
+  wait_quiescent();
+}
+
+namespace {
+
+// Built-in action: pop a stashed closure and run it as a thread here.
+void run_stashed_closure(std::uint64_t key);
+PX_REGISTER_ACTION_AS(run_stashed_closure, "px.run_stashed")
+
+void run_stashed_closure(std::uint64_t key) {
+  locality* here = this_locality();
+  here->rt().run_stashed(key);
+}
+
+}  // namespace
+
+void runtime::remote_spawn(locality& from, gas::locality_id where,
+                           std::function<void()> fn) {
+  std::uint64_t key;
+  {
+    std::lock_guard lock(closures_lock_);
+    key = next_closure_.fetch_add(1, std::memory_order_relaxed);
+    closures_.emplace(key, std::move(fn));
+  }
+  apply_from<&run_stashed_closure>(from, locality_gid(where), key);
+}
+
+void runtime::run_stashed(std::uint64_t key) {
+  std::function<void()> fn;
+  {
+    std::lock_guard lock(closures_lock_);
+    const auto it = closures_.find(key);
+    PX_ASSERT_MSG(it != closures_.end(), "unknown stashed closure");
+    fn = std::move(it->second);
+    closures_.erase(it);
+  }
+  fn();
+}
+
+}  // namespace px::core

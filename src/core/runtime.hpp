@@ -1,0 +1,156 @@
+// The ParalleX runtime: localities + AGAS + parcel fabric + lifecycle.
+//
+// One runtime models a whole machine: K localities (each a scheduler
+// domain) connected by a latency-modelled fabric.  The runtime owns the
+// global services — AGAS directory, symbolic name service, echo manager,
+// percolation staging — and the system-wide quiescence protocol used for
+// clean shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/locality.hpp"
+#include "gas/agas.hpp"
+#include "gas/name_service.hpp"
+#include "net/fabric.hpp"
+#include "parcel/action_registry.hpp"
+#include "parcel/parcel.hpp"
+#include "util/config.hpp"
+
+namespace px::core {
+
+class echo_manager;
+class percolation_manager;
+
+struct runtime_params {
+  std::size_t localities = 4;
+  unsigned workers_per_locality = 1;
+  std::size_t stack_bytes = 64 * 1024;
+  unsigned staging_slots_per_locality = 16;  // percolation staging depth
+  // Fabric physics; `endpoints` is overwritten with `localities`.
+  net::fabric_params fabric{};
+  std::uint64_t seed = 7;
+};
+
+class runtime {
+ public:
+  explicit runtime(runtime_params params = {});
+  ~runtime();
+
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  void start();
+  void stop();
+  bool started() const noexcept { return started_; }
+
+  std::size_t num_localities() const noexcept { return localities_.size(); }
+  locality& at(gas::locality_id id);
+  const runtime_params& params() const noexcept { return params_; }
+
+  gas::agas& gas() noexcept { return agas_; }
+  gas::name_service& names() noexcept { return names_; }
+  net::fabric& fabric() noexcept { return *fabric_; }
+  echo_manager& echo_mgr() noexcept { return *echo_; }
+  percolation_manager& percolation_mgr() noexcept { return *percolation_; }
+
+  // The typed hardware gid naming locality `id` (paper: hardware resources
+  // are first-class named entities).
+  gas::gid locality_gid(gas::locality_id id) const;
+
+  // Routes a parcel from locality `from` toward its destination's current
+  // owner.  Local destinations dispatch without touching the fabric.
+  void route(gas::locality_id from, parcel::parcel p);
+
+  // Owner locality for a destination gid as seen from `from` (LCO/hardware
+  // gids never migrate: owner == home).
+  gas::locality_id owner_of(gas::locality_id from, gas::gid id);
+
+  // Blocks until every scheduler is quiescent and the fabric is drained —
+  // i.e. no thread, parcel, or pending wakeup exists anywhere.
+  void wait_quiescent();
+
+  // Ships a closure to `where` as a parcel (paying fabric latency) and runs
+  // it there as a ParalleX thread.  The closure body itself is passed by
+  // reference through the shared address space — an in-process shortcut; the
+  // *control transfer* is what is modeled.  Prefer typed actions (apply/
+  // async) for anything measured; this exists for control-plane work and
+  // the LITL-X layer.
+  void remote_spawn(locality& from, gas::locality_id where,
+                    std::function<void()> fn);
+
+  // Internal: executes a closure stashed by remote_spawn (built-in action).
+  void run_stashed(std::uint64_t key);
+
+  // Convenience driver: start if needed, run `root` on locality 0, wait
+  // for global quiescence.
+  void run(std::function<void()> root);
+
+  // ------------------------------------------------- global object API
+
+  // Constructs a T at locality `where`, binds a fresh data gid.
+  template <typename T, typename... Args>
+  gas::gid new_object(gas::locality_id where, Args&&... args) {
+    auto obj = std::make_shared<T>(std::forward<Args>(args)...);
+    const gas::gid id = agas_.allocate(gas::gid_kind::data, where);
+    agas_.bind(id, where);
+    at(where).put_object(id, std::move(obj));
+    return id;
+  }
+
+  // Local pointer to an object owned by locality `where`; nullptr when the
+  // object is not (or no longer) there.
+  template <typename T>
+  std::shared_ptr<T> get_local(gas::locality_id where, gas::gid id) {
+    return std::static_pointer_cast<T>(at(where).get_object(id));
+  }
+
+  // Moves a serializable object to `to`, updating AGAS.  Parcels routed on
+  // stale caches are forwarded by the delivery path.
+  template <typename T>
+  void migrate_object(gas::gid id, gas::locality_id to);
+
+ private:
+  friend class locality;
+
+  void deliver_from_fabric(net::message m);
+
+  runtime_params params_;
+  gas::agas agas_;
+  gas::name_service names_;
+  std::unique_ptr<net::fabric> fabric_;
+  std::vector<std::unique_ptr<locality>> localities_;
+  std::vector<gas::gid> locality_gids_;
+  std::unique_ptr<echo_manager> echo_;
+  std::unique_ptr<percolation_manager> percolation_;
+
+  // Closure stash for remote_spawn parcels.
+  util::spinlock closures_lock_;
+  std::unordered_map<std::uint64_t, std::function<void()>> closures_;
+  std::atomic<std::uint64_t> next_closure_{1};
+
+  bool started_ = false;
+};
+
+template <typename T>
+void runtime::migrate_object(gas::gid id, gas::locality_id to) {
+  // Synchronous control-plane migration: extract at the current owner,
+  // rebind, implant at the destination.  Data-plane traffic racing with
+  // the move is healed by delivery-path forwarding.
+  const auto resolved = agas_.resolve_authoritative(to, id);
+  PX_ASSERT_MSG(resolved.has_value(), "migrate of unbound gid");
+  const gas::locality_id owner = *resolved;
+  auto obj = std::static_pointer_cast<T>(at(owner).get_object(id));
+  PX_ASSERT_MSG(obj != nullptr, "migrate: object not at resolved owner");
+  at(owner).erase_object(id);
+  agas_.migrate(id, to);
+  at(to).put_object(id, std::move(obj));
+}
+
+}  // namespace px::core

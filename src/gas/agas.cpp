@@ -1,0 +1,125 @@
+#include "gas/agas.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace px::gas {
+
+std::string gid::to_string() const {
+  static constexpr const char* kKinds[] = {"data", "action", "lco", "process",
+                                           "hardware"};
+  const auto k = static_cast<std::size_t>(kind());
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "gid{%s L%u #%llu}",
+                k < 5 ? kKinds[k] : "?", home(),
+                static_cast<unsigned long long>(sequence()));
+  return buf;
+}
+
+agas::agas(std::size_t localities)
+    : shards_(localities), caches_(localities) {
+  PX_ASSERT(localities >= 1 && localities <= 4096);
+}
+
+agas::shard& agas::home_shard(gid id) {
+  const locality_id home = id.home();
+  PX_ASSERT(home < shards_.size());
+  return *shards_[home];
+}
+
+const agas::shard& agas::home_shard(gid id) const {
+  const locality_id home = id.home();
+  PX_ASSERT(home < shards_.size());
+  return *shards_[home];
+}
+
+gid agas::allocate(gid_kind kind, locality_id home) {
+  PX_ASSERT(home < shards_.size());
+  const std::uint64_t seq =
+      shards_[home]->next_sequence.fetch_add(1, std::memory_order_relaxed);
+  return gid::make(kind, home, seq);
+}
+
+void agas::bind(gid id, locality_id owner) {
+  PX_ASSERT(id.valid());
+  PX_ASSERT(owner < shards_.size());
+  shard& s = home_shard(id);
+  std::lock_guard lock(s.lock);
+  auto [it, inserted] = s.entries.try_emplace(id);
+  PX_ASSERT_MSG(inserted, "gid bound twice");
+  it->second.owner = owner;
+  it->second.version = 1;
+  binds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void agas::unbind(gid id) {
+  shard& s = home_shard(id);
+  std::lock_guard lock(s.lock);
+  s.entries.erase(id);
+}
+
+std::optional<locality_id> agas::resolve(locality_id asking, gid id) {
+  PX_ASSERT(asking < caches_.size());
+  {
+    cache& c = *caches_[asking];
+    std::lock_guard lock(c.lock);
+    const auto it = c.entries.find(id);
+    if (it != c.entries.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  return resolve_authoritative(asking, id);
+}
+
+std::optional<locality_id> agas::resolve_authoritative(locality_id asking,
+                                                       gid id) {
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  locality_id owner = invalid_locality;
+  {
+    shard& s = home_shard(id);
+    std::lock_guard lock(s.lock);
+    const auto it = s.entries.find(id);
+    if (it == s.entries.end()) return std::nullopt;
+    owner = it->second.owner;
+  }
+  {
+    cache& c = *caches_[asking];
+    std::lock_guard lock(c.lock);
+    auto [it, inserted] = c.entries.insert_or_assign(id, owner);
+    (void)it;
+    if (!inserted) stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return owner;
+}
+
+void agas::migrate(gid id, locality_id new_owner) {
+  PX_ASSERT(new_owner < shards_.size());
+  shard& s = home_shard(id);
+  std::lock_guard lock(s.lock);
+  const auto it = s.entries.find(id);
+  PX_ASSERT_MSG(it != s.entries.end(), "migrate of unbound gid");
+  it->second.owner = new_owner;
+  it->second.version += 1;
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void agas::invalidate_cache(locality_id asking, gid id) {
+  cache& c = *caches_[asking];
+  std::lock_guard lock(c.lock);
+  c.entries.erase(id);
+}
+
+agas_stats agas::stats() const {
+  agas_stats st;
+  st.binds = binds_.load(std::memory_order_relaxed);
+  st.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  st.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  st.migrations = migrations_.load(std::memory_order_relaxed);
+  st.stale_refreshes = stale_refreshes_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace px::gas

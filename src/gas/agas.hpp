@@ -1,0 +1,100 @@
+// Active Global Address Space: gid -> current-owner resolution with
+// migration support.
+//
+// The authority for a gid is the *directory shard of its home locality*
+// (encoded in the gid).  Every locality keeps a private resolution cache;
+// caches are not coherently invalidated on migration — a parcel routed on a
+// stale cache arrives at the old owner, which detects the miss and forwards
+// (the runtime layer does the forwarding; this class supplies authoritative
+// re-resolution and cache refresh).  This is the paper's "efficient address
+// translation ... in the presence of dynamic object distribution" without
+// requiring global coherence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "util/cache.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::gas {
+
+struct agas_stats {
+  std::uint64_t binds = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;  // authoritative directory lookups
+  std::uint64_t migrations = 0;
+  std::uint64_t stale_refreshes = 0;
+};
+
+class agas {
+ public:
+  explicit agas(std::size_t localities);
+
+  std::size_t localities() const noexcept { return shards_.size(); }
+
+  // Allocates a fresh gid homed at `home` (directory entry not yet bound).
+  gid allocate(gid_kind kind, locality_id home);
+
+  // Binds gid to its initial owner locality.  Usually owner == home, but
+  // the model permits binding elsewhere from the start.
+  void bind(gid id, locality_id owner);
+
+  // Removes the directory entry (object destroyed).
+  void unbind(gid id);
+
+  // Resolution as seen from `asking` locality: cache first, then the home
+  // directory.  Returns nullopt for unbound gids.
+  std::optional<locality_id> resolve(locality_id asking, gid id);
+
+  // Bypasses the cache, consults the home directory, refreshes the asking
+  // locality's cache.  Used by the runtime when a parcel arrived at a
+  // locality that no longer owns the object (stale-cache forward).
+  std::optional<locality_id> resolve_authoritative(locality_id asking, gid id);
+
+  // Moves ownership to `new_owner` (version bump).  Stale caches remain
+  // until lazily refreshed.
+  void migrate(gid id, locality_id new_owner);
+
+  // Drops a cached translation (e.g. after the runtime observed it stale).
+  void invalidate_cache(locality_id asking, gid id);
+
+  agas_stats stats() const;
+
+ private:
+  struct directory_entry {
+    locality_id owner = invalid_locality;
+    std::uint64_t version = 0;
+  };
+
+  // One shard per home locality; the shard holds every gid homed there.
+  struct shard {
+    util::spinlock lock;
+    std::unordered_map<gid, directory_entry> entries;
+    std::atomic<std::uint64_t> next_sequence{1};
+  };
+
+  // Per-locality private cache.
+  struct cache {
+    util::spinlock lock;
+    std::unordered_map<gid, locality_id> entries;
+  };
+
+  shard& home_shard(gid id);
+  const shard& home_shard(gid id) const;
+
+  std::vector<util::padded<shard>> shards_;
+  std::vector<util::padded<cache>> caches_;
+
+  std::atomic<std::uint64_t> binds_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> stale_refreshes_{0};
+};
+
+}  // namespace px::gas

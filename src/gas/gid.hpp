@@ -1,0 +1,92 @@
+// Global identifiers for the ParalleX global name space.
+//
+// Paper §2.2 "Global name space": any first-class object — data, actions,
+// LCOs, processes, and even hardware resources — is remotely identifiable.
+// A gid encodes the object's *kind*, its *home* locality (whose directory is
+// the authority for its current placement; objects may migrate away from
+// home), and a sequence number unique within that home.
+//
+// Layout (64 bits):  [63:60 kind] [59:48 home locality] [47:0 sequence]
+// => 16 kinds, 4096 localities, 2^48 objects per locality — ample for an
+// in-process model while keeping gids trivially copyable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace px::gas {
+
+using locality_id = std::uint32_t;
+
+inline constexpr locality_id invalid_locality = 0xffffffffu;
+
+// First-class entity kinds.  `hardware` realizes the paper's "hardware
+// resources have their own names (typed)".
+enum class gid_kind : std::uint8_t {
+  data = 0,       // plain global object
+  action = 1,     // named task entry point
+  lco = 2,        // synchronization object
+  process = 3,    // parallel process instance
+  hardware = 4,   // typed hardware resource (memory bank, accelerator, ...)
+};
+
+class gid {
+ public:
+  constexpr gid() = default;
+
+  static constexpr gid make(gid_kind kind, locality_id home,
+                            std::uint64_t sequence) noexcept {
+    return gid((static_cast<std::uint64_t>(kind) << 60) |
+               ((static_cast<std::uint64_t>(home) & 0xfffull) << 48) |
+               (sequence & 0xffffffffffffull));
+  }
+
+  static constexpr gid from_bits(std::uint64_t bits) noexcept {
+    return gid(bits);
+  }
+
+  constexpr bool valid() const noexcept { return bits_ != 0; }
+  constexpr gid_kind kind() const noexcept {
+    return static_cast<gid_kind>(bits_ >> 60);
+  }
+  constexpr locality_id home() const noexcept {
+    return static_cast<locality_id>((bits_ >> 48) & 0xfff);
+  }
+  constexpr std::uint64_t sequence() const noexcept {
+    return bits_ & 0xffffffffffffull;
+  }
+  constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+  friend constexpr bool operator==(gid a, gid b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(gid a, gid b) noexcept {
+    return a.bits_ != b.bits_;
+  }
+  friend constexpr bool operator<(gid a, gid b) noexcept {
+    return a.bits_ < b.bits_;
+  }
+
+  std::string to_string() const;
+
+  // Archive support (see util/serialize.hpp).
+  template <typename Ar>
+  friend void serialize(Ar& ar, gid& g) {
+    ar& g.bits_;
+  }
+
+ private:
+  explicit constexpr gid(std::uint64_t bits) : bits_(bits) {}
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace px::gas
+
+template <>
+struct std::hash<px::gas::gid> {
+  std::size_t operator()(px::gas::gid g) const noexcept {
+    // Fibonacci scramble: sequences are dense small integers.
+    return static_cast<std::size_t>(g.bits() * 0x9e3779b97f4a7c15ull);
+  }
+};

@@ -1,0 +1,66 @@
+#include "gas/name_service.hpp"
+
+#include <cctype>
+#include <mutex>
+
+namespace px::gas {
+
+bool name_service::valid_path(std::string_view path) {
+  if (path.empty() || path.front() == '/' || path.back() == '/') return false;
+  bool prev_slash = false;
+  for (const char c : path) {
+    if (c == '/') {
+      if (prev_slash) return false;  // empty segment
+      prev_slash = true;
+      continue;
+    }
+    prev_slash = false;
+    if (!std::isprint(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool name_service::register_name(std::string_view path, gid id) {
+  if (!valid_path(path) || !id.valid()) return false;
+  std::lock_guard lock(lock_);
+  return bindings_.emplace(std::string(path), id).second;
+}
+
+bool name_service::unregister_name(std::string_view path) {
+  std::lock_guard lock(lock_);
+  const auto it = bindings_.find(path);
+  if (it == bindings_.end()) return false;
+  bindings_.erase(it);
+  return true;
+}
+
+std::optional<gid> name_service::lookup(std::string_view path) const {
+  std::lock_guard lock(lock_);
+  const auto it = bindings_.find(path);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, gid>> name_service::list(
+    std::string_view prefix) const {
+  std::vector<std::pair<std::string, gid>> out;
+  std::lock_guard lock(lock_);
+  for (auto it = bindings_.lower_bound(prefix); it != bindings_.end(); ++it) {
+    const std::string& path = it->first;
+    if (path.compare(0, prefix.size(), prefix) != 0) break;
+    // Segment boundary: exact match or '/' right after the prefix.
+    if (path.size() > prefix.size() && !prefix.empty() &&
+        path[prefix.size()] != '/') {
+      continue;
+    }
+    out.emplace_back(path, it->second);
+  }
+  return out;
+}
+
+std::size_t name_service::size() const {
+  std::lock_guard lock(lock_);
+  return bindings_.size();
+}
+
+}  // namespace px::gas

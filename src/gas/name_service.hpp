@@ -1,0 +1,46 @@
+// Hierarchical symbolic namespace over gids.
+//
+// Paper §2.2: objects are "remotely identified efficiently through a
+// hierarchical naming structure".  Paths are slash-separated UTF-8 segments
+// ("app/graph/node42"); each registration binds a leaf path to a gid, and
+// prefix queries enumerate a subtree — the pattern knowledge-management
+// workloads (directed graphs, semantic nets) use to discover objects.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::gas {
+
+class name_service {
+ public:
+  // Binds path -> id.  Returns false when the path is already taken.
+  bool register_name(std::string_view path, gid id);
+
+  // Removes a binding; returns false when absent.
+  bool unregister_name(std::string_view path);
+
+  std::optional<gid> lookup(std::string_view path) const;
+
+  // All bindings whose path starts with `prefix` followed by end-of-path or
+  // '/' (so "app/gr" does NOT match "app/graph/x" but "app/graph" does).
+  std::vector<std::pair<std::string, gid>> list(std::string_view prefix) const;
+
+  std::size_t size() const;
+
+  // Validates segment structure: non-empty segments, no leading/trailing
+  // slash, printable characters.
+  static bool valid_path(std::string_view path);
+
+ private:
+  mutable util::spinlock lock_;
+  std::map<std::string, gid, std::less<>> bindings_;
+};
+
+}  // namespace px::gas

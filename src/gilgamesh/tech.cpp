@@ -1,0 +1,80 @@
+#include "gilgamesh/tech.hpp"
+
+#include <cmath>
+
+namespace px::gilgamesh {
+
+design_point::design_point(const technology_params& t) : tech(t) {
+  mind_nodes_per_chip = t.pim_modules_per_chip * t.mind_nodes_per_pim;
+
+  mind_tflops_per_chip = static_cast<double>(mind_nodes_per_chip) *
+                         t.mind_clock_ghz * t.mind_flops_per_clock / 1e3;
+  dataflow_tflops_per_chip = static_cast<double>(t.dataflow_alus) *
+                             t.dataflow_clock_ghz * t.dataflow_flops_per_clock *
+                             t.dataflow_sustained_fraction / 1e3;
+  chip_sustained_tflops = mind_tflops_per_chip + dataflow_tflops_per_chip;
+  chip_peak_tflops = mind_tflops_per_chip +
+                     dataflow_tflops_per_chip * t.dataflow_peak_multiplier;
+  chip_memory_gbytes =
+      static_cast<double>(mind_nodes_per_chip) * t.mind_memory_mbytes / 1024.0;
+  chip_watts = static_cast<double>(mind_nodes_per_chip) * t.mind_watts +
+               t.dataflow_watts + t.chip_overhead_watts;
+
+  const auto chips = static_cast<double>(t.compute_chips);
+  system_sustained_pflops = chip_sustained_tflops * chips / 1e3;
+  system_peak_pflops = chip_peak_tflops * chips / 1e3;
+  pim_memory_pbytes = chip_memory_gbytes * chips / 1e6;
+  penultimate_pbytes = t.penultimate_gbytes_per_chip *
+                       static_cast<double>(t.penultimate_chips) / 1e6;
+  total_memory_pbytes = pim_memory_pbytes + penultimate_pbytes;
+  system_megawatts =
+      (chip_watts * chips +
+       t.penultimate_watts_per_chip * static_cast<double>(t.penultimate_chips)) /
+      1e6;
+  vortex_diameter_hops = std::ceil(std::log2(chips));
+  bisection_tbytes_per_s =
+      t.vortex_port_gbytes_per_s * chips / 2.0 / 1e3;
+}
+
+util::text_table design_point_table(const design_point& dp) {
+  util::text_table t({"quantity", "paper claim", "model value", "unit"});
+  t.add_row("compute chips", "100,000",
+            static_cast<std::int64_t>(dp.tech.compute_chips), "chips");
+  t.add_row("MIND nodes / chip", "16 PIM x 32 = 512",
+            static_cast<std::int64_t>(dp.mind_nodes_per_chip), "nodes");
+  t.add_row("chip sustained", "~10", dp.chip_sustained_tflops, "TFLOPS");
+  t.add_row("chip theoretical peak", "substantially higher",
+            dp.chip_peak_tflops, "TFLOPS");
+  t.add_row("system peak", "> 1000 (1 EF)", dp.system_peak_pflops, "PFLOPS");
+  t.add_row("system sustained", "--", dp.system_sustained_pflops, "PFLOPS");
+  t.add_row("PIM (MIND) memory", "main memory", dp.pim_memory_pbytes, "PB");
+  t.add_row("penultimate store chips", "100,000",
+            static_cast<std::int64_t>(dp.tech.penultimate_chips), "chips");
+  t.add_row("penultimate store", "DRAM backing", dp.penultimate_pbytes, "PB");
+  t.add_row("total memory", "4", dp.total_memory_pbytes, "PB");
+  t.add_row("system power", "--", dp.system_megawatts, "MW");
+  t.add_row("Data Vortex diameter", "low-diameter", dp.vortex_diameter_hops,
+            "hops");
+  t.add_row("bisection bandwidth", "--", dp.bisection_tbytes_per_s, "TB/s");
+  return t;
+}
+
+util::text_table chip_composition_table(const design_point& dp) {
+  const auto& t = dp.tech;
+  util::text_table out({"unit", "count", "clock (GHz)", "contribution"});
+  out.add_row("dataflow accelerator ALUs",
+              static_cast<std::int64_t>(t.dataflow_alus),
+              t.dataflow_clock_ghz,
+              util::si_format(dp.dataflow_tflops_per_chip * 1e12, "FLOPS"));
+  out.add_row("PIM modules", static_cast<std::int64_t>(t.pim_modules_per_chip),
+              t.mind_clock_ghz, "memory + MIND hosts");
+  out.add_row("MIND nodes",
+              static_cast<std::int64_t>(dp.mind_nodes_per_chip),
+              t.mind_clock_ghz,
+              util::si_format(dp.mind_tflops_per_chip * 1e12, "FLOPS"));
+  out.add_row("on-chip memory", static_cast<std::int64_t>(dp.mind_nodes_per_chip),
+              0.0, util::si_format(dp.chip_memory_gbytes * 1e9, "B"));
+  return out;
+}
+
+}  // namespace px::gilgamesh

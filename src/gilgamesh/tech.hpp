@@ -1,0 +1,94 @@
+// Gilgamesh II design-point technology model.
+//
+// Paper §3: a point design for a 2020 technology target, validating the
+// ParalleX execution model in silicon.  The stated composition and claims:
+//
+//   * each chip: heterogeneous — one streaming dataflow accelerator (many
+//     ALUs on local registers + 4-way multiplexers) and 16 PIM modules,
+//     each with 32 MIND nodes (in-memory threads, short latency, very high
+//     memory bandwidth);
+//   * "each chip is capable of approximately 10 Teraflops although the
+//     theoretical peak is substantially higher";
+//   * "a peak performance in excess of 1 Exaflops is achievable with 100K
+//     chips";
+//   * main memory in the MIND modules plus a DRAM "Penultimate Store" on
+//     an additional 100K chips for "a total memory storage of 4 Petabytes";
+//   * interconnect: the Data Vortex network.
+//
+// The calculator derives the system-level figures from per-unit technology
+// parameters, so the arithmetic consistency of the design point (DP-1) is
+// reproducible and auditable rather than quoted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace px::gilgamesh {
+
+struct technology_params {
+  int target_year = 2020;
+
+  // --- MIND (processor-in-memory) nodes ---
+  unsigned pim_modules_per_chip = 16;
+  unsigned mind_nodes_per_pim = 32;
+  double mind_clock_ghz = 1.0;
+  double mind_flops_per_clock = 2.0;  // fused multiply-add
+  double mind_memory_mbytes = 8.0;    // embedded DRAM per MIND node
+  double mind_mem_gbytes_per_s = 8.0; // local bandwidth per node
+  double mind_watts = 0.15;
+
+  // --- streaming dataflow accelerator ---
+  unsigned dataflow_alus = 2048;
+  double dataflow_clock_ghz = 2.2;
+  double dataflow_flops_per_clock = 2.0;  // FMA per ALU
+  double dataflow_sustained_fraction = 1.0;  // at high temporal locality
+  double dataflow_peak_multiplier = 2.0;  // dual-issue theoretical peak
+  double dataflow_watts = 60.0;
+
+  // --- system composition ---
+  std::uint64_t compute_chips = 100'000;
+  std::uint64_t penultimate_chips = 100'000;
+  double penultimate_gbytes_per_chip = 36.0;  // DRAM backing store
+  double penultimate_watts_per_chip = 20.0;
+  double chip_overhead_watts = 15.0;  // network, clocking, leakage
+
+  // --- Data Vortex interconnect ---
+  double vortex_hop_ns = 5.0;
+  double vortex_port_gbytes_per_s = 40.0;
+};
+
+// Derived design-point figures (all arithmetic from technology_params).
+struct design_point {
+  explicit design_point(const technology_params& t = {});
+
+  technology_params tech;
+
+  // per chip
+  unsigned mind_nodes_per_chip;
+  double mind_tflops_per_chip;      // PIM aggregate
+  double dataflow_tflops_per_chip;  // accelerator sustained
+  double chip_sustained_tflops;     // ~10 TF claim
+  double chip_peak_tflops;          // "substantially higher"
+  double chip_memory_gbytes;        // PIM memory
+  double chip_watts;
+
+  // system
+  double system_sustained_pflops;
+  double system_peak_pflops;        // > 1 EF = 1000 PF claim
+  double pim_memory_pbytes;
+  double penultimate_pbytes;
+  double total_memory_pbytes;       // 4 PB claim
+  double system_megawatts;
+  double vortex_diameter_hops;      // log2(compute chips)
+  double bisection_tbytes_per_s;
+};
+
+// Renders the DP-1 reproduction table.
+util::text_table design_point_table(const design_point& dp);
+
+// Chip composition table (Figure 1 inventory).
+util::text_table chip_composition_table(const design_point& dp);
+
+}  // namespace px::gilgamesh

@@ -1,0 +1,196 @@
+#include "gilgamesh/vortex.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace px::gilgamesh {
+
+network_model::network_model(network_params params) : params_(params) {
+  PX_ASSERT(params_.nodes >= 2);
+}
+
+namespace {
+
+// Route of intermediate router indices (into a per-topology router pool)
+// for a message a -> b.
+std::vector<std::size_t> route_of(const network_params& np, std::uint32_t a,
+                                  std::uint32_t b) {
+  std::vector<std::size_t> route;
+  switch (np.topology) {
+    case net::topology_kind::crossbar:
+      break;  // direct: no intermediate stage
+    case net::topology_kind::mesh2d: {
+      const auto side = static_cast<std::uint32_t>(
+          std::ceil(std::sqrt(static_cast<double>(np.nodes))));
+      std::uint32_t x = a % side, y = a / side;
+      const std::uint32_t bx = b % side, by = b / side;
+      // Dimension-ordered XY: traverse the router of every intermediate
+      // node (including the turn node, excluding source and destination).
+      while (x != bx) {
+        x = x < bx ? x + 1 : x - 1;
+        route.push_back(y * side + x);
+      }
+      while (y != by) {
+        y = y < by ? y + 1 : y - 1;
+        route.push_back(y * side + x);
+      }
+      if (!route.empty()) route.pop_back();  // last hop is the ejection port
+      break;
+    }
+    case net::topology_kind::vortex: {
+      const auto levels = static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(np.nodes))));
+      // Angle selection per level: full diversity (one router per node per
+      // level); deflection routing spreads flows across angles.
+      for (std::size_t lvl = 0; lvl < levels; ++lvl) {
+        const std::uint64_t mix =
+            (static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ull) ^
+            (static_cast<std::uint64_t>(b) << 17) ^ (lvl * 0xbf58476d1ce4e5b9ull);
+        route.push_back((lvl * np.nodes) + (mix % np.nodes));
+      }
+      break;
+    }
+  }
+  return route;
+}
+
+std::size_t router_pool_size(const network_params& np) {
+  switch (np.topology) {
+    case net::topology_kind::crossbar:
+      return 0;
+    case net::topology_kind::mesh2d: {
+      // Full side*side grid: XY routes may pass through grid positions
+      // beyond the last populated node id.
+      const auto side = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(np.nodes))));
+      return side * side;
+    }
+    case net::topology_kind::vortex: {
+      const auto levels = static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(np.nodes))));
+      return levels * np.nodes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+network_result network_model::run(const traffic_params& traffic) const {
+  sim::engine eng;
+  const std::size_t n = params_.nodes;
+
+  std::vector<std::unique_ptr<sim::resource>> inject;
+  std::vector<std::unique_ptr<sim::resource>> eject;
+  std::vector<std::unique_ptr<sim::resource>> routers;
+  inject.reserve(n);
+  eject.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inject.push_back(std::make_unique<sim::resource>(eng, 1));
+    eject.push_back(std::make_unique<sim::resource>(eng, 1));
+  }
+  const std::size_t pool = router_pool_size(params_);
+  routers.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    routers.push_back(std::make_unique<sim::resource>(eng, 1));
+  }
+
+  const auto port_service = static_cast<sim::time_ps>(
+      static_cast<double>(traffic.message_bytes) / params_.port_bytes_per_ns *
+      sim::ns);
+  const auto router_service = static_cast<sim::time_ps>(
+      static_cast<double>(traffic.message_bytes) /
+          params_.router_bytes_per_ns * sim::ns);
+  const auto hop_delay =
+      static_cast<sim::time_ps>(params_.hop_ns * sim::ns);
+
+  // Open-loop Poisson injection: inter-arrival = service / load.
+  const double mean_gap_ns =
+      (static_cast<double>(port_service) / static_cast<double>(sim::ns)) /
+      std::max(1e-9, traffic.load);
+
+  util::log_histogram latency;
+  std::uint64_t total_hops = 0;
+  std::uint64_t delivered = 0;
+
+  util::xoshiro256 seeder(traffic.seed);
+
+  struct message_walk {
+    std::vector<std::size_t> route;
+    std::size_t next = 0;
+    std::uint32_t dest = 0;
+    sim::time_ps born = 0;
+  };
+
+  // Forwarding continuation: traverse remaining routers then eject.
+  std::function<void(std::shared_ptr<message_walk>)> advance =
+      [&](std::shared_ptr<message_walk> mw) {
+        if (mw->next < mw->route.size()) {
+          const std::size_t r = mw->route[mw->next++];
+          eng.schedule_after(hop_delay, [&, mw, r] {
+            routers[r]->use(router_service, [&, mw] { advance(mw); });
+          });
+          return;
+        }
+        eng.schedule_after(hop_delay, [&, mw] {
+          eject[mw->dest]->use(port_service, [&, mw] {
+            latency.add(static_cast<double>(eng.now() - mw->born) /
+                        static_cast<double>(sim::ns));
+            total_hops += mw->route.size() + 1;
+            delivered += 1;
+          });
+        });
+      };
+
+  for (std::uint32_t src = 0; src < n; ++src) {
+    util::xoshiro256 rng = seeder.split(src);
+    sim::time_ps when = 0;
+    for (std::size_t k = 0; k < traffic.messages_per_node; ++k) {
+      when += static_cast<sim::time_ps>(rng.exponential(mean_gap_ns) *
+                                        sim::ns);
+      std::uint32_t dst;
+      if (traffic.hotspot_fraction > 0.0 &&
+          rng.uniform01() < traffic.hotspot_fraction) {
+        dst = 0;
+      } else {
+        dst = static_cast<std::uint32_t>(rng.below(n));
+      }
+      if (dst == src) dst = (dst + 1) % n;
+      eng.schedule_at(when, [&, src, dst] {
+        auto mw = std::make_shared<message_walk>();
+        mw->route = route_of(params_, src, dst);
+        mw->dest = dst;
+        mw->born = eng.now();
+        inject[src]->use(port_service, [&, mw] { advance(mw); });
+      });
+    }
+  }
+
+  eng.run();
+
+  network_result res;
+  res.offered_load = traffic.load;
+  res.messages = delivered;
+  res.mean_latency_ns = latency.stats().mean();
+  res.p50_latency_ns = latency.p50();
+  res.p99_latency_ns = latency.p99();
+  res.max_latency_ns = latency.stats().max();
+  res.mean_hops =
+      delivered > 0 ? static_cast<double>(total_hops) /
+                          static_cast<double>(delivered)
+                    : 0.0;
+  const double elapsed_ns =
+      static_cast<double>(eng.now()) / static_cast<double>(sim::ns);
+  if (elapsed_ns > 0.0) {
+    res.delivered_gbytes_per_s =
+        static_cast<double>(delivered) *
+        static_cast<double>(traffic.message_bytes) / elapsed_ns;
+  }
+  return res;
+}
+
+}  // namespace px::gilgamesh

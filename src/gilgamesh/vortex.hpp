@@ -1,0 +1,69 @@
+// Interconnect models: Data Vortex vs mesh vs crossbar (NET-1 experiment).
+//
+// Paper §3.2: "the system is assumed to be connected by the innovative Data
+// Vortex network (invented by Coke Reed)".  The property the design point
+// leans on is a low-diameter (O(log N)) fabric with enough internal path
+// diversity that contention stays near the ideal crossbar's, at far lower
+// cost.  The model:
+//
+//   * every message serializes through its source injection port and its
+//     destination ejection port (bandwidth-limited resources);
+//   * crossbar: no intermediate stage (1 hop of wire delay);
+//   * 2-D mesh: XY routing through per-node router resources — Manhattan
+//     distance hops, intermediate blocking;
+//   * vortex: ceil(log2 N) deflection levels; each level offers one router
+//     per node (angle diversity), chosen by a level/destination hash, so
+//     internal blocking is rare but wire delay is logN hops.
+//
+// Traffic: Poisson open-loop injection at a configurable fraction of port
+// capacity, uniform-random or hot-spot destinations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"  // topology_kind + hop geometry
+#include "util/histogram.hpp"
+
+namespace px::gilgamesh {
+
+struct network_params {
+  std::size_t nodes = 64;
+  net::topology_kind topology = net::topology_kind::vortex;
+  double hop_ns = 5.0;                  // router/wire traversal
+  double port_bytes_per_ns = 4.0;       // injection/ejection bandwidth
+  double router_bytes_per_ns = 8.0;     // per intermediate router
+};
+
+struct traffic_params {
+  double load = 0.5;              // fraction of per-port injection capacity
+  std::size_t message_bytes = 256;
+  double hotspot_fraction = 0.0;  // share of traffic aimed at node 0
+  std::size_t messages_per_node = 200;
+  std::uint64_t seed = 99;
+};
+
+struct network_result {
+  double offered_load = 0.0;
+  double mean_latency_ns = 0.0;
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
+  double delivered_gbytes_per_s = 0.0;  // aggregate accepted throughput
+  std::uint64_t messages = 0;
+  double mean_hops = 0.0;
+};
+
+class network_model {
+ public:
+  explicit network_model(network_params params = {});
+
+  network_result run(const traffic_params& traffic) const;
+
+  const network_params& params() const noexcept { return params_; }
+
+ private:
+  network_params params_;
+};
+
+}  // namespace px::gilgamesh

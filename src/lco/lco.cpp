@@ -1,0 +1,208 @@
+#include "lco/lco.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace px::lco {
+
+std::atomic<std::uint64_t> lco_counters::depleted_threads_created{0};
+std::atomic<std::uint64_t> lco_counters::continuations_attached{0};
+std::atomic<std::uint64_t> lco_counters::fires{0};
+
+// ------------------------------------------------------------------ event
+
+void event_base::wait() {
+  if (ready()) return;
+  if (threads::scheduler::self() != nullptr) {
+    // Two-phase: the hook publishes the depleted thread only after the
+    // context switch completed, so a concurrent fire() cannot resume a
+    // thread that is still running.
+    threads::scheduler::suspend(&suspend_hook, this);
+    PX_DEBUG_ASSERT(ready());
+    return;
+  }
+  // Plain OS thread (main/test driver): spin briefly, then sleep-poll.
+  util::backoff bo;
+  for (int i = 0; i < 256 && !ready(); ++i) bo.pause();
+  while (!ready()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+void event_base::suspend_hook(threads::thread_descriptor* td, void* self) {
+  auto* ev = static_cast<event_base*>(self);
+  bool already_fired = false;
+  {
+    std::lock_guard lock(ev->lock_);
+    if (ev->fired_.load(std::memory_order_relaxed)) {
+      already_fired = true;
+    } else {
+      waiter w;
+      w.depleted = td;
+      ev->waiters_.push_back(std::move(w));
+    }
+  }
+  lco_counters::depleted_threads_created.fetch_add(
+      1, std::memory_order_relaxed);
+  if (already_fired) td->owner->resume(td);
+}
+
+void event_base::when_ready(std::function<void()> fn) {
+  lco_counters::continuations_attached.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  {
+    std::lock_guard lock(lock_);
+    if (!fired_.load(std::memory_order_relaxed)) {
+      waiter w;
+      w.continuation = std::move(fn);
+      waiters_.push_back(std::move(w));
+      return;
+    }
+  }
+  fn();  // already fired: run inline on the caller
+}
+
+bool event_base::fire() {
+  std::vector<waiter> pending;
+  {
+    std::lock_guard lock(lock_);
+    if (fired_.exchange(true, std::memory_order_acq_rel)) return false;
+    pending = std::move(waiters_);
+    waiters_.clear();
+  }
+  lco_counters::fires.fetch_add(1, std::memory_order_relaxed);
+  // Outside the lock: wakeups enqueue into schedulers, continuations run
+  // arbitrary (but by contract cheap) user code (CP.22).
+  for (auto& w : pending) {
+    if (w.depleted != nullptr) {
+      w.depleted->owner->resume(w.depleted);
+    } else {
+      w.continuation();
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- semaphore
+
+void counting_semaphore::acquire() {
+  PX_ASSERT_MSG(threads::scheduler::self() != nullptr,
+                "semaphore acquire outside a ParalleX thread");
+  {
+    std::lock_guard lock(lock_);
+    if (count_ > 0) {
+      --count_;
+      return;
+    }
+  }
+  threads::scheduler::suspend(&sem_suspend_hook, this);
+  // Woken by release(), which transferred one permit directly to us.
+}
+
+void counting_semaphore::sem_suspend_hook(threads::thread_descriptor* td,
+                                          void* self) {
+  auto* sem = static_cast<counting_semaphore*>(self);
+  bool granted = false;
+  {
+    std::lock_guard lock(sem->lock_);
+    // Re-check: a release may have slipped between the fast-path check and
+    // this hook; consume the permit instead of parking.
+    if (sem->count_ > 0) {
+      --sem->count_;
+      granted = true;
+    } else {
+      sem->waiters_.push_back(td);
+    }
+  }
+  if (granted) td->owner->resume(td);
+}
+
+bool counting_semaphore::try_acquire() {
+  std::lock_guard lock(lock_);
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+void counting_semaphore::release(std::int64_t n) {
+  PX_ASSERT(n > 0);
+  std::vector<threads::thread_descriptor*> wake;
+  {
+    std::lock_guard lock(lock_);
+    count_ += n;
+    while (count_ > 0 && next_waiter_ < waiters_.size()) {
+      wake.push_back(waiters_[next_waiter_++]);
+      --count_;
+    }
+    if (next_waiter_ > 64 && next_waiter_ * 2 > waiters_.size()) {
+      waiters_.erase(waiters_.begin(),
+                     waiters_.begin() +
+                         static_cast<std::ptrdiff_t>(next_waiter_));
+      next_waiter_ = 0;
+    }
+  }
+  for (auto* td : wake) td->owner->resume(td);
+}
+
+// ----------------------------------------------------------------- barrier
+
+barrier::barrier(std::uint64_t parties) : parties_(parties) {
+  PX_ASSERT(parties >= 1);
+}
+
+namespace {
+struct barrier_wait_record {
+  barrier* b;
+  std::uint64_t generation;
+};
+}  // namespace
+
+void barrier::arrive_and_wait() {
+  PX_ASSERT_MSG(threads::scheduler::self() != nullptr,
+                "barrier arrive outside a ParalleX thread");
+  std::uint64_t my_generation;
+  std::vector<threads::thread_descriptor*> wake;
+  bool last_party = false;
+  {
+    std::lock_guard lock(lock_);
+    my_generation = generation_;
+    ++arrived_;
+    if (arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      wake = std::move(waiting_);
+      waiting_.clear();
+      last_party = true;
+    }
+  }
+  if (last_party) {
+    for (auto* td : wake) td->owner->resume(td);
+    return;
+  }
+  // The record lives on this fiber's stack, which stays mapped while the
+  // thread is suspended — the hook may safely read through it.
+  barrier_wait_record record{this, my_generation};
+  threads::scheduler::suspend(&barrier_suspend_hook, &record);
+}
+
+void barrier::barrier_suspend_hook(threads::thread_descriptor* td,
+                                   void* arg) {
+  auto* record = static_cast<barrier_wait_record*>(arg);
+  barrier* b = record->b;
+  bool already_released = false;
+  {
+    std::lock_guard lock(b->lock_);
+    // The last party may have flipped the generation between our arrive
+    // and this hook; in that case we must not park.
+    if (b->generation_ != record->generation) {
+      already_released = true;
+    } else {
+      b->waiting_.push_back(td);
+    }
+  }
+  if (already_released) td->owner->resume(td);
+}
+
+}  // namespace px::lco

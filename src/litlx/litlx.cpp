@@ -1,0 +1,3 @@
+// LITL-X is header-only over the core runtime; this translation unit exists
+// to anchor the library target (and any future out-of-line definitions).
+#include "litlx/litlx.hpp"

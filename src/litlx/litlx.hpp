@@ -1,0 +1,158 @@
+// LITL-X ("little-X"): the Latency Intrinsic-Tolerant Language prototype.
+//
+// Paper §2.3: LITL-X extends a TNT-like coarse-grain thread layer with four
+// construct families, prototyped here exactly as the paper enumerates them:
+//
+//   1. asynchronous calls with EARTH/Cilk-style completion counting
+//      (async_call + sync_slot);
+//   2. percolation of instruction blocks and data to the site of intended
+//      computation (litlx::percolate, delegating to the core manager);
+//   3. dataflow-style synchronization constructs (sync_slot is the EARTH
+//      sync counter; dataflow_var is a single-assignment I-structure);
+//   4. atomic sections with a weak (location-consistency-flavoured) memory
+//      model: sections on the same object serialize *at the object's home
+//      location*; sections on different objects are unordered.
+//
+// LITL-X is "not intended as a final programming language ... but a logical
+// testbed" — accordingly this is a thin veneer over the ParalleX runtime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/action.hpp"
+#include "core/percolation.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+
+namespace px::litlx {
+
+// ------------------------------------------------------------ TNT threads
+
+// Coarse-grain local thread spawn (the TNT substrate LITL-X extends).
+inline void spawn_thread(std::function<void()> fn) {
+  core::locality* here = core::this_locality();
+  PX_ASSERT_MSG(here != nullptr, "spawn_thread outside a ParalleX thread");
+  here->spawn(std::move(fn));
+}
+
+// ------------------------------------------------------------- sync slots
+
+// EARTH-style synchronization slot: initialized with a count, decremented
+// by completions; consumers block (or chain) on zero.
+class sync_slot : public lco::and_gate {
+ public:
+  explicit sync_slot(std::uint64_t expected) : lco::and_gate(expected) {}
+};
+
+// ------------------------------------------------------------ async calls
+
+// Asynchronous remote call: launch Fn(args...) at `where`, signal `slot`
+// when the completion (continuation parcel) arrives back at the caller.
+template <auto Fn, typename... Args>
+void async_call(sync_slot& slot, gas::locality_id where, Args&&... args) {
+  core::locality* here = core::this_locality();
+  PX_ASSERT_MSG(here != nullptr, "async_call outside a ParalleX thread");
+  auto fut = core::async_from<Fn>(*here, here->rt().locality_gid(where),
+                                  std::forward<Args>(args)...);
+  fut.on_ready([&slot] { slot.signal(); });
+}
+
+// Value-returning form: result lands in `out` before the slot signals.
+// `out` must outlive the call (normal EARTH frame discipline).
+template <auto Fn, typename R, typename... Args>
+void async_call_into(sync_slot& slot, R& out, gas::locality_id where,
+                     Args&&... args) {
+  core::locality* here = core::this_locality();
+  PX_ASSERT_MSG(here != nullptr, "async_call outside a ParalleX thread");
+  auto fut = core::async_from<Fn>(*here, here->rt().locality_gid(where),
+                                  std::forward<Args>(args)...);
+  fut.on_ready([&slot, &out, fut] {
+    out = fut.get();
+    slot.signal();
+  });
+}
+
+// ------------------------------------------------------------- percolation
+
+// Percolates Fn and its operands to `where` (paper item: "percolation of
+// program instruction blocks and data at the site of the intended
+// computation, to eliminate waiting for remote accesses").
+template <auto Fn, typename... Args>
+auto percolate(gas::locality_id where, Args&&... args) {
+  return core::percolate<Fn>(where, std::forward<Args>(args)...);
+}
+
+// ---------------------------------------------------------- dataflow vars
+
+// Single-assignment dataflow variable (I-structure): writes happen once;
+// reads block until written.  "Dataflow constructs allow true asynchronous
+// value oriented flow control."
+template <typename T>
+class dataflow_var {
+ public:
+  dataflow_var() : state_(std::make_shared<state>()) {}
+
+  void write(T value) const { state_->prom.set_value(std::move(value)); }
+  const T& read() const { return state_->fut.get(); }
+  bool written() const { return state_->fut.is_ready(); }
+  lco::future<T> future() const { return state_->fut; }
+
+ private:
+  struct state {
+    lco::promise<T> prom;
+    lco::future<T> fut = prom.get_future();
+  };
+  std::shared_ptr<state> state_;
+};
+
+// ---------------------------------------------------------- atomic sections
+
+// An object guarded by location-consistent atomic sections [Sarkar & Gao].
+// Sections execute at the object's home locality, serialized by a mutex
+// LCO there; there is no global ordering between sections on different
+// objects — the weak model that makes fine-grained synchronization scale.
+template <typename T>
+class atomic_object {
+ public:
+  atomic_object(core::runtime& rt, gas::locality_id home, T initial)
+      : home_(home), state_(std::make_shared<state>(std::move(initial))) {}
+
+  gas::locality_id home() const noexcept { return home_; }
+
+  // Runs fn(value&) atomically at the object's location; returns a future
+  // for fn's result.  The calling thread is free to continue — atomic
+  // sections are split-phase like everything else in the model.
+  template <typename F>
+  auto atomically(F fn) const {
+    using R = std::invoke_result_t<F, T&>;
+    core::locality* here = core::this_locality();
+    PX_ASSERT_MSG(here != nullptr, "atomically outside a ParalleX thread");
+    lco::promise<R> prom;
+    auto fut = prom.get_future();
+    here->rt().remote_spawn(
+        *here, home_, [st = state_, fn = std::move(fn), prom]() mutable {
+          std::lock_guard lock(st->section);
+          if constexpr (std::is_void_v<R>) {
+            fn(st->value);
+            prom.set_value();
+          } else {
+            prom.set_value(fn(st->value));
+          }
+        });
+    return fut;
+  }
+
+ private:
+  struct state {
+    explicit state(T v) : value(std::move(v)) {}
+    T value;
+    lco::mutex section;
+  };
+
+  gas::locality_id home_;
+  std::shared_ptr<state> state_;
+};
+
+}  // namespace px::litlx

@@ -1,0 +1,151 @@
+#include "net/fabric.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace px::net {
+
+const char* to_string(topology_kind k) noexcept {
+  switch (k) {
+    case topology_kind::crossbar: return "crossbar";
+    case topology_kind::mesh2d: return "mesh2d";
+    case topology_kind::vortex: return "vortex";
+  }
+  return "?";
+}
+
+std::uint32_t topology_hops(topology_kind k, std::size_t endpoints,
+                            endpoint_id a, endpoint_id b) noexcept {
+  if (a == b) return 0;
+  switch (k) {
+    case topology_kind::crossbar:
+      return 1;
+    case topology_kind::mesh2d: {
+      const auto side = static_cast<std::uint32_t>(
+          std::ceil(std::sqrt(static_cast<double>(endpoints))));
+      const std::uint32_t ax = a % side, ay = a / side;
+      const std::uint32_t bx = b % side, by = b / side;
+      const std::uint32_t dx = ax > bx ? ax - bx : bx - ax;
+      const std::uint32_t dy = ay > by ? ay - by : by - ay;
+      return dx + dy;
+    }
+    case topology_kind::vortex: {
+      // Data Vortex: hierarchical multi-level structure with diameter
+      // O(log N); traversal descends the angle/level hierarchy.
+      std::uint32_t levels = 0;
+      std::size_t n = endpoints - 1;
+      while (n > 0) {
+        ++levels;
+        n >>= 1;
+      }
+      return levels == 0 ? 1 : levels;
+    }
+  }
+  return 1;
+}
+
+fabric::fabric(fabric_params params)
+    : params_(params),
+      handlers_(params.endpoints),
+      rng_(params.seed),
+      stats_(params.endpoints) {
+  PX_ASSERT(params_.endpoints > 0);
+  progress_ = std::thread([this] { progress_loop(); });
+}
+
+fabric::~fabric() {
+  drain();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  progress_.join();
+}
+
+void fabric::set_handler(endpoint_id ep, handler h) {
+  PX_ASSERT(ep < handlers_.size());
+  handlers_[ep] = std::move(h);
+}
+
+std::uint64_t fabric::model_latency_ns(endpoint_id a, endpoint_id b,
+                                       std::size_t bytes) const noexcept {
+  std::uint64_t ns = params_.base_latency_ns;
+  ns += static_cast<std::uint64_t>(
+            topology_hops(params_.topology, params_.endpoints, a, b)) *
+        params_.per_hop_ns;
+  if (params_.bytes_per_ns > 0.0) {
+    ns += static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                     params_.bytes_per_ns);
+  }
+  return ns;
+}
+
+void fabric::send(message m) {
+  PX_ASSERT(m.dest < handlers_.size());
+  const auto now = std::chrono::steady_clock::now();
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(mutex_);
+    std::uint64_t delay_ns = model_latency_ns(m.source, m.dest,
+                                              m.payload.size());
+    if (params_.jitter_ns > 0) delay_ns += rng_.below(params_.jitter_ns);
+    latency_hist_.add(static_cast<double>(delay_ns));
+    auto& st = stats_[m.source];
+    st.messages_sent += 1;
+    st.bytes_sent += m.payload.size();
+    queue_.push(timed_message{now + std::chrono::nanoseconds(delay_ns),
+                              next_seq_++, std::move(m)});
+  }
+  cv_.notify_one();
+}
+
+void fabric::progress_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (stopping_) return;
+      cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      continue;
+    }
+    const auto due = queue_.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (due > now) {
+      cv_.wait_until(lock, due);
+      continue;  // re-check: new earlier message may have arrived
+    }
+    // priority_queue::top is const; safe to move because pop follows.
+    timed_message tm = std::move(const_cast<timed_message&>(queue_.top()));
+    queue_.pop();
+    stats_[tm.msg.dest].messages_received += 1;
+    handler& h = handlers_[tm.msg.dest];
+    PX_ASSERT_MSG(h != nullptr, "message to endpoint without handler");
+    lock.unlock();
+    h(std::move(tm.msg));
+    const auto remaining = in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    lock.lock();
+    if (remaining == 1) drained_cv_.notify_all();
+  }
+}
+
+void fabric::drain() {
+  std::unique_lock lock(mutex_);
+  drained_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+endpoint_stats fabric::stats(endpoint_id ep) const {
+  std::lock_guard lock(mutex_);
+  return stats_[ep];
+}
+
+util::log_histogram fabric::latency_histogram() const {
+  std::lock_guard lock(mutex_);
+  return latency_hist_;
+}
+
+}  // namespace px::net

@@ -1,0 +1,134 @@
+// Simulated interconnect fabric.
+//
+// ParalleX localities and CSP baseline ranks live in one OS process; this
+// fabric is the only path between them, and it imposes the physics of a real
+// interconnect: per-message base latency, per-hop latency from a topology
+// model, finite bandwidth, and optional jitter (which also yields reordering,
+// a useful failure-injection mode for tests).
+//
+// Delivery runs on a dedicated progress thread so a blocked receiver never
+// stalls the sender — matching the split-phase, asynchronous transport the
+// ParalleX model assumes.  Handlers must be registered before traffic flows
+// and must not block for long (they hand off to scheduler queues).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace px::net {
+
+using endpoint_id = std::uint32_t;
+
+struct message {
+  endpoint_id source = 0;
+  endpoint_id dest = 0;
+  std::uint64_t tag = 0;  // channel discriminator for the CSP baseline
+  std::vector<std::byte> payload;
+};
+
+enum class topology_kind {
+  crossbar,  // 1 hop between any pair
+  mesh2d,    // sqrt(N) x sqrt(N) mesh, Manhattan hops
+  vortex,    // Data-Vortex-style low-diameter fabric: ~log2(N) hops
+};
+
+const char* to_string(topology_kind k) noexcept;
+
+// Hop count between endpoints under a topology; exposed for tests and for
+// the Gilgamesh network model, which reuses the same geometry.
+std::uint32_t topology_hops(topology_kind k, std::size_t endpoints,
+                            endpoint_id a, endpoint_id b) noexcept;
+
+struct fabric_params {
+  std::size_t endpoints = 2;
+  std::uint64_t base_latency_ns = 0;  // fixed wire+injection cost
+  std::uint64_t per_hop_ns = 0;       // router traversal cost
+  double bytes_per_ns = 0.0;          // 0 => infinite bandwidth
+  std::uint64_t jitter_ns = 0;        // uniform [0, jitter) added per message
+  topology_kind topology = topology_kind::crossbar;
+  std::uint64_t seed = 42;
+};
+
+struct endpoint_stats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class fabric {
+ public:
+  using handler = std::function<void(message)>;
+
+  explicit fabric(fabric_params params);
+  ~fabric();
+
+  fabric(const fabric&) = delete;
+  fabric& operator=(const fabric&) = delete;
+
+  // Registration is not thread-safe; complete it before sending.
+  void set_handler(endpoint_id ep, handler h);
+
+  // Computes the delivery deadline from the latency model and enqueues.
+  // Thread-safe; never blocks on the receiver.
+  void send(message m);
+
+  // Model-predicted one-way latency for a payload of `bytes` between a and
+  // b, excluding jitter.  Benches use this to report the modeled physics.
+  std::uint64_t model_latency_ns(endpoint_id a, endpoint_id b,
+                                 std::size_t bytes) const noexcept;
+
+  std::uint64_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  // Blocks until every message sent so far has been handed to its handler
+  // and the handler returned.
+  void drain();
+
+  const fabric_params& params() const noexcept { return params_; }
+  std::size_t endpoints() const noexcept { return params_.endpoints; }
+  endpoint_stats stats(endpoint_id ep) const;
+  // Distribution of modeled in-flight delays (ns) across all messages.
+  util::log_histogram latency_histogram() const;
+
+ private:
+  struct timed_message {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq;
+    message msg;
+  };
+  struct later {
+    bool operator()(const timed_message& a, const timed_message& b) const {
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+    }
+  };
+
+  void progress_loop();
+
+  fabric_params params_;
+  std::vector<handler> handlers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  std::priority_queue<timed_message, std::vector<timed_message>, later> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  util::xoshiro256 rng_;
+  std::vector<endpoint_stats> stats_;
+  util::log_histogram latency_hist_;
+
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::thread progress_;
+};
+
+}  // namespace px::net

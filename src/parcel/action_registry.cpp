@@ -1,0 +1,58 @@
+#include "parcel/action_registry.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace px::parcel {
+
+action_registry& action_registry::global() {
+  static action_registry instance;
+  return instance;
+}
+
+action_id action_registry::register_action(std::string name, handler h) {
+  PX_ASSERT(!name.empty());
+  PX_ASSERT(h != nullptr);
+  std::lock_guard lock(lock_);
+  for (const auto& e : entries_) {
+    PX_ASSERT_MSG(e.name != name, "action name registered twice");
+  }
+  entries_.push_back(entry{std::move(name), std::move(h)});
+  return static_cast<action_id>(entries_.size());  // ids start at 1
+}
+
+void action_registry::dispatch(void* ctx, parcel p) const {
+  const action_id id = p.action;
+  const handler* fn = nullptr;
+  {
+    std::lock_guard lock(lock_);
+    PX_ASSERT_MSG(id != invalid_action && id <= entries_.size(),
+                  "dispatch of unregistered action");
+    fn = &entries_[id - 1].fn;
+  }
+  // Handlers are immutable once registered; calling outside the lock is
+  // safe and required (they may send parcels, spawning registry lookups).
+  (*fn)(ctx, std::move(p));
+}
+
+std::optional<action_id> action_registry::find(std::string_view name) const {
+  std::lock_guard lock(lock_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return static_cast<action_id>(i + 1);
+  }
+  return std::nullopt;
+}
+
+const std::string& action_registry::name_of(action_id id) const {
+  std::lock_guard lock(lock_);
+  PX_ASSERT(id != invalid_action && id <= entries_.size());
+  return entries_[id - 1].name;
+}
+
+std::size_t action_registry::size() const {
+  std::lock_guard lock(lock_);
+  return entries_.size();
+}
+
+}  // namespace px::parcel

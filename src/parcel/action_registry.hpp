@@ -1,0 +1,52 @@
+// Action registry: names -> action ids -> invocation handlers.
+//
+// Actions are first-class in the ParalleX name space ("actions as well as
+// data are first class entities").  Every locality shares one registry (we
+// model a single program image, as MPI/SPMD systems do), so an action_id is
+// valid system-wide.  Handlers receive an opaque runtime context pointer —
+// the locality the parcel landed on — and the parcel itself; the typed
+// argument-unpacking layer lives in core/action.hpp.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parcel/parcel.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::parcel {
+
+class action_registry {
+ public:
+  // `ctx` is the destination locality (core::locality*), kept opaque here
+  // to avoid a dependency cycle.
+  using handler = std::function<void(void* ctx, parcel p)>;
+
+  // Registers under a unique name; returns the stable id.  Re-registering
+  // a name is an error (asserts) — action identity must be unambiguous.
+  action_id register_action(std::string name, handler h);
+
+  // Invokes the handler for p.action.
+  void dispatch(void* ctx, parcel p) const;
+
+  std::optional<action_id> find(std::string_view name) const;
+  const std::string& name_of(action_id id) const;
+  std::size_t size() const;
+
+  // Process-wide instance (single program image model).
+  static action_registry& global();
+
+ private:
+  struct entry {
+    std::string name;
+    handler fn;
+  };
+
+  mutable util::spinlock lock_;
+  std::vector<entry> entries_;
+};
+
+}  // namespace px::parcel

@@ -1,0 +1,18 @@
+#include "parcel/parcel.hpp"
+
+namespace px::parcel {
+
+std::vector<std::byte> encode(const parcel& p) {
+  util::output_archive ar;
+  ar& p;
+  return std::move(ar).take();
+}
+
+parcel decode(std::span<const std::byte> bytes) {
+  util::input_archive ar(bytes);
+  parcel p;
+  ar& p;
+  return p;
+}
+
+}  // namespace px::parcel

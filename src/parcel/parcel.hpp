@@ -1,0 +1,61 @@
+// Parcels: the ParalleX message-driven work unit.
+//
+// Paper §2.2 "Parcels": a parcel carries (1) the destination virtual address
+// of a remote target object, (2) an action specifier, (3) argument values
+// moving prior state to the invocation site, and (4) — the distinguishing
+// feature over active messages — a *continuation specifier* naming what
+// happens after the action completes.  The continuation lets the locus of
+// control migrate across the system instead of bouncing back to a caller.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "util/serialize.hpp"
+
+namespace px::parcel {
+
+using action_id = std::uint32_t;
+
+inline constexpr action_id invalid_action = 0;
+
+// Continuation specifier: when the action produces a value, apply
+// `action` to object `target` with that value as argument.  The common
+// cases are "set this future LCO" (target = lco gid, action = set-value)
+// and "chain into the next stage" (target = next object).
+struct continuation {
+  gas::gid target;
+  action_id action = invalid_action;
+
+  bool valid() const noexcept { return target.valid(); }
+
+  template <typename Ar>
+  friend void serialize(Ar& ar, continuation& c) {
+    ar& c.target& c.action;
+  }
+};
+
+struct parcel {
+  gas::gid destination;       // target object (data, LCO, process...)
+  action_id action = invalid_action;
+  continuation cont;          // optional
+  std::vector<std::byte> arguments;  // serialized argument tuple
+
+  // Bookkeeping: source locality (for stats/diagnostics) and hop count
+  // (bounded forwarding when AGAS caches are stale).
+  gas::locality_id source = gas::invalid_locality;
+  std::uint8_t forwards = 0;
+
+  template <typename Ar>
+  friend void serialize(Ar& ar, parcel& p) {
+    ar& p.destination& p.action& p.cont& p.arguments& p.source& p.forwards;
+  }
+};
+
+// Wire helpers: a parcel is the payload of exactly one fabric message.
+std::vector<std::byte> encode(const parcel& p);
+parcel decode(std::span<const std::byte> bytes);
+
+}  // namespace px::parcel

@@ -1,0 +1,87 @@
+#include "sim/engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace px::sim {
+
+void engine::schedule_at(time_ps when, action fn) {
+  PX_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  queue_.push(event{when, next_seq_++, std::move(fn)});
+}
+
+bool engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move is safe because pop follows.
+  event ev = std::move(const_cast<event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t engine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t engine::run_until(time_ps deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+void resource::account() {
+  busy_accum_ += static_cast<time_ps>(busy_) * (engine_.now() - last_change_);
+  last_change_ = engine_.now();
+}
+
+time_ps resource::busy_time() const noexcept {
+  return busy_accum_ +
+         static_cast<time_ps>(busy_) * (engine_.now() - last_change_);
+}
+
+void resource::acquire(engine::action granted) {
+  if (busy_ < capacity_) {
+    account();
+    ++busy_;
+    ++grants_;
+    granted();
+    return;
+  }
+  waiters_.push_back(std::move(granted));
+}
+
+void resource::release() {
+  PX_ASSERT_MSG(busy_ > 0, "release without acquire");
+  if (next_waiter_ < waiters_.size()) {
+    // Hand the slot directly to the oldest waiter; busy_ is unchanged.
+    auto granted = std::move(waiters_[next_waiter_++]);
+    ++grants_;
+    if (next_waiter_ > 64 && next_waiter_ * 2 > waiters_.size()) {
+      waiters_.erase(waiters_.begin(),
+                     waiters_.begin() + static_cast<std::ptrdiff_t>(next_waiter_));
+      next_waiter_ = 0;
+    }
+    granted();
+    return;
+  }
+  account();
+  --busy_;
+}
+
+void resource::use(time_ps service, engine::action done) {
+  acquire([this, service, done = std::move(done)]() mutable {
+    engine_.schedule_after(service, [this, done = std::move(done)]() mutable {
+      release();
+      done();
+    });
+  });
+}
+
+}  // namespace px::sim

@@ -1,0 +1,104 @@
+// Discrete-event simulation core.
+//
+// Deterministic: events fire in (time, insertion-sequence) order, so two
+// runs with the same seeds produce identical traces.  Virtual time is in
+// integer picoseconds, which resolves sub-cycle timing for the multi-GHz
+// clocks of the Gilgamesh II design point without floating-point drift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace px::sim {
+
+// Virtual time in picoseconds.
+using time_ps = std::uint64_t;
+
+inline constexpr time_ps ps = 1;
+inline constexpr time_ps ns = 1000 * ps;
+inline constexpr time_ps us = 1000 * ns;
+inline constexpr time_ps ms = 1000 * us;
+
+class engine {
+ public:
+  using action = std::function<void()>;
+
+  time_ps now() const noexcept { return now_; }
+
+  void schedule_at(time_ps when, action fn);
+  void schedule_after(time_ps delay, action fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Runs the earliest pending event; returns false when none remain.
+  bool step();
+
+  // Runs events until the queue drains; returns the number executed.
+  std::size_t run();
+
+  // Runs events with timestamp <= deadline; clock ends at
+  // max(now, deadline) if the queue drained early.
+  std::size_t run_until(time_ps deadline);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct event {
+    time_ps at;
+    std::uint64_t seq;
+    action fn;
+  };
+  struct later {
+    bool operator()(const event& a, const event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<event, std::vector<event>, later> queue_;
+  time_ps now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+// A FIFO-queued server with fixed concurrency, the queueing-theory "c-server
+// station".  Models ALU pipelines, memory banks, and network ports: clients
+// call acquire() with a continuation that runs when a slot is granted; the
+// holder calls release() when its service completes.
+class resource {
+ public:
+  resource(engine& eng, unsigned capacity)
+      : engine_(eng), capacity_(capacity) {}
+
+  resource(const resource&) = delete;
+  resource& operator=(const resource&) = delete;
+
+  void acquire(engine::action granted);
+  void release();
+
+  // acquire + hold for `service` + release, then `done`.
+  void use(time_ps service, engine::action done);
+
+  unsigned in_use() const noexcept { return busy_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+  std::uint64_t total_grants() const noexcept { return grants_; }
+  // Aggregate busy time across all slots; divide by (elapsed * capacity)
+  // for utilization.
+  time_ps busy_time() const noexcept;
+
+ private:
+  engine& engine_;
+  unsigned capacity_;
+  unsigned busy_ = 0;
+  std::uint64_t grants_ = 0;
+  std::vector<engine::action> waiters_;
+  std::size_t next_waiter_ = 0;  // index into waiters_, amortized FIFO
+  time_ps busy_accum_ = 0;
+  time_ps last_change_ = 0;
+
+  void account();
+};
+
+}  // namespace px::sim

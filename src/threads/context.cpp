@@ -1,0 +1,53 @@
+#include "threads/context.hpp"
+
+#include "util/assert.hpp"
+
+#if defined(PX_HAVE_FCONTEXT)
+
+extern "C" {
+void* px_ctx_swap(void** save_sp, void* target_sp, void* payload);
+void px_ctx_trampoline();
+}
+
+namespace px::threads {
+
+context context::make(void* stack_top, context_entry entry) {
+  auto top = reinterpret_cast<std::uintptr_t>(stack_top) &
+             ~static_cast<std::uintptr_t>(15);
+  auto* slot = reinterpret_cast<std::uint64_t*>(top);
+  slot[-1] = 0;  // fake return address: entry must never return
+  slot[-2] = reinterpret_cast<std::uint64_t>(&px_ctx_trampoline);
+  slot[-3] = 0;  // rbp
+  slot[-4] = reinterpret_cast<std::uint64_t>(entry);  // rbx
+  slot[-5] = 0;  // r12
+  slot[-6] = 0;  // r13
+  slot[-7] = 0;  // r14
+  slot[-8] = 0;  // r15
+  auto* fp = reinterpret_cast<std::uint32_t*>(top - 72);
+  fp[0] = 0x1f80;  // mxcsr: default, all exceptions masked
+  fp[1] = 0x037f;  // x87 control word: default
+  context ctx;
+  ctx.sp_ = reinterpret_cast<void*>(top - 72);
+  return ctx;
+}
+
+void* context::swap(context& from, context& to, void* payload) {
+  PX_DEBUG_ASSERT(to.valid());
+  void* target = to.sp_;
+  to.sp_ = nullptr;  // consumed; will be republished when `to` parks again
+  return px_ctx_swap(&from.sp_, target, payload);
+}
+
+}  // namespace px::threads
+
+#else
+
+// Porting note: add a context_<arch>.S implementing px_ctx_swap (save
+// callee-saved registers + FP control state, exchange stack pointers) and a
+// trampoline, then extend the PX_HAVE_FCONTEXT detection in context.hpp.
+// A ucontext-based fallback is deliberately not provided: swapcontext's
+// per-switch sigprocmask system calls violate the lightweight-thread cost
+// model this runtime exists to demonstrate.
+#error "parallex: no context-switch backend for this architecture (x86-64 only)"
+
+#endif

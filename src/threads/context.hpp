@@ -1,0 +1,40 @@
+// Execution context: a parked continuation identified by its stack pointer.
+//
+// On x86-64 this wraps the hand-written px_ctx_swap (see context_x86_64.S);
+// other architectures need an equivalent assembly backend (see context.cpp
+// porting note).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace px::threads {
+
+using context_entry = void (*)(void*);
+
+#if defined(__x86_64__)
+#define PX_HAVE_FCONTEXT 1
+#endif
+
+class context {
+ public:
+  context() = default;
+
+  // Builds a fresh continuation on [stack_top - ..., stack_top) that will
+  // invoke entry(payload) when first swapped to.  stack_top must be the
+  // high end of a writable region with at least 4 KiB available.
+  static context make(void* stack_top, context_entry entry);
+
+  // Parks the caller into `from` and resumes `to`; `payload` is delivered
+  // to the resumed side (return value here, or entry argument for a fresh
+  // context).  `from` and `to` may live on different OS threads over time,
+  // but a given context is resumed by exactly one thread at a time.
+  static void* swap(context& from, context& to, void* payload);
+
+  bool valid() const noexcept { return sp_ != nullptr; }
+
+ private:
+  void* sp_ = nullptr;
+};
+
+}  // namespace px::threads

@@ -1,0 +1,329 @@
+#include "threads/scheduler.hpp"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/cache.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/ws_deque.hpp"
+
+namespace px::threads {
+
+namespace detail {
+
+struct worker {
+  scheduler* sched = nullptr;
+  unsigned index = 0;
+  util::ws_deque<thread_descriptor*> deque;
+  context sched_ctx;  // parked scheduler loop while a thread runs
+  thread_descriptor* current = nullptr;
+  util::xoshiro256 rng;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t sleeps = 0;
+  std::thread os_thread;
+};
+
+}  // namespace detail
+
+namespace {
+
+thread_local detail::worker* tl_worker = nullptr;
+
+// Not inlined: a ParalleX thread may migrate between OS threads across a
+// suspension point, so the thread-local lookup must be re-done at every
+// call site rather than cached in a register by the optimizer.
+__attribute__((noinline)) detail::worker* current_worker() noexcept {
+  return tl_worker;
+}
+
+}  // namespace
+
+scheduler::scheduler(scheduler_params params)
+    : params_(params), stacks_(params.stack_bytes) {
+  if (params_.workers == 0) {
+    params_.workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  util::xoshiro256 seeder(params_.seed);
+  for (unsigned i = 0; i < params_.workers; ++i) {
+    auto w = std::make_unique<detail::worker>();
+    w->sched = this;
+    w->index = i;
+    w->rng = seeder.split(i);
+    workers_.push_back(std::move(w));
+  }
+}
+
+scheduler::~scheduler() {
+  if (running_.load(std::memory_order_acquire)) stop();
+  std::lock_guard lock(free_lock_);
+  for (auto* td : free_descriptors_) {
+    if (td->stk.valid()) stacks_.deallocate(td->stk);
+    delete td;
+  }
+}
+
+void scheduler::start() {
+  PX_ASSERT_MSG(!running_.exchange(true), "scheduler started twice");
+  stop_.store(false, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->os_thread = std::thread([this, wp = w.get()] { worker_main(*wp); });
+  }
+}
+
+void scheduler::stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true, std::memory_order_release);
+  wake_sleepers(/*all=*/true);
+  for (auto& w : workers_) {
+    if (w->os_thread.joinable()) w->os_thread.join();
+  }
+  if (live_.load(std::memory_order_acquire) != 0) {
+    PX_LOG_WARN("scheduler stopped with %llu live threads",
+                static_cast<unsigned long long>(live_.load()));
+  }
+}
+
+thread_descriptor* scheduler::acquire_descriptor(std::function<void()> fn) {
+  thread_descriptor* td = nullptr;
+  {
+    std::lock_guard lock(free_lock_);
+    if (!free_descriptors_.empty()) {
+      td = free_descriptors_.back();
+      free_descriptors_.pop_back();
+    }
+  }
+  if (td == nullptr) {
+    td = new thread_descriptor();
+    td->owner = this;
+    td->stk = stacks_.allocate();
+  }
+  td->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  td->state = thread_state::ready;
+  td->ctx = context::make(td->stk.top, &thread_trampoline);
+  td->entry = std::move(fn);
+  td->on_suspend = nullptr;
+  td->on_suspend_arg = nullptr;
+  return td;
+}
+
+void scheduler::recycle(thread_descriptor* td) {
+  td->entry = nullptr;  // release captured resources promptly
+  std::lock_guard lock(free_lock_);
+  free_descriptors_.push_back(td);
+}
+
+void scheduler::spawn(std::function<void()> fn) {
+  thread_descriptor* td = acquire_descriptor(std::move(fn));
+  live_.fetch_add(1, std::memory_order_acq_rel);
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  enqueue(td);
+}
+
+void scheduler::resume(thread_descriptor* td) {
+  PX_DEBUG_ASSERT(td->owner == this);
+  td->state = thread_state::ready;
+  enqueue(td);
+}
+
+void scheduler::enqueue(thread_descriptor* td) {
+  detail::worker* w = current_worker();
+  if (w != nullptr && w->sched == this) {
+    w->deque.push(td);
+  } else {
+    inject_.push(td);
+  }
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    wake_sleepers(/*all=*/false);
+  }
+}
+
+void scheduler::wake_sleepers(bool all) {
+  // The lock pairs with idle_wait's re-check so a wake between "found no
+  // work" and "went to sleep" is never lost.
+  std::lock_guard lock(idle_mutex_);
+  if (all) {
+    idle_cv_.notify_all();
+  } else {
+    idle_cv_.notify_one();
+  }
+}
+
+thread_descriptor* scheduler::pop_inject() {
+  if (!inject_drain_lock_.try_lock()) return nullptr;
+  thread_descriptor* td = inject_.pop();
+  inject_drain_lock_.unlock();
+  return td;
+}
+
+thread_descriptor* scheduler::find_work(detail::worker& w) {
+  if (auto local = w.deque.pop()) return *local;
+  if (auto* injected = pop_inject()) return injected;
+  const std::size_t n = workers_.size();
+  for (unsigned round = 0; round < params_.steal_rounds; ++round) {
+    if (n > 1) {
+      auto& victim = *workers_[w.rng.below(n)];
+      if (&victim != &w) {
+        if (auto stolen = victim.deque.steal()) {
+          ++w.steals;
+          return *stolen;
+        }
+      }
+    }
+    if (auto* injected = pop_inject()) return injected;
+    if (stop_.load(std::memory_order_relaxed)) return nullptr;
+    util::cpu_relax();
+  }
+  return nullptr;
+}
+
+void scheduler::idle_wait(detail::worker& w) {
+  ++w.sleeps;
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock lock(idle_mutex_);
+    // Re-check under the lock: a producer that saw sleepers_ > 0 will
+    // notify while holding idle_mutex_, so this cannot miss new work.
+    if (!stop_.load(std::memory_order_acquire) &&
+        inject_.empty_estimate() && w.deque.empty_estimate()) {
+      idle_cv_.wait_for(lock, std::chrono::microseconds(500));
+    }
+  }
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void scheduler::set_worker_init(std::function<void(unsigned)> fn) {
+  PX_ASSERT_MSG(!running_.load(std::memory_order_acquire),
+                "set_worker_init after start");
+  worker_init_ = std::move(fn);
+}
+
+void scheduler::worker_main(detail::worker& w) {
+  tl_worker = &w;
+  if (worker_init_) worker_init_(w.index);
+  while (!stop_.load(std::memory_order_acquire)) {
+    thread_descriptor* td = find_work(w);
+    if (td != nullptr) {
+      run_one(w, td);
+    } else {
+      idle_wait(w);
+    }
+  }
+  tl_worker = nullptr;
+}
+
+void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
+  w.current = td;
+  td->state = thread_state::running;
+  context::swap(w.sched_ctx, td->ctx, td);
+  // Back on the scheduler context; the thread either terminated, yielded,
+  // or suspended.  After the handoff below `td` must not be touched: a
+  // concurrent wake may already be running it elsewhere.
+  w.current = nullptr;
+  ++w.executed;
+  switch (td->state) {
+    case thread_state::terminated: {
+      recycle(td);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(quiesce_mutex_);
+        quiesce_cv_.notify_all();
+      }
+      break;
+    }
+    case thread_state::suspended: {
+      suspends_.fetch_add(1, std::memory_order_relaxed);
+      auto hook = td->on_suspend;
+      void* arg = td->on_suspend_arg;
+      td->on_suspend = nullptr;
+      td->on_suspend_arg = nullptr;
+      PX_ASSERT_MSG(hook != nullptr, "suspended without a hook");
+      hook(td, arg);
+      break;
+    }
+    case thread_state::ready: {  // yield
+      yields_.fetch_add(1, std::memory_order_relaxed);
+      // FIFO inject queue, not the owner's LIFO deque: a yielded thread
+      // re-pushed locally would be popped right back, starving peers.
+      inject_.push(td);
+      break;
+    }
+    case thread_state::running:
+      PX_UNREACHABLE();
+  }
+}
+
+void scheduler::thread_trampoline(void* arg) {
+  auto* td = static_cast<thread_descriptor*>(arg);
+  try {
+    td->entry();
+  } catch (const std::exception& e) {
+    PX_LOG_ERROR("uncaught exception in ParalleX thread %llu: %s",
+                 static_cast<unsigned long long>(td->id), e.what());
+    std::terminate();
+  } catch (...) {
+    PX_LOG_ERROR("uncaught exception in ParalleX thread %llu",
+                 static_cast<unsigned long long>(td->id));
+    std::terminate();
+  }
+  td->state = thread_state::terminated;
+  detail::worker* w = current_worker();
+  context::swap(td->ctx, w->sched_ctx, nullptr);
+  PX_UNREACHABLE();
+}
+
+void scheduler::yield() {
+  detail::worker* w = current_worker();
+  PX_ASSERT_MSG(w != nullptr, "yield outside a ParalleX thread");
+  thread_descriptor* td = w->current;
+  td->state = thread_state::ready;
+  context::swap(td->ctx, w->sched_ctx, nullptr);
+}
+
+void scheduler::suspend(thread_descriptor::suspend_hook hook, void* arg) {
+  detail::worker* w = current_worker();
+  PX_ASSERT_MSG(w != nullptr, "suspend outside a ParalleX thread");
+  thread_descriptor* td = w->current;
+  td->on_suspend = hook;
+  td->on_suspend_arg = arg;
+  td->state = thread_state::suspended;
+  context::swap(td->ctx, w->sched_ctx, nullptr);
+  // Resumed: control returns here on whichever worker woke us.
+}
+
+thread_descriptor* scheduler::self() noexcept {
+  detail::worker* w = current_worker();
+  return w != nullptr ? w->current : nullptr;
+}
+
+bool scheduler::on_worker() const noexcept {
+  detail::worker* w = current_worker();
+  return w != nullptr && w->sched == this;
+}
+
+void scheduler::wait_quiescent() const {
+  PX_ASSERT_MSG(!on_worker(),
+                "wait_quiescent would deadlock on a worker thread");
+  std::unique_lock lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [&] {
+    return live_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+scheduler_stats scheduler::stats() const {
+  scheduler_stats s;
+  s.spawned = spawned_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.yields = yields_.load(std::memory_order_relaxed);
+  s.suspends = suspends_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    s.steals += w->steals;
+    s.sleeps += w->sleeps;
+  }
+  return s;
+}
+
+}  // namespace px::threads

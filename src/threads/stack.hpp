@@ -1,0 +1,52 @@
+// Fiber stack allocation with guard pages and pooling.
+//
+// ParalleX threads are ephemeral: workloads spawn millions of short threads,
+// so stacks must be recycled, not re-mmapped.  Each stack carries a
+// PROT_NONE guard page at its low end so overflow faults immediately instead
+// of corrupting a neighbouring fiber.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace px::threads {
+
+struct stack {
+  void* base = nullptr;    // mmap base (guard page)
+  std::size_t size = 0;    // total mapping including guard
+  void* top = nullptr;     // high end; context::make builds downward from here
+
+  bool valid() const noexcept { return base != nullptr; }
+};
+
+class stack_pool {
+ public:
+  // usable_bytes is rounded up to whole pages; the guard page is extra.
+  explicit stack_pool(std::size_t usable_bytes = 64 * 1024);
+  ~stack_pool();
+
+  stack_pool(const stack_pool&) = delete;
+  stack_pool& operator=(const stack_pool&) = delete;
+
+  stack allocate();
+  void deallocate(stack s);
+
+  std::size_t usable_bytes() const noexcept { return usable_bytes_; }
+  std::size_t outstanding() const noexcept;
+  std::size_t pooled() const noexcept;
+
+ private:
+  stack create();
+  static void destroy(const stack& s);
+
+  std::size_t usable_bytes_;
+  std::size_t page_size_;
+
+  mutable util::spinlock lock_;
+  std::vector<stack> free_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace px::threads

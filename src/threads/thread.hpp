@@ -1,0 +1,48 @@
+// ParalleX thread descriptor.
+//
+// Paper §2.2 "Multithreaded": a thread is an ephemeral, locality-bound unit
+// of partially ordered operations.  It never migrates between localities; to
+// act remotely it suspends into a depleted-thread record (LCO waiter) or
+// terminates into a parcel.  Within its locality a suspended thread may be
+// resumed by any worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "threads/context.hpp"
+#include "threads/stack.hpp"
+
+namespace px::threads {
+
+class scheduler;
+
+enum class thread_state : std::uint8_t {
+  ready,       // in a run queue
+  running,     // executing on a worker
+  suspended,   // parked in an LCO waiter record ("depleted thread")
+  terminated,  // finished; descriptor pending recycle
+};
+
+struct thread_descriptor {
+  // Intrusive link for the scheduler's MPSC inject queue.
+  std::atomic<thread_descriptor*> next{nullptr};
+
+  std::uint64_t id = 0;
+  scheduler* owner = nullptr;
+  thread_state state = thread_state::ready;
+  context ctx;
+  stack stk;
+  std::function<void()> entry;
+
+  // Two-phase suspension: the suspending thread registers hook+arg, swaps
+  // out, and the *scheduler* invokes the hook after the switch completes.
+  // The hook is therefore the only place it is safe to publish this
+  // descriptor to a wakeup source (fixes the wake-before-parked race).
+  using suspend_hook = void (*)(thread_descriptor*, void*);
+  suspend_hook on_suspend = nullptr;
+  void* on_suspend_arg = nullptr;
+};
+
+}  // namespace px::threads

@@ -1,0 +1,44 @@
+// Lightweight always-on assertions for runtime invariants.
+//
+// PX_ASSERT stays enabled in release builds: the ParalleX runtime is a
+// concurrent system whose invariant violations (lost wakeups, double fires,
+// stale AGAS entries) are far cheaper to catch at the point of breakage than
+// to debug downstream.  Hot-path checks that are too expensive for release
+// use PX_DEBUG_ASSERT.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace px::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "parallex: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace px::util
+
+#define PX_ASSERT(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) ::px::util::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PX_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) ::px::util::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifndef NDEBUG
+#define PX_DEBUG_ASSERT(expr) PX_ASSERT(expr)
+#else
+#define PX_DEBUG_ASSERT(expr) \
+  do {                        \
+  } while (0)
+#endif
+
+#define PX_UNREACHABLE() \
+  ::px::util::assert_fail("unreachable", __FILE__, __LINE__, "")

@@ -1,0 +1,29 @@
+// Cache-line geometry and false-sharing avoidance helpers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace px::util {
+
+// Fixed rather than std::hardware_destructive_interference_size: that value
+// varies with -mtune and would silently change ABI between translation
+// units compiled with different flags (GCC warns for exactly this reason).
+inline constexpr std::size_t cache_line_size = 64;
+
+// Wraps a value in its own cache line so per-worker counters and queue
+// endpoints do not false-share.
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace px::util

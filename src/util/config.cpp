@@ -1,0 +1,98 @@
+#include "util/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+extern char** environ;
+
+namespace px::util {
+
+void config::load_environment() {
+  for (char** env = environ; *env != nullptr; ++env) {
+    const std::string entry(*env);
+    if (entry.rfind("PX_", 0) != 0) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key;
+    for (std::size_t i = 3; i < eq; ++i) {
+      const char c = entry[i];
+      key.push_back(c == '_' ? '.' : static_cast<char>(std::tolower(c)));
+    }
+    values_[key] = entry.substr(eq + 1);
+  }
+}
+
+void config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+void config::set(const std::string& key, const char* value) {
+  values_[key] = value;
+}
+
+void config::set(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void config::set(const std::string& key, double value) {
+  values_[key] = std::to_string(value);
+}
+
+void config::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> config::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::int64_t config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double config::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+std::string config::env_name_for(const std::string& key) {
+  std::string name = "PX_";
+  for (const char c : key) {
+    name.push_back(c == '.' ? '_' : static_cast<char>(std::toupper(c)));
+  }
+  return name;
+}
+
+}  // namespace px::util

@@ -1,0 +1,46 @@
+// Key/value runtime configuration with typed accessors.
+//
+// Sources, later wins: built-in defaults < PX_* environment variables <
+// explicit set() calls.  Keys use dotted lowercase ("scheduler.workers",
+// "net.latency_ns"); the matching env var is uppercase with dots as
+// underscores prefixed by PX_ ("PX_SCHEDULER_WORKERS").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace px::util {
+
+class config {
+ public:
+  config() = default;
+
+  // Loads every PX_* environment variable into the map.
+  void load_environment();
+
+  void set(const std::string& key, std::string value);
+  // Without this overload a string literal would convert to bool (pointer
+  // decay beats the user-defined conversion to std::string).
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  static std::string env_name_for(const std::string& key);
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace px::util

@@ -1,0 +1,95 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace px::util {
+
+void running_stats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double running_stats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+log_histogram::log_histogram() : buckets_(kBuckets, 0) {}
+
+namespace {
+
+int bucket_of(double value) noexcept {
+  if (!(value > 0.0)) return 0;
+  const int b = 1 + std::ilogb(value);
+  return std::clamp(b, 0, 63);
+}
+
+}  // namespace
+
+void log_histogram::add(double value) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_of(value))]++;
+  ++total_;
+  stats_.add(value);
+}
+
+void log_histogram::merge(const log_histogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+  stats_.merge(other.stats_);
+}
+
+double log_histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      if (i == 0) return 0.5;
+      const double lo = std::ldexp(1.0, i - 1);
+      return lo * 1.5;  // bucket midpoint
+    }
+  }
+  return stats_.max();
+}
+
+std::string log_histogram::summary(const std::string& unit) const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g %s",
+                static_cast<unsigned long long>(total_), stats_.mean(), p50(),
+                p95(), p99(), stats_.max(), unit.c_str());
+  return buf;
+}
+
+}  // namespace px::util

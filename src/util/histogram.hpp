@@ -1,0 +1,64 @@
+// Streaming statistics: running moments and a log-bucketed histogram.
+//
+// Used by the network layer (per-link latency), the scheduler (steal/queue
+// depths), and every bench binary for percentile reporting without storing
+// raw samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace px::util {
+
+// Welford running mean/variance plus min/max.
+class running_stats {
+ public:
+  void add(double x) noexcept;
+  void merge(const running_stats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return count_ ? mean_ * count_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Log2-bucketed histogram over non-negative values.  Buckets are
+// [0,1), [1,2), [2,4), [4,8), ... so percentile estimates carry at most a
+// factor-of-two quantization error, adequate for latency distributions
+// spanning many decades.
+class log_histogram {
+ public:
+  log_histogram();
+
+  void add(double value) noexcept;
+  void merge(const log_histogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  // Estimated value at quantile q in [0,1] (bucket midpoint interpolation).
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p95() const noexcept { return quantile(0.95); }
+  double p99() const noexcept { return quantile(0.99); }
+
+  const running_stats& stats() const noexcept { return stats_; }
+  std::string summary(const std::string& unit = "") const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  running_stats stats_;
+};
+
+}  // namespace px::util

@@ -1,0 +1,127 @@
+// Multi-producer single-consumer queues.
+//
+// The scheduler's inject queue (parcel handlers and remote wakeups push,
+// one worker drains) and each locality's parcel port use these.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace px::util {
+
+// Vyukov-style intrusive MPSC queue.  T must expose `std::atomic<T*> next`.
+// push() is wait-free; pop() is single-consumer and may transiently observe
+// an in-progress push (returns nullptr, caller retries or moves on).
+template <typename T>
+class intrusive_mpsc_queue {
+ public:
+  intrusive_mpsc_queue() : head_(&stub_), tail_(&stub_) {
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+  }
+
+  intrusive_mpsc_queue(const intrusive_mpsc_queue&) = delete;
+  intrusive_mpsc_queue& operator=(const intrusive_mpsc_queue&) = delete;
+
+  void push(T* node) noexcept {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    T* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  T* pop() noexcept {
+    T* tail = tail_;
+    T* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    T* head = head_.load(std::memory_order_acquire);
+    if (tail != head) return nullptr;  // producer mid-push; try later
+    push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;
+  }
+
+  bool empty_estimate() const noexcept {
+    return head_.load(std::memory_order_relaxed) == tail_ && tail_ == &stub_;
+  }
+
+ private:
+  std::atomic<T*> head_;
+  T* tail_;
+  // The stub is a real (default-constructed) T so it can sit in the linked
+  // list; only its `next` field is ever touched.
+  T stub_{};
+};
+
+// Blocking MPMC channel with closed-state; used where throughput is not
+// critical (runtime control plane, CSP baseline rendezvous buffers).
+template <typename T>
+class blocking_queue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace px::util

@@ -1,0 +1,96 @@
+// Deterministic, splittable random number generation.
+//
+// Benchmarks and the discrete-event simulator need reproducible streams that
+// can be split per-entity without correlation; xoshiro256** seeded through
+// splitmix64 is the standard recipe.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace px::util {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Derives an uncorrelated child stream; entity i of a simulation gets
+  // split(i) so event ordering changes cannot perturb its draws.
+  xoshiro256 split(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = state_[0] ^ (stream_id * 0xd1342543de82ef95ull + 1);
+    xoshiro256 child;
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>(operator()()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(operator()()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  // Exponential with given mean; used for Poisson arrival processes.
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform01();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace px::util

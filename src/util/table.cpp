@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace px::util {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row_vec(std::vector<std::string> row) {
+  PX_ASSERT_MSG(row.size() == headers_.size(),
+                "text_table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string text_table::to_cell(double v) {
+  char buf[48];
+  if (v == 0.0) return "0";
+  const double mag = std::fabs(v);
+  if (mag >= 1e6 || mag < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  } else if (std::floor(v) == v && mag < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+  }
+  return buf;
+}
+
+std::string text_table::render(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+      out << (c + 1 < row.size() ? " | " : " |");
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string text_table::render_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << (c + 1 < row.size() ? "," : "");
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void text_table::print(const std::string& title) const {
+  std::fputs(render(title).c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+std::string si_format(double value, const std::string& unit) {
+  static constexpr struct {
+    double scale;
+    const char* prefix;
+  } kScales[] = {
+      {1e18, "E"}, {1e15, "P"}, {1e12, "T"}, {1e9, "G"},
+      {1e6, "M"},  {1e3, "K"},  {1.0, ""},
+  };
+  char buf[64];
+  const double mag = std::fabs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.scale || s.scale == 1.0) {
+      std::snprintf(buf, sizeof buf, "%.3g %s%s", value / s.scale, s.prefix,
+                    unit.c_str());
+      return buf;
+    }
+  }
+  return std::to_string(value) + unit;
+}
+
+}  // namespace px::util

@@ -1,0 +1,55 @@
+// Plain-text table rendering for bench harness output.
+//
+// Every bench binary prints its reproduction of a paper table/figure as an
+// aligned text table plus an optional CSV block, so results can be diffed
+// and re-plotted without extra tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace px::util {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  // Variadic row builder: accepts strings and arithmetic values.
+  template <typename... Ts>
+  void add_row(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(Ts));
+    (row.push_back(to_cell(cells)), ...);
+    add_row_vec(std::move(row));
+  }
+
+  void add_row_vec(std::vector<std::string> row);
+
+  // Render with column alignment; `title` prints above the table.
+  std::string render(const std::string& title = "") const;
+  std::string render_csv() const;
+  void print(const std::string& title = "") const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(float v) { return to_cell(static_cast<double>(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Human-friendly engineering notation: 1.50e+18 -> "1.5 E" style helpers.
+std::string si_format(double value, const std::string& unit = "");
+
+}  // namespace px::util

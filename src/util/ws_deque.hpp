@@ -1,0 +1,134 @@
+// Chase–Lev work-stealing deque.
+//
+// Each scheduler worker owns one deque: the owner pushes/pops at the bottom
+// (LIFO, cache-warm), thieves steal from the top (FIFO, oldest task — the
+// largest remaining subtree in divide-and-conquer workloads).
+//
+// Reference: Chase & Lev, "Dynamic Circular Work-Stealing Deque", SPAA 2005;
+// memory orderings follow Lê et al., "Correct and Efficient Work-Stealing
+// for Weak Memory Models", PPoPP 2013.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace px::util {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class ws_deque {
+  struct ring {
+    explicit ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {
+      PX_ASSERT_MSG((cap & (cap - 1)) == 0, "capacity must be a power of two");
+    }
+    std::int64_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T get(std::int64_t i) const noexcept {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) noexcept {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+ public:
+  explicit ws_deque(std::int64_t initial_capacity = 256)
+      : ring_(new ring(initial_capacity)) {}
+
+  ~ws_deque() {
+    delete ring_.load(std::memory_order_relaxed);
+    for (auto* old : retired_) delete old;
+  }
+
+  ws_deque(const ws_deque&) = delete;
+  ws_deque& operator=(const ws_deque&) = delete;
+
+  // Owner only.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t >= r->capacity - 1) {
+      r = grow(r, b, t);
+    }
+    r->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* r = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = r->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  // Any thread.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    ring* r = ring_.load(std::memory_order_consume);
+    T value = r->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return value;
+  }
+
+  // Approximate; callers use it only for heuristics (steal target choice).
+  std::int64_t size_estimate() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_estimate() const noexcept { return size_estimate() == 0; }
+
+ private:
+  ring* grow(ring* old, std::int64_t b, std::int64_t t) {
+    auto* bigger = new ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    ring_.store(bigger, std::memory_order_release);
+    // Old ring may still be read by in-flight thieves; retire, free at dtor.
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<ring*> ring_;
+  std::vector<ring*> retired_;  // owner-only
+};
+
+}  // namespace px::util

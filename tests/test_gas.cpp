@@ -1,0 +1,195 @@
+// Unit tests: gids, the AGAS directory (resolution, caching, migration),
+// and the hierarchical name service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "gas/agas.hpp"
+#include "gas/gid.hpp"
+#include "gas/name_service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace px::gas;
+
+// -------------------------------------------------------------------- gid
+
+TEST(Gid, EncodesKindHomeSequence) {
+  const gid g = gid::make(gid_kind::lco, 137, 0x123456789abull);
+  EXPECT_EQ(g.kind(), gid_kind::lco);
+  EXPECT_EQ(g.home(), 137u);
+  EXPECT_EQ(g.sequence(), 0x123456789abull);
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE(gid{}.valid());
+}
+
+TEST(Gid, RoundTripsThroughBits) {
+  const gid g = gid::make(gid_kind::process, 4095, (1ull << 48) - 1);
+  const gid back = gid::from_bits(g.bits());
+  EXPECT_EQ(g, back);
+  EXPECT_EQ(back.home(), 4095u);
+  EXPECT_EQ(back.sequence(), (1ull << 48) - 1);
+}
+
+TEST(Gid, ToStringNamesKind) {
+  const gid g = gid::make(gid_kind::hardware, 3, 9);
+  EXPECT_NE(g.to_string().find("hardware"), std::string::npos);
+  EXPECT_NE(g.to_string().find("L3"), std::string::npos);
+}
+
+class GidProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GidProperty, EncodeDecodeIdentity) {
+  px::util::xoshiro256 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto kind = static_cast<gid_kind>(rng.below(5));
+    const auto home = static_cast<locality_id>(rng.below(4096));
+    const std::uint64_t seq = rng.below(1ull << 48);
+    const gid g = gid::make(kind, home, seq);
+    EXPECT_EQ(g.kind(), kind);
+    EXPECT_EQ(g.home(), home);
+    EXPECT_EQ(g.sequence(), seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GidProperty, ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------------------- agas
+
+TEST(Agas, AllocateYieldsUniqueGids) {
+  agas a(4);
+  const gid g1 = a.allocate(gid_kind::data, 2);
+  const gid g2 = a.allocate(gid_kind::data, 2);
+  EXPECT_NE(g1, g2);
+  EXPECT_EQ(g1.home(), 2u);
+}
+
+TEST(Agas, BindResolveFromEveryLocality) {
+  agas a(4);
+  const gid g = a.allocate(gid_kind::data, 1);
+  a.bind(g, 1);
+  for (locality_id from = 0; from < 4; ++from) {
+    EXPECT_EQ(a.resolve(from, g).value(), 1u);
+  }
+}
+
+TEST(Agas, ResolveUnboundReturnsNullopt) {
+  agas a(2);
+  const gid g = a.allocate(gid_kind::data, 0);
+  EXPECT_FALSE(a.resolve(1, g).has_value());
+}
+
+TEST(Agas, CachesHitAfterFirstResolve) {
+  agas a(2);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+  (void)a.resolve(1, g);
+  const auto misses_before = a.stats().cache_misses;
+  (void)a.resolve(1, g);
+  (void)a.resolve(1, g);
+  EXPECT_EQ(a.stats().cache_misses, misses_before);
+  EXPECT_GE(a.stats().cache_hits, 2u);
+}
+
+TEST(Agas, MigrationLeavesCachesStaleUntilAuthoritative) {
+  agas a(3);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+  ASSERT_EQ(a.resolve(2, g).value(), 0u);  // warm cache at 2
+  a.migrate(g, 1);
+  // Cached (stale) view persists...
+  EXPECT_EQ(a.resolve(2, g).value(), 0u);
+  // ...until an authoritative resolve refreshes it.
+  EXPECT_EQ(a.resolve_authoritative(2, g).value(), 1u);
+  EXPECT_EQ(a.resolve(2, g).value(), 1u);
+  EXPECT_EQ(a.stats().migrations, 1u);
+}
+
+TEST(Agas, InvalidateCacheForcesDirectoryLookup) {
+  agas a(2);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+  (void)a.resolve(1, g);
+  a.migrate(g, 1);
+  a.invalidate_cache(1, g);
+  EXPECT_EQ(a.resolve(1, g).value(), 1u);
+}
+
+TEST(Agas, UnbindRemovesEntry) {
+  agas a(2);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+  a.unbind(g);
+  EXPECT_FALSE(a.resolve_authoritative(1, g).has_value());
+}
+
+// Property: concurrent resolve storm against migrations never yields a
+// locality id outside the valid set, and authoritative resolves after the
+// last migration converge.
+TEST(Agas, ConcurrentResolveAndMigrateStaysConsistent) {
+  constexpr std::size_t kLoc = 8;
+  agas a(kLoc);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load()) {
+        auto owner = a.resolve(static_cast<locality_id>(t), g);
+        ASSERT_TRUE(owner.has_value());
+        ASSERT_LT(*owner, kLoc);
+      }
+    });
+  }
+  for (int i = 1; i <= 100; ++i) {
+    a.migrate(g, static_cast<locality_id>(i % kLoc));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(a.resolve_authoritative(0, g).value(), 100 % kLoc);
+}
+
+// ----------------------------------------------------------- name service
+
+TEST(NameService, RegisterLookupUnregister) {
+  name_service ns;
+  const gid g = gid::make(gid_kind::data, 0, 1);
+  EXPECT_TRUE(ns.register_name("app/graph/root", g));
+  EXPECT_EQ(ns.lookup("app/graph/root").value(), g);
+  EXPECT_FALSE(ns.register_name("app/graph/root", g));  // taken
+  EXPECT_TRUE(ns.unregister_name("app/graph/root"));
+  EXPECT_FALSE(ns.lookup("app/graph/root").has_value());
+  EXPECT_FALSE(ns.unregister_name("app/graph/root"));
+}
+
+TEST(NameService, HierarchicalPrefixListing) {
+  name_service ns;
+  const gid g = gid::make(gid_kind::data, 0, 1);
+  ns.register_name("app/graph/a", g);
+  ns.register_name("app/graph/b", g);
+  ns.register_name("app/grid/c", g);
+  ns.register_name("app2/x", g);
+  auto under_graph = ns.list("app/graph");
+  EXPECT_EQ(under_graph.size(), 2u);
+  auto under_app = ns.list("app");
+  EXPECT_EQ(under_app.size(), 3u);
+  // Prefix must respect segment boundaries: "app/gr" matches nothing.
+  EXPECT_TRUE(ns.list("app/gr").empty());
+}
+
+TEST(NameService, RejectsMalformedPaths) {
+  name_service ns;
+  const gid g = gid::make(gid_kind::data, 0, 1);
+  EXPECT_FALSE(ns.register_name("", g));
+  EXPECT_FALSE(ns.register_name("/lead", g));
+  EXPECT_FALSE(ns.register_name("trail/", g));
+  EXPECT_FALSE(ns.register_name("a//b", g));
+  EXPECT_FALSE(ns.register_name("ok", gid{}));  // invalid gid
+  EXPECT_EQ(ns.size(), 0u);
+}
+
+}  // namespace

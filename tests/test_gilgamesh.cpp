@@ -1,0 +1,192 @@
+// Tests: Gilgamesh II design-point arithmetic, the two-modality chip model,
+// and the interconnect models.
+#include <gtest/gtest.h>
+
+#include "gilgamesh/machine.hpp"
+#include "gilgamesh/tech.hpp"
+#include "gilgamesh/vortex.hpp"
+
+namespace {
+
+using namespace px::gilgamesh;
+
+// ----------------------------------------------------------- design point
+
+TEST(DesignPoint, ReproducesPaperChipComposition) {
+  const design_point dp;
+  // "16 PIM modules, each with 32 MIND nodes"
+  EXPECT_EQ(dp.tech.pim_modules_per_chip, 16u);
+  EXPECT_EQ(dp.tech.mind_nodes_per_pim, 32u);
+  EXPECT_EQ(dp.mind_nodes_per_chip, 512u);
+}
+
+TEST(DesignPoint, ChipDeliversApproximatelyTenTeraflops) {
+  const design_point dp;
+  EXPECT_GE(dp.chip_sustained_tflops, 9.0);
+  EXPECT_LE(dp.chip_sustained_tflops, 11.0);
+  // "theoretical peak is substantially higher"
+  EXPECT_GT(dp.chip_peak_tflops, 1.5 * dp.chip_sustained_tflops);
+}
+
+TEST(DesignPoint, SystemExceedsOneExaflopsWith100kChips) {
+  const design_point dp;
+  EXPECT_EQ(dp.tech.compute_chips, 100'000u);
+  EXPECT_GT(dp.system_peak_pflops, 1000.0);  // > 1 EF
+}
+
+TEST(DesignPoint, TotalMemoryIsFourPetabytes) {
+  const design_point dp;
+  EXPECT_EQ(dp.tech.penultimate_chips, 100'000u);
+  EXPECT_NEAR(dp.total_memory_pbytes, 4.0, 0.25);
+  EXPECT_GT(dp.penultimate_pbytes, dp.pim_memory_pbytes);
+}
+
+TEST(DesignPoint, ArithmeticConsistency) {
+  technology_params t;
+  t.compute_chips = 10;
+  const design_point dp(t);
+  EXPECT_NEAR(dp.system_sustained_pflops,
+              dp.chip_sustained_tflops * 10 / 1e3, 1e-12);
+  EXPECT_NEAR(dp.chip_sustained_tflops,
+              dp.mind_tflops_per_chip + dp.dataflow_tflops_per_chip, 1e-12);
+}
+
+TEST(DesignPoint, TablesRender) {
+  const design_point dp;
+  const auto table = design_point_table(dp);
+  EXPECT_GE(table.rows(), 10u);
+  const auto comp = chip_composition_table(dp);
+  EXPECT_GE(comp.rows(), 3u);
+  EXPECT_NE(table.render().find("total memory"), std::string::npos);
+}
+
+// ------------------------------------------------------------- chip model
+
+TEST(ChipModel, HighLocalityFavorsDataflowAccelerator) {
+  chip_model chip;
+  const auto tasks = make_locality_workload(400, 0.95, 50'000, 16'384, 1);
+  const auto accel = chip.run(tasks, placement_policy::accel_only);
+  const auto mind = chip.run(tasks, placement_policy::mind_only);
+  EXPECT_LT(accel.makespan_ns, mind.makespan_ns);
+}
+
+TEST(ChipModel, LowLocalityFavorsMind) {
+  chip_model chip;
+  // Memory-intensive tasks with no reuse starve the staging channel.
+  const auto tasks = make_locality_workload(400, 0.02, 5'000, 65'536, 2);
+  const auto accel = chip.run(tasks, placement_policy::accel_only);
+  const auto mind = chip.run(tasks, placement_policy::mind_only);
+  EXPECT_LT(mind.makespan_ns, accel.makespan_ns);
+}
+
+TEST(ChipModel, AdaptiveBeatsBothExtremesOnBimodalWorkload) {
+  // Figure 1's design argument: a workload mixing streaming (high reuse)
+  // and irregular (no reuse) phases wants *both* structures — routing each
+  // task to its natural unit beats committing to either alone.
+  chip_model chip;
+  auto tasks = make_locality_workload(300, 0.95, 50'000, 16'384, 3);
+  const auto irregular = make_locality_workload(300, 0.03, 5'000, 65'536, 4);
+  tasks.insert(tasks.end(), irregular.begin(), irregular.end());
+
+  const auto accel = chip.run(tasks, placement_policy::accel_only);
+  const auto mind = chip.run(tasks, placement_policy::mind_only);
+  const auto adaptive = chip.run(tasks, placement_policy::adaptive, 0.5);
+  EXPECT_LT(adaptive.makespan_ns, accel.makespan_ns);
+  EXPECT_LT(adaptive.makespan_ns, mind.makespan_ns);
+  EXPECT_GT(adaptive.tasks_on_accel, 0u);
+  EXPECT_GT(adaptive.tasks_on_mind, 0u);
+}
+
+TEST(ChipModel, DeterministicForFixedSeed) {
+  chip_model chip;
+  const auto tasks = make_locality_workload(100, 0.5, 10'000, 8'192, 7);
+  const auto r1 = chip.run(tasks, placement_policy::adaptive);
+  const auto r2 = chip.run(tasks, placement_policy::adaptive);
+  EXPECT_EQ(r1.makespan_ns, r2.makespan_ns);
+  EXPECT_EQ(r1.tasks_on_accel, r2.tasks_on_accel);
+}
+
+TEST(ChipModel, UtilizationIsBounded) {
+  chip_model chip;
+  const auto tasks = make_locality_workload(200, 0.7, 30'000, 16'384, 9);
+  const auto res = chip.run(tasks, placement_policy::adaptive);
+  EXPECT_GE(res.accel_utilization, 0.0);
+  EXPECT_LE(res.accel_utilization, 1.0 + 1e-9);
+  EXPECT_GE(res.mind_utilization, 0.0);
+  EXPECT_LE(res.mind_utilization, 1.0 + 1e-9);
+  EXPECT_GT(res.throughput_gflops, 0.0);
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(NetworkModel, VortexDiameterIsLogarithmic) {
+  network_params np;
+  np.nodes = 256;
+  np.topology = px::net::topology_kind::vortex;
+  network_model nm(np);
+  traffic_params t;
+  t.load = 0.1;
+  t.messages_per_node = 50;
+  const auto res = nm.run(t);
+  // log2(256)=8 levels + ejection = 9 expected hops.
+  EXPECT_NEAR(res.mean_hops, 9.0, 0.5);
+}
+
+TEST(NetworkModel, MeshLatencyExceedsVortexAtScale) {
+  traffic_params t;
+  t.load = 0.3;
+  t.messages_per_node = 100;
+
+  network_params vortex;
+  vortex.nodes = 256;
+  vortex.topology = px::net::topology_kind::vortex;
+  network_params mesh = vortex;
+  mesh.topology = px::net::topology_kind::mesh2d;
+
+  const auto rv = network_model(vortex).run(t);
+  const auto rm = network_model(mesh).run(t);
+  EXPECT_LT(rv.mean_latency_ns, rm.mean_latency_ns);
+}
+
+TEST(NetworkModel, LatencyRisesWithLoad) {
+  network_params np;
+  np.nodes = 64;
+  np.topology = px::net::topology_kind::vortex;
+  network_model nm(np);
+  traffic_params lo, hi;
+  lo.load = 0.1;
+  hi.load = 0.9;
+  lo.messages_per_node = hi.messages_per_node = 150;
+  const auto rl = nm.run(lo);
+  const auto rh = nm.run(hi);
+  EXPECT_GE(rh.mean_latency_ns, rl.mean_latency_ns);
+}
+
+TEST(NetworkModel, HotspotDegradesEjection) {
+  network_params np;
+  np.nodes = 64;
+  np.topology = px::net::topology_kind::crossbar;
+  network_model nm(np);
+  traffic_params uniform, hotspot;
+  uniform.load = hotspot.load = 0.5;
+  uniform.messages_per_node = hotspot.messages_per_node = 100;
+  hotspot.hotspot_fraction = 0.5;
+  const auto ru = nm.run(uniform);
+  const auto rh = nm.run(hotspot);
+  EXPECT_GT(rh.p99_latency_ns, ru.p99_latency_ns);
+}
+
+TEST(NetworkModel, AllMessagesDelivered) {
+  network_params np;
+  np.nodes = 32;
+  np.topology = px::net::topology_kind::mesh2d;
+  network_model nm(np);
+  traffic_params t;
+  t.load = 0.4;
+  t.messages_per_node = 80;
+  const auto res = nm.run(t);
+  EXPECT_EQ(res.messages, 32u * 80u);
+  EXPECT_GT(res.delivered_gbytes_per_s, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Cross-module integration: the whole stack under adversarial conditions —
+// fabric jitter (message reordering), mixed mechanism composition, and
+// result equivalence between the ParalleX runtime and the CSP baseline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "baseline/csp.hpp"
+#include "core/action.hpp"
+#include "core/echo.hpp"
+#include "core/process.hpp"
+#include "core/runtime.hpp"
+#include "litlx/litlx.hpp"
+
+namespace {
+
+using namespace px;
+using core::runtime;
+using core::runtime_params;
+
+std::uint64_t tri_fib(std::uint64_t n) {
+  if (n < 2) return n;
+  runtime& rt = core::this_locality()->rt();
+  const auto target = static_cast<gas::locality_id>(
+      (n * 2654435761u) % rt.num_localities());
+  auto left = core::async<&tri_fib>(rt.locality_gid(target), n - 1);
+  return tri_fib(n - 2) + left.get();
+}
+PX_REGISTER_ACTION(tri_fib)
+
+double block_sum(std::vector<double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+PX_REGISTER_ACTION(block_sum)
+
+// --------------------------------------------------- jitter (reordering)
+
+TEST(Integration, FibUnderHeavyJitterIsCorrect) {
+  // Jitter larger than base latency reorders parcels aggressively; the
+  // model must be insensitive to delivery order.
+  runtime_params p;
+  p.localities = 3;
+  p.workers_per_locality = 2;
+  p.fabric.base_latency_ns = 1'000;
+  p.fabric.jitter_ns = 50'000;
+  runtime rt(p);
+  std::uint64_t result = 0;
+  rt.run([&] {
+    result = core::async<&tri_fib>(rt.locality_gid(1), 14).get();
+  });
+  EXPECT_EQ(result, 377u);
+}
+
+TEST(Integration, ScatterGatherUnderJitterLosesNothing) {
+  runtime_params p;
+  p.localities = 4;
+  p.workers_per_locality = 2;
+  p.fabric.jitter_ns = 20'000;
+  runtime rt(p);
+  double total = 0;
+  rt.run([&] {
+    std::vector<lco::future<double>> parts;
+    for (int i = 0; i < 64; ++i) {
+      std::vector<double> block(100, static_cast<double>(i));
+      parts.push_back(core::async<&block_sum>(
+          rt.locality_gid(static_cast<gas::locality_id>(i % 4)),
+          std::move(block)));
+    }
+    for (auto& f : parts) total += f.get();
+  });
+  // sum over i of 100*i for i in [0,64)
+  EXPECT_DOUBLE_EQ(total, 100.0 * (63.0 * 64.0 / 2.0));
+}
+
+// ------------------------------------------- px vs csp result equivalence
+
+TEST(Integration, ParallexAndCspComputeTheSameReduction) {
+  constexpr int kN = 1000;
+  // ParalleX: distributed block sums + dataflow gather.
+  double px_total = 0;
+  {
+    runtime rt(runtime_params{.localities = 4, .workers_per_locality = 2});
+    rt.run([&] {
+      std::vector<lco::future<double>> parts;
+      for (int b = 0; b < 4; ++b) {
+        std::vector<double> block;
+        for (int i = b; i < kN; i += 4) block.push_back(i);
+        parts.push_back(core::async<&block_sum>(
+            rt.locality_gid(static_cast<gas::locality_id>(b)),
+            std::move(block)));
+      }
+      for (auto& f : parts) px_total += f.get();
+    });
+  }
+  // CSP: allreduce over the same partition.
+  std::atomic<double> csp_total{0};
+  {
+    baseline::csp_runtime rt(baseline::csp_params{.ranks = 4});
+    rt.run([&](baseline::rank_context& ctx) {
+      double mine = 0;
+      for (int i = ctx.rank(); i < kN; i += ctx.size()) mine += i;
+      const double total = ctx.allreduce_sum(mine);
+      if (ctx.rank() == 0) csp_total.store(total);
+    });
+  }
+  EXPECT_DOUBLE_EQ(px_total, csp_total.load());
+  EXPECT_DOUBLE_EQ(px_total, kN * (kN - 1) / 2.0);
+}
+
+// ------------------------------------------------- composition scenarios
+
+TEST(Integration, ProcessSpanningWorkUpdatesEchoVariable) {
+  runtime rt(runtime_params{.localities = 3, .workers_per_locality = 2});
+  rt.start();
+  core::echo<int> progress(rt, 0, 0);
+  auto proc = core::create_process(rt, {0, 1, 2});
+
+  rt.run([&] {
+    for (int i = 0; i < 9; ++i) {
+      proc->spawn_any([&] {
+        progress.update([](int x) { return x + 1; });
+      });
+    }
+    proc->seal();
+    proc->terminated().wait();
+    auto [bytes, version] = rt.echo_mgr().home_read(progress.id());
+    EXPECT_EQ(util::from_bytes<int>(bytes), 9);
+    EXPECT_EQ(version, 10u);  // 9 committed updates after initial v1
+  });
+}
+
+TEST(Integration, NameServiceDrivenDispatch) {
+  runtime rt(runtime_params{.localities = 4, .workers_per_locality = 1});
+  rt.start();
+  // Register an application-level alias for a compute locality, then
+  // dispatch through the symbolic name only.
+  ASSERT_TRUE(rt.names().register_name("app/solver/primary",
+                                       rt.locality_gid(2)));
+  double result = 0;
+  rt.run([&] {
+    const auto target = rt.names().lookup("app/solver/primary");
+    ASSERT_TRUE(target.has_value());
+    result = core::async<&block_sum>(*target,
+                                     std::vector<double>{1, 2, 3, 4}).get();
+  });
+  EXPECT_DOUBLE_EQ(result, 10.0);
+  auto solver_entries = rt.names().list("app/solver");
+  EXPECT_EQ(solver_entries.size(), 1u);
+}
+
+TEST(Integration, LitlxSlotsComposeWithPercolationAndEcho) {
+  runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 2;
+  p.staging_slots_per_locality = 2;
+  runtime rt(p);
+  rt.start();
+  core::echo<double> acc(rt, 0, 0.0);
+  rt.run([&] {
+    litlx::sync_slot slot(6);
+    for (int i = 0; i < 6; ++i) {
+      litlx::spawn_thread([&, i] {
+        auto fut = litlx::percolate<&block_sum>(
+            1, std::vector<double>(10, static_cast<double>(i)));
+        const double part = fut.get();
+        acc.update([part](double t) { return t + part; });
+        slot.signal();
+      });
+    }
+    slot.wait();
+    auto [value, version] = acc.read();
+    (void)version;
+    EXPECT_DOUBLE_EQ(value, 10.0 * (0 + 1 + 2 + 3 + 4 + 5));
+  });
+}
+
+TEST(Integration, RepeatedRuntimeLifecyclesAreClean) {
+  for (int round = 0; round < 5; ++round) {
+    runtime rt(runtime_params{.localities = 2, .workers_per_locality = 1});
+    std::atomic<int> hits{0};
+    rt.run([&] {
+      for (int i = 0; i < 20; ++i) {
+        core::apply<&tri_fib>(rt.locality_gid(1), 3);
+        hits.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(hits.load(), 20);
+    rt.stop();
+  }
+}
+
+TEST(Integration, QuiescenceCoversParcelChains) {
+  // apply chains that bounce between localities several times; run() must
+  // not return until the last hop lands.
+  runtime rt(runtime_params{.localities = 2, .workers_per_locality = 2});
+  std::uint64_t result = 0;
+  rt.run([&] {
+    result = core::async<&tri_fib>(rt.locality_gid(0), 12).get();
+  });
+  EXPECT_EQ(result, 144u);
+  // After run(): nothing in flight anywhere.
+  EXPECT_EQ(rt.fabric().in_flight(), 0u);
+  for (std::size_t l = 0; l < rt.num_localities(); ++l) {
+    EXPECT_EQ(rt.at(static_cast<gas::locality_id>(l)).sched().live_threads(),
+              0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Unit tests: parcel encoding and the action registry.
+#include <gtest/gtest.h>
+
+#include "parcel/action_registry.hpp"
+#include "parcel/parcel.hpp"
+
+namespace {
+
+using namespace px;
+using namespace px::parcel;
+
+TEST(Parcel, EncodeDecodeIdentity) {
+  parcel::parcel p;
+  p.destination = gas::gid::make(gas::gid_kind::data, 3, 42);
+  p.action = 7;
+  p.cont.target = gas::gid::make(gas::gid_kind::lco, 1, 9);
+  p.cont.action = 2;
+  p.arguments = util::to_bytes(std::string("payload"), 123);
+  p.source = 5;
+  p.forwards = 2;
+
+  const auto bytes = encode(p);
+  const parcel::parcel q = decode(bytes);
+  EXPECT_EQ(q.destination, p.destination);
+  EXPECT_EQ(q.action, p.action);
+  EXPECT_EQ(q.cont.target, p.cont.target);
+  EXPECT_EQ(q.cont.action, p.cont.action);
+  EXPECT_EQ(q.arguments, p.arguments);
+  EXPECT_EQ(q.source, p.source);
+  EXPECT_EQ(q.forwards, p.forwards);
+}
+
+TEST(Parcel, ContinuationValidity) {
+  continuation c;
+  EXPECT_FALSE(c.valid());
+  c.target = gas::gid::make(gas::gid_kind::lco, 0, 1);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(ActionRegistry, RegisterDispatchByIdAndName) {
+  action_registry reg;
+  int hits = 0;
+  void* seen_ctx = nullptr;
+  const action_id id = reg.register_action(
+      "test.hello", [&](void* ctx, parcel::parcel) {
+        ++hits;
+        seen_ctx = ctx;
+      });
+  EXPECT_EQ(reg.find("test.hello").value(), id);
+  EXPECT_EQ(reg.name_of(id), "test.hello");
+  EXPECT_FALSE(reg.find("test.absent").has_value());
+
+  parcel::parcel p;
+  p.action = id;
+  int ctx_obj = 0;
+  reg.dispatch(&ctx_obj, std::move(p));
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(seen_ctx, &ctx_obj);
+}
+
+TEST(ActionRegistry, IdsAreSequentialFromOne) {
+  action_registry reg;
+  const auto a = reg.register_action("a", [](void*, parcel::parcel) {});
+  const auto b = reg.register_action("b", [](void*, parcel::parcel) {});
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ActionRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&action_registry::global(), &action_registry::global());
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Unit tests: discrete-event engine, simulated resources, and the fabric.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace px;
+
+// ----------------------------------------------------------------- engine
+
+TEST(SimEngine, FiresInTimeThenSequenceOrder) {
+  sim::engine eng;
+  std::vector<int> order;
+  eng.schedule_at(10 * sim::ns, [&] { order.push_back(2); });
+  eng.schedule_at(5 * sim::ns, [&] { order.push_back(1); });
+  eng.schedule_at(10 * sim::ns, [&] { order.push_back(3); });  // same time
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 10 * sim::ns);
+}
+
+TEST(SimEngine, EventsMayScheduleEvents) {
+  sim::engine eng;
+  int fired = 0;
+  eng.schedule_after(1 * sim::ns, [&] {
+    ++fired;
+    eng.schedule_after(2 * sim::ns, [&] { ++fired; });
+  });
+  EXPECT_EQ(eng.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 3 * sim::ns);
+}
+
+TEST(SimEngine, RunUntilStopsAtDeadline) {
+  sim::engine eng;
+  int fired = 0;
+  eng.schedule_at(5 * sim::ns, [&] { ++fired; });
+  eng.schedule_at(15 * sim::ns, [&] { ++fired; });
+  eng.run_until(10 * sim::ns);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 10 * sim::ns);
+  EXPECT_EQ(eng.pending(), 1u);
+}
+
+TEST(SimEngine, DeterministicAcrossRuns) {
+  auto trace = [] {
+    sim::engine eng;
+    std::vector<sim::time_ps> stamps;
+    for (int i = 0; i < 50; ++i) {
+      eng.schedule_at(static_cast<sim::time_ps>((i * 37) % 17) * sim::ns,
+                      [&, i] { stamps.push_back(eng.now() + i); });
+    }
+    eng.run();
+    return stamps;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+// --------------------------------------------------------------- resource
+
+TEST(SimResource, SerializesBeyondCapacity) {
+  sim::engine eng;
+  sim::resource r(eng, 2);
+  std::vector<sim::time_ps> completions;
+  for (int i = 0; i < 4; ++i) {
+    r.use(10 * sim::ns, [&] { completions.push_back(eng.now()); });
+  }
+  eng.run();
+  // Two run [0,10), two queue and run [10,20).
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[0], 10 * sim::ns);
+  EXPECT_EQ(completions[1], 10 * sim::ns);
+  EXPECT_EQ(completions[2], 20 * sim::ns);
+  EXPECT_EQ(completions[3], 20 * sim::ns);
+}
+
+TEST(SimResource, FifoGrantOrder) {
+  sim::engine eng;
+  sim::resource r(eng, 1);
+  std::vector<int> grants;
+  for (int i = 0; i < 3; ++i) {
+    r.acquire([&, i] {
+      grants.push_back(i);
+      eng.schedule_after(1 * sim::ns, [&r] { r.release(); });
+    });
+  }
+  eng.run();
+  EXPECT_EQ(grants, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimResource, BusyTimeTracksUtilization) {
+  sim::engine eng;
+  sim::resource r(eng, 1);
+  r.use(30 * sim::ns, [] {});
+  eng.run();
+  EXPECT_EQ(r.busy_time(), 30 * sim::ns);
+  EXPECT_EQ(r.total_grants(), 1u);
+}
+
+// ----------------------------------------------------------------- fabric
+
+TEST(Fabric, DeliversToHandler) {
+  net::fabric_params p;
+  p.endpoints = 2;
+  net::fabric f(p);
+  std::atomic<int> got{0};
+  f.set_handler(1, [&](net::message m) {
+    EXPECT_EQ(m.source, 0u);
+    EXPECT_EQ(m.payload.size(), 3u);
+    got.fetch_add(1);
+  });
+  f.set_handler(0, [](net::message) {});
+  f.send(net::message{0, 1, 0, std::vector<std::byte>(3)});
+  f.drain();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(Fabric, ImposesConfiguredLatency) {
+  net::fabric_params p;
+  p.endpoints = 2;
+  p.base_latency_ns = 2'000'000;  // 2ms, comfortably measurable
+  net::fabric f(p);
+  f.set_handler(0, [](net::message) {});
+  std::atomic<bool> got{false};
+  f.set_handler(1, [&](net::message) { got.store(true); });
+  const auto start = std::chrono::steady_clock::now();
+  f.send(net::message{0, 1, 0, {}});
+  f.drain();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(got.load());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            1900);
+}
+
+TEST(Fabric, ModelLatencyReflectsTopologyAndBandwidth) {
+  net::fabric_params p;
+  p.endpoints = 16;
+  p.base_latency_ns = 100;
+  p.per_hop_ns = 50;
+  p.bytes_per_ns = 2.0;
+  p.topology = net::topology_kind::mesh2d;
+  net::fabric f(p);
+  // mesh 4x4: 0 -> 15 is 3+3=6 hops; 1000 bytes at 2 B/ns adds 500ns.
+  EXPECT_EQ(f.model_latency_ns(0, 15, 1000), 100u + 6u * 50u + 500u);
+  EXPECT_EQ(f.model_latency_ns(0, 0, 0), 100u);
+}
+
+TEST(Fabric, TopologyHopCounts) {
+  using net::topology_hops;
+  using net::topology_kind;
+  EXPECT_EQ(topology_hops(topology_kind::crossbar, 64, 3, 60), 1u);
+  EXPECT_EQ(topology_hops(topology_kind::crossbar, 64, 3, 3), 0u);
+  // 8x8 mesh: (0,0) -> (7,7) = 14 hops.
+  EXPECT_EQ(topology_hops(topology_kind::mesh2d, 64, 0, 63), 14u);
+  // vortex: log2(64) = 6 levels.
+  EXPECT_EQ(topology_hops(topology_kind::vortex, 64, 0, 63), 6u);
+}
+
+TEST(Fabric, ManyMessagesAllArriveAcrossEndpoints) {
+  net::fabric_params p;
+  p.endpoints = 4;
+  p.base_latency_ns = 1000;
+  p.jitter_ns = 2000;  // force reordering
+  net::fabric f(p);
+  std::atomic<int> got{0};
+  for (unsigned i = 0; i < 4; ++i) {
+    f.set_handler(i, [&](net::message) { got.fetch_add(1); });
+  }
+  for (int k = 0; k < 500; ++k) {
+    f.send(net::message{static_cast<net::endpoint_id>(k % 4),
+                        static_cast<net::endpoint_id>((k + 1) % 4), 0, {}});
+  }
+  f.drain();
+  EXPECT_EQ(got.load(), 500);
+  EXPECT_EQ(f.stats(0).messages_sent, 125u);
+  EXPECT_EQ(f.latency_histogram().count(), 500u);
+}
+
+TEST(Fabric, StatsCountBytes) {
+  net::fabric_params p;
+  p.endpoints = 2;
+  net::fabric f(p);
+  f.set_handler(0, [](net::message) {});
+  f.set_handler(1, [](net::message) {});
+  f.send(net::message{0, 1, 0, std::vector<std::byte>(100)});
+  f.send(net::message{0, 1, 0, std::vector<std::byte>(20)});
+  f.drain();
+  EXPECT_EQ(f.stats(0).bytes_sent, 120u);
+  EXPECT_EQ(f.stats(1).messages_received, 2u);
+}
+
+}  // namespace
