@@ -126,19 +126,38 @@ void runtime::deliver_from_fabric(net::message m) {
   at(m.dest).deliver(std::move(p));
 }
 
+std::uint64_t runtime::activity_snapshot() const {
+  // Monotonic count of work-creation events across the machine: every
+  // thread spawn and every fabric send bumps it before the work becomes
+  // visible.  Two equal snapshots bracketing a pass of zero-valued counter
+  // reads prove the pass observed a true fixed point.
+  std::uint64_t n = fabric_->messages_sent_total();
+  for (const auto& loc : localities_) n += loc->sched_.spawn_count();
+  return n;
+}
+
 void runtime::wait_quiescent() {
   // Fixed point: every scheduler idle AND no parcel in flight.  A drained
   // fabric can re-populate schedulers (handlers spawn threads) and idle
   // schedulers can re-populate the fabric, so loop until a pass observes
   // both conditions with no intervening activity.
+  //
+  // The per-counter reads below are not atomic as a group, so a thread
+  // that sends a parcel and terminates *between* the in_flight() read and
+  // its locality's live_threads() read would make the pass look stable
+  // with a parcel still in flight — the premature-quiescence race behind
+  // the Runtime.ApplyRunsOnTargetLocality hang.  The activity snapshot
+  // closes it: any such hidden transition performed a spawn or a send
+  // during the pass, which changes the snapshot and forces another loop.
   for (;;) {
+    const std::uint64_t before = activity_snapshot();
     for (auto& loc : localities_) loc->sched_.wait_quiescent();
     fabric_->drain();
     bool stable = fabric_->in_flight() == 0;
     for (auto& loc : localities_) {
       stable = stable && loc->sched_.live_threads() == 0;
     }
-    if (stable) return;
+    if (stable && activity_snapshot() == before) return;
   }
 }
 

@@ -73,7 +73,10 @@ class runtime {
   gas::locality_id owner_of(gas::locality_id from, gas::gid id);
 
   // Blocks until every scheduler is quiescent and the fabric is drained —
-  // i.e. no thread, parcel, or pending wakeup exists anywhere.
+  // i.e. no thread, parcel, or pending wakeup exists anywhere.  Internally
+  // loops until a pass over all counters is bracketed by two identical
+  // activity snapshots (see activity_snapshot), which makes the check
+  // race-free against threads that hand off work and terminate mid-pass.
   void wait_quiescent();
 
   // Ships a closure to `where` as a parcel (paying fabric latency) and runs
@@ -120,6 +123,7 @@ class runtime {
   friend class locality;
 
   void deliver_from_fabric(net::message m);
+  std::uint64_t activity_snapshot() const;
 
   runtime_params params_;
   gas::agas agas_;

@@ -29,6 +29,19 @@ void event_base::wait() {
   }
 }
 
+// Runs on the scheduler context after the waiter's switch-out completed,
+// so td is genuinely parked before any wakeup source can see it.  Two races
+// meet here and both resolve against the event's lock:
+//  - fire() slipped in between wait()'s ready() check and this hook: the
+//    fired_ re-check below catches it and we resume td ourselves instead of
+//    parking it on an event that will never fire again.
+//  - fire() runs concurrently with the push: the lock serializes them, so
+//    the firing thread either sees td in waiters_ (and wakes it) or misses
+//    it entirely (and we take the already_fired branch).
+// After the push is published (lock released), td may be resumed, run to
+// completion, and be recycled by another worker at any moment — so nothing
+// below the critical section may touch td except the already_fired resume,
+// which owns td precisely because it was never published.
 void event_base::suspend_hook(threads::thread_descriptor* td, void* self) {
   auto* ev = static_cast<event_base*>(self);
   bool already_fired = false;
@@ -40,10 +53,10 @@ void event_base::suspend_hook(threads::thread_descriptor* td, void* self) {
       waiter w;
       w.depleted = td;
       ev->waiters_.push_back(std::move(w));
+      lco_counters::depleted_threads_created.fetch_add(
+          1, std::memory_order_relaxed);
     }
   }
-  lco_counters::depleted_threads_created.fetch_add(
-      1, std::memory_order_relaxed);
   if (already_fired) td->owner->resume(td);
 }
 

@@ -116,7 +116,7 @@ class dataflow_var {
 template <typename T>
 class atomic_object {
  public:
-  atomic_object(core::runtime& rt, gas::locality_id home, T initial)
+  atomic_object(core::runtime& /*rt*/, gas::locality_id home, T initial)
       : home_(home), state_(std::make_shared<state>(std::move(initial))) {}
 
   gas::locality_id home() const noexcept { return home_; }

@@ -87,6 +87,7 @@ std::uint64_t fabric::model_latency_ns(endpoint_id a, endpoint_id b,
 void fabric::send(message m) {
   PX_ASSERT(m.dest < handlers_.size());
   const auto now = std::chrono::steady_clock::now();
+  sent_total_.fetch_add(1, std::memory_order_acq_rel);
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::lock_guard lock(mutex_);

@@ -90,6 +90,14 @@ class fabric {
     return in_flight_.load(std::memory_order_acquire);
   }
 
+  // Monotonic count of send() calls, incremented before the message is
+  // visible to the progress thread.  Paired with scheduler::spawn_count()
+  // in the runtime's quiescence protocol to detect activity racing its
+  // counter reads.
+  std::uint64_t messages_sent_total() const noexcept {
+    return sent_total_.load(std::memory_order_acquire);
+  }
+
   // Blocks until every message sent so far has been handed to its handler
   // and the handler returned.
   void drain();
@@ -128,6 +136,7 @@ class fabric {
   util::log_histogram latency_hist_;
 
   std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> sent_total_{0};
   std::thread progress_;
 };
 

@@ -9,6 +9,15 @@ void* px_ctx_swap(void** save_sp, void* target_sp, void* payload);
 void px_ctx_trampoline();
 }
 
+#if defined(PX_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace px::threads {
 
 context context::make(void* stack_top, context_entry entry) {
@@ -28,6 +37,9 @@ context context::make(void* stack_top, context_entry entry) {
   fp[1] = 0x037f;  // x87 control word: default
   context ctx;
   ctx.sp_ = reinterpret_cast<void*>(top - 72);
+#if defined(PX_TSAN_FIBERS)
+  ctx.tsan_fiber_ = __tsan_create_fiber(0);
+#endif
   return ctx;
 }
 
@@ -35,7 +47,24 @@ void* context::swap(context& from, context& to, void* payload) {
   PX_DEBUG_ASSERT(to.valid());
   void* target = to.sp_;
   to.sp_ = nullptr;  // consumed; will be republished when `to` parks again
+#if defined(PX_TSAN_FIBERS)
+  // Record where the caller parks and tell TSan about the switch (flag 0:
+  // establish synchronization), immediately before the real swap per the
+  // fiber API contract.
+  from.tsan_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(to.tsan_fiber_, 0);
+#endif
   return px_ctx_swap(&from.sp_, target, payload);
+}
+
+void context::retire() noexcept {
+#if defined(PX_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+    tsan_fiber_ = nullptr;
+  }
+#endif
+  sp_ = nullptr;
 }
 
 }  // namespace px::threads

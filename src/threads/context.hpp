@@ -8,12 +8,30 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/fence.hpp"  // PX_TSAN_ACTIVE detection
+
 namespace px::threads {
 
 using context_entry = void (*)(void*);
 
 #if defined(__x86_64__)
 #define PX_HAVE_FCONTEXT 1
+#else
+// Porting: implement px_ctx_swap/px_ctx_trampoline in a context_<arch>.S
+// (save callee-saved GPRs + FP control state, exchange stack pointers,
+// match the frame layout in context::make), add it to CMakeLists.txt, and
+// extend this detection.  See the note in context.cpp for why a ucontext
+// fallback is deliberately not offered.
+#error "parallex: no fiber context backend for this architecture (x86-64 only)"
+#endif
+
+// ThreadSanitizer cannot follow a raw stack switch; annotate switches with
+// its fiber API so happens-before flows through px_ctx_swap and reports
+// carry fiber-correct stacks.  Detection lives in util/fence.hpp so the
+// fence substitution and the fiber annotations can never disagree about
+// whether TSan is active.
+#if defined(PX_TSAN_ACTIVE)
+#define PX_TSAN_FIBERS 1
 #endif
 
 class context {
@@ -31,10 +49,18 @@ class context {
   // but a given context is resumed by exactly one thread at a time.
   static void* swap(context& from, context& to, void* payload);
 
+  // Releases sanitizer bookkeeping for a context that will never run again
+  // (thread terminated).  No-op without TSan; must not be called on the
+  // currently executing context.
+  void retire() noexcept;
+
   bool valid() const noexcept { return sp_ != nullptr; }
 
  private:
   void* sp_ = nullptr;
+#if defined(PX_TSAN_FIBERS)
+  void* tsan_fiber_ = nullptr;
+#endif
 };
 
 }  // namespace px::threads

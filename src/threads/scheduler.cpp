@@ -6,6 +6,7 @@
 
 #include "util/assert.hpp"
 #include "util/cache.hpp"
+#include "util/fence.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/ws_deque.hpp"
@@ -21,9 +22,9 @@ struct worker {
   context sched_ctx;  // parked scheduler loop while a thread runs
   thread_descriptor* current = nullptr;
   util::xoshiro256 rng;
-  std::uint64_t executed = 0;
-  std::uint64_t steals = 0;
-  std::uint64_t sleeps = 0;
+  // Written by the owning worker, read by stats() from arbitrary threads.
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> sleeps{0};
   std::thread os_thread;
 };
 
@@ -136,6 +137,19 @@ void scheduler::enqueue(thread_descriptor* td) {
   } else {
     inject_.push(td);
   }
+  wake_for_new_work();
+}
+
+// Producer half of the sleep/wake handshake.  The push above and the
+// sleepers_ read below must not be reordered against the consumer's
+// "increment sleepers_, then re-check the queues" sequence in idle_wait();
+// the seq_cst fences on both sides make this a sound Dekker-style
+// handshake: either we observe the sleeper (and notify), or the sleeper's
+// re-check observes our push — a wakeup can never fall between the cracks.
+// (Without the fence the relaxed sleepers_ load may be satisfied before the
+// push is visible, which is the lost wakeup that wedged NestedSpawnFanOut.)
+void scheduler::wake_for_new_work() {
+  util::thread_fence(std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_relaxed) > 0) {
     wake_sleepers(/*all=*/false);
   }
@@ -168,7 +182,7 @@ thread_descriptor* scheduler::find_work(detail::worker& w) {
       auto& victim = *workers_[w.rng.below(n)];
       if (&victim != &w) {
         if (auto stolen = victim.deque.steal()) {
-          ++w.steals;
+          w.steals.fetch_add(1, std::memory_order_relaxed);
           return *stolen;
         }
       }
@@ -181,14 +195,35 @@ thread_descriptor* scheduler::find_work(detail::worker& w) {
 }
 
 void scheduler::idle_wait(detail::worker& w) {
-  ++w.sleeps;
+  w.sleeps.fetch_add(1, std::memory_order_relaxed);
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  // Consumer half of the handshake with wake_for_new_work(): the fence
+  // orders "announce sleeper" before "re-check queues", pairing with the
+  // producer's "push, fence, read sleepers_" so one side always sees the
+  // other.
+  util::thread_fence(std::memory_order_seq_cst);
   {
     std::unique_lock lock(idle_mutex_);
     // Re-check under the lock: a producer that saw sleepers_ > 0 will
     // notify while holding idle_mutex_, so this cannot miss new work.
-    if (!stop_.load(std::memory_order_acquire) &&
-        inject_.empty_estimate() && w.deque.empty_estimate()) {
+    // Two details make the re-check sufficient:
+    //  - Gate on empty_estimate(), never on a pop() having returned
+    //    nullptr: the MPSC pop is tri-state (empty OR producer mid-push)
+    //    while empty_estimate() stays conservatively non-empty through
+    //    the whole push window — sleeping on a nullptr pop alone would
+    //    re-open the lost-wakeup hole.
+    //  - Scan *every* worker's deque, not just our own: a worker spawning
+    //    into its own deque also notifies, and if that notify fired
+    //    before we started waiting, the pushed work is visible here (the
+    //    producer's push precedes its fenced sleepers_ read, which saw
+    //    us).  Checking only our own deque would stall stealable work for
+    //    a full timeout period.
+    // The timeout is defence in depth, not the correctness mechanism.
+    bool any_work = !inject_.empty_estimate();
+    for (const auto& other : workers_) {
+      any_work = any_work || !other->deque.empty_estimate();
+    }
+    if (!stop_.load(std::memory_order_acquire) && !any_work) {
       idle_cv_.wait_for(lock, std::chrono::microseconds(500));
     }
   }
@@ -223,9 +258,9 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
   // or suspended.  After the handoff below `td` must not be touched: a
   // concurrent wake may already be running it elsewhere.
   w.current = nullptr;
-  ++w.executed;
   switch (td->state) {
     case thread_state::terminated: {
+      td->ctx.retire();  // context::make rebuilds it on descriptor reuse
       recycle(td);
       completed_.fetch_add(1, std::memory_order_relaxed);
       if (live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -248,7 +283,10 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
       yields_.fetch_add(1, std::memory_order_relaxed);
       // FIFO inject queue, not the owner's LIFO deque: a yielded thread
       // re-pushed locally would be popped right back, starving peers.
+      // Same wake handshake as enqueue(): a sibling worker drifting off to
+      // sleep must either be notified or observe this push in its re-check.
       inject_.push(td);
+      wake_for_new_work();
       break;
     }
     case thread_state::running:
@@ -320,8 +358,8 @@ scheduler_stats scheduler::stats() const {
   s.yields = yields_.load(std::memory_order_relaxed);
   s.suspends = suspends_.load(std::memory_order_relaxed);
   for (const auto& w : workers_) {
-    s.steals += w->steals;
-    s.sleeps += w->sleeps;
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.sleeps += w->sleeps.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -101,6 +101,13 @@ class scheduler {
     return live_.load(std::memory_order_acquire);
   }
 
+  // Monotonic count of spawn() calls, incremented before the new thread
+  // becomes runnable.  The runtime's quiescence protocol snapshots this to
+  // detect activity that raced between its counter reads.
+  std::uint64_t spawn_count() const noexcept {
+    return spawned_.load(std::memory_order_acquire);
+  }
+
   // Blocks the calling OS thread until live_threads() drops to zero.
   // Must not be called from a ParalleX thread of this scheduler.
   void wait_quiescent() const;
@@ -123,6 +130,7 @@ class scheduler {
   thread_descriptor* acquire_descriptor(std::function<void()> fn);
   void recycle(thread_descriptor* td);
   void enqueue(thread_descriptor* td);
+  void wake_for_new_work();
   void wake_sleepers(bool all);
 
   scheduler_params params_;

@@ -9,8 +9,9 @@
 
 namespace px::threads {
 
-stack_pool::stack_pool(std::size_t usable_bytes)
-    : page_size_(static_cast<std::size_t>(::sysconf(_SC_PAGESIZE))) {
+stack_pool::stack_pool(std::size_t usable_bytes, std::size_t max_pooled)
+    : page_size_(static_cast<std::size_t>(::sysconf(_SC_PAGESIZE))),
+      max_pooled_(max_pooled) {
   usable_bytes_ = ((usable_bytes + page_size_ - 1) / page_size_) * page_size_;
   PX_ASSERT(usable_bytes_ >= page_size_);
 }
@@ -50,10 +51,18 @@ stack stack_pool::allocate() {
 }
 
 void stack_pool::deallocate(stack s) {
-  std::lock_guard lock(lock_);
-  PX_ASSERT(outstanding_ > 0);
-  --outstanding_;
-  free_.push_back(s);
+  {
+    std::lock_guard lock(lock_);
+    PX_ASSERT(outstanding_ > 0);
+    --outstanding_;
+    if (free_.size() < max_pooled_) {
+      free_.push_back(s);
+      return;
+    }
+  }
+  // Over the cap: unmap outside the lock (munmap is a syscall; keeping it
+  // out of the critical section keeps allocate() latency flat).
+  destroy(s);
 }
 
 std::size_t stack_pool::outstanding() const noexcept {

@@ -24,7 +24,11 @@ struct stack {
 class stack_pool {
  public:
   // usable_bytes is rounded up to whole pages; the guard page is extra.
-  explicit stack_pool(std::size_t usable_bytes = 64 * 1024);
+  // At most max_pooled retired stacks are cached for reuse; beyond that,
+  // deallocate() unmaps immediately so a burst of a million short threads
+  // does not pin a million stacks of address space forever.
+  explicit stack_pool(std::size_t usable_bytes = 64 * 1024,
+                      std::size_t max_pooled = 128);
   ~stack_pool();
 
   stack_pool(const stack_pool&) = delete;
@@ -34,6 +38,7 @@ class stack_pool {
   void deallocate(stack s);
 
   std::size_t usable_bytes() const noexcept { return usable_bytes_; }
+  std::size_t max_pooled() const noexcept { return max_pooled_; }
   std::size_t outstanding() const noexcept;
   std::size_t pooled() const noexcept;
 
@@ -43,6 +48,7 @@ class stack_pool {
 
   std::size_t usable_bytes_;
   std::size_t page_size_;
+  std::size_t max_pooled_;
 
   mutable util::spinlock lock_;
   std::vector<stack> free_;

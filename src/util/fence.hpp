@@ -1,0 +1,44 @@
+// Standalone memory fences that stay ThreadSanitizer-friendly.
+//
+// TSan does not model std::atomic_thread_fence (gcc even rejects it under
+// -fsanitize=thread -Werror via -Wtsan): it would silently drop the
+// happens-before edges that our fence-based protocols (Chase-Lev deque,
+// the scheduler's sleep/wake Dekker handshake) rely on, burying real
+// reports under false ones.  Under TSan we substitute an RMW on one shared
+// dummy atomic: every fence call site then synchronizes through a single
+// modification order, which over-approximates the fence (conservative, a
+// few ns slower) while giving TSan an edge it understands.  Plain builds
+// get the real instruction-level fence.
+#pragma once
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)  // gcc
+#define PX_TSAN_ACTIVE 1
+#elif defined(__has_feature)  // clang
+#if __has_feature(thread_sanitizer)
+#define PX_TSAN_ACTIVE 1
+#endif
+#endif
+
+namespace px::util {
+
+#if defined(PX_TSAN_ACTIVE)
+
+namespace detail {
+inline std::atomic<unsigned> tsan_fence_sync{0};
+}
+
+inline void thread_fence(std::memory_order order) noexcept {
+  detail::tsan_fence_sync.fetch_add(0, order);
+}
+
+#else
+
+inline void thread_fence(std::memory_order order) noexcept {
+  std::atomic_thread_fence(order);
+}
+
+#endif
+
+}  // namespace px::util

@@ -32,6 +32,13 @@ class intrusive_mpsc_queue {
     prev->next.store(node, std::memory_order_release);
   }
 
+  // Single-consumer dequeue.  A nullptr return is tri-state in disguise:
+  // the queue may be truly empty, or a producer may be mid-push (head_
+  // already swung to the new node, predecessor's `next` not yet linked).
+  // Callers that are about to *sleep* must therefore gate on
+  // empty_estimate(), which stays conservatively "non-empty" through the
+  // whole push window — treating this nullptr as definitive is the classic
+  // lost-wakeup feeder.
   T* pop() noexcept {
     T* tail = tail_;
     T* next = tail->next.load(std::memory_order_acquire);
@@ -56,13 +63,20 @@ class intrusive_mpsc_queue {
     return nullptr;
   }
 
+  // True only when the queue is definitely empty.  head_ points at the
+  // stub iff every pushed node has been fully consumed; a producer mid-push
+  // has already swung head_ to its node, so this reports "non-empty" for
+  // the entire push window.  That conservatism is load-bearing: it is what
+  // lets the scheduler's idle path sleep safely after pop() returned
+  // nullptr.  (Deliberately reads only head_: tail_ is consumer-private and
+  // reading it here from other threads would be a data race.)
   bool empty_estimate() const noexcept {
-    return head_.load(std::memory_order_relaxed) == tail_ && tail_ == &stub_;
+    return head_.load(std::memory_order_acquire) == &stub_;
   }
 
  private:
   std::atomic<T*> head_;
-  T* tail_;
+  T* tail_;  // consumer-private; never read outside pop()
   // The stub is a real (default-constructed) T so it can sit in the linked
   // list; only its `next` field is ever touched.
   T stub_{};

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/fence.hpp"
 
 namespace px::util {
 
@@ -32,11 +33,25 @@ class ws_deque {
     std::int64_t mask;
     std::unique_ptr<std::atomic<T>[]> slots;
 
+    // Plain builds: relaxed slot accesses, ordered by the fences per Lê et
+    // al.  TSan builds: util::thread_fence degrades to a dummy RMW, which
+    // cannot reproduce the fence-to-atomic pairing that publishes a pushed
+    // payload to a thief — so strengthen the slot accesses themselves to
+    // release/acquire, giving TSan a real happens-before edge on the exact
+    // location the stolen task's payload is read through.
+#if defined(PX_TSAN_ACTIVE)
+    static constexpr std::memory_order slot_store = std::memory_order_release;
+    static constexpr std::memory_order slot_load = std::memory_order_acquire;
+#else
+    static constexpr std::memory_order slot_store = std::memory_order_relaxed;
+    static constexpr std::memory_order slot_load = std::memory_order_relaxed;
+#endif
+
     T get(std::int64_t i) const noexcept {
-      return slots[i & mask].load(std::memory_order_relaxed);
+      return slots[i & mask].load(slot_load);
     }
     void put(std::int64_t i, T v) noexcept {
-      slots[i & mask].store(v, std::memory_order_relaxed);
+      slots[i & mask].store(v, slot_store);
     }
   };
 
@@ -61,7 +76,7 @@ class ws_deque {
       r = grow(r, b, t);
     }
     r->put(b, value);
-    std::atomic_thread_fence(std::memory_order_release);
+    util::thread_fence(std::memory_order_release);
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
@@ -70,7 +85,7 @@ class ws_deque {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     ring* r = ring_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    util::thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
 
     if (t > b) {
@@ -94,10 +109,15 @@ class ws_deque {
   // Any thread.
   std::optional<T> steal() {
     std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    util::thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return std::nullopt;
-    ring* r = ring_.load(std::memory_order_consume);
+    // acquire, not consume: Lê et al. (PPoPP 2013) publish the grown ring
+    // with a release store, and the thief must observe the copied slots
+    // through the ring pointer.  memory_order_consume is deprecated and
+    // promoted to acquire by every implementation anyway (P0371R1), so
+    // spell the real requirement.
+    ring* r = ring_.load(std::memory_order_acquire);
     T value = r->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {

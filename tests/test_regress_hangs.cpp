@@ -1,0 +1,140 @@
+// Regression stress tests for the boot-time hangs: lost wakeups between
+// enqueue and the idle sleep path, suspend-hook vs. cross-thread resume
+// races, and the runtime quiescence/fabric-drain fixed point.  Each test is
+// a tightened loop around one of the originally-hanging scenarios, run with
+// workers_per_locality >= 2 so cross-worker wakeups actually occur.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+#include "threads/scheduler.hpp"
+
+namespace {
+
+using namespace px;
+
+std::atomic<int> g_hits{0};
+
+void bump_hits(int n) { g_hits.fetch_add(n, std::memory_order_relaxed); }
+
+int which_locality_plus(int i) {
+  return static_cast<int>(core::this_locality()->id()) + i;
+}
+
+// Repeated nested fan-out: the scenario behind Scheduler.NestedSpawnFanOut.
+// Each round re-crosses the worker sleep/wake boundary, so a lost wakeup
+// shows up as a timeout here long before it would in one big tree.
+TEST(RegressHangs, RepeatedNestedFanOut) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 4});
+  sched.start();
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> hits{0};
+    std::function<void(int)> node = [&](int depth) {
+      if (depth == 0) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      sched.spawn([&, depth] { node(depth - 1); });
+      sched.spawn([&, depth] { node(depth - 1); });
+    };
+    sched.spawn([&] { node(6); });
+    sched.wait_quiescent();
+    ASSERT_EQ(hits.load(), 64) << "round " << round;
+  }
+  sched.stop();
+}
+
+// Suspend/resume ping-pong between a ParalleX thread and an external OS
+// thread; exercises the two-phase suspend hook against immediate wakeups.
+TEST(RegressHangs, SuspendResumeStorm) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 2});
+  sched.start();
+  constexpr int kThreads = 64;
+  constexpr int kRounds = 50;
+  std::atomic<int> completions{0};
+  for (int i = 0; i < kThreads; ++i) {
+    sched.spawn([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Hook resumes immediately: maximal pressure on the window between
+        // parking and the cross-thread wake.
+        threads::scheduler::suspend(
+            [](threads::thread_descriptor* td, void*) {
+              td->owner->resume(td);
+            },
+            nullptr);
+      }
+      completions.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  sched.wait_quiescent();
+  EXPECT_EQ(completions.load(), kThreads);
+  sched.stop();
+}
+
+// Future handoff between ParalleX threads, repeated: the scenario behind
+// LcoOnScheduler.FutureDeliversValueToDepletedThread.
+TEST(RegressHangs, FutureHandoffStorm) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 2});
+  sched.start();
+  for (int round = 0; round < 200; ++round) {
+    lco::promise<int> prom;
+    auto fut = prom.get_future();
+    std::atomic<int> got{0};
+    sched.spawn([&, fut] { got.store(fut.get()); });
+    sched.spawn([&, prom]() mutable { prom.set_value(round + 1); });
+    sched.wait_quiescent();
+    ASSERT_EQ(got.load(), round + 1) << "round " << round;
+  }
+  sched.stop();
+}
+
+// Cross-locality apply storm with multi-worker localities: the scenario
+// behind Runtime.ApplyRunsOnTargetLocality, scaled up so the quiescence /
+// fabric-drain fixed point is probed repeatedly while parcels are in
+// flight.
+TEST(RegressHangs, CrossLocalityApplyStorm) {
+  core::runtime_params params;
+  params.localities = 4;
+  params.workers_per_locality = 2;
+  params.fabric.base_latency_ns = 500;
+  params.fabric.jitter_ns = 2000;  // force reordering
+  core::runtime rt(params);
+  g_hits.store(0);
+  rt.run([&] {
+    for (int wave = 0; wave < 8; ++wave) {
+      for (int i = 0; i < 4; ++i) {
+        core::apply<&bump_hits>(rt.locality_gid(i), 1);
+      }
+    }
+  });
+  EXPECT_EQ(g_hits.load(), 32);
+}
+
+// Suspended threads woken from a *different* locality's worker (via future
+// continuations riding continuation parcels).
+TEST(RegressHangs, RemoteFutureWakeups) {
+  core::runtime_params params;
+  params.localities = 2;
+  params.workers_per_locality = 2;
+  params.fabric.base_latency_ns = 1000;
+  core::runtime rt(params);
+  std::atomic<int> sum{0};
+  rt.run([&] {
+    std::vector<lco::future<int>> futs;
+    for (int i = 0; i < 32; ++i) {
+      futs.push_back(core::async<&which_locality_plus>(
+          rt.locality_gid(i % 2), i));
+    }
+    for (auto& f : futs) sum.fetch_add(f.get());
+  });
+  // sum of (locality + i) for i in 0..31 with locality = i % 2.
+  int expect = 0;
+  for (int i = 0; i < 32; ++i) expect += (i % 2) + i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace

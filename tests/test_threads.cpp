@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cfenv>
 #include <set>
 #include <vector>
 
@@ -20,8 +21,6 @@ struct ping_pong_state {
   context fiber_ctx;
   std::vector<int> trace;
 };
-ping_pong_state* g_pp = nullptr;
-
 void ping_pong_entry(void* arg) {
   auto* st = static_cast<ping_pong_state*>(arg);
   st->trace.push_back(1);
@@ -67,6 +66,41 @@ TEST(Context, PayloadRoundTrip) {
   EXPECT_EQ(st.trace, std::vector<int>{42});
 }
 
+// px_ctx_swap must save/restore mxcsr and the x87 control word: a fiber's
+// FP environment is part of its context.  std::fesetround writes both
+// control registers on x86-64, so round-tripping the rounding mode across
+// swaps exercises exactly the stmxcsr/ldmxcsr + fnstcw/fldcw pairs.
+struct fp_state {
+  context main_ctx;
+  context fiber_ctx;
+  bool fiber_kept_downward = false;
+};
+
+void fp_entry(void* arg) {
+  auto* st = static_cast<fp_state*>(arg);
+  std::fesetround(FE_DOWNWARD);
+  context::swap(st->fiber_ctx, st->main_ctx, nullptr);
+  // Back in the fiber: its FE_DOWNWARD must have been restored even though
+  // the main context ran (and checked) FE_TONEAREST in between.
+  st->fiber_kept_downward = std::fegetround() == FE_DOWNWARD;
+  std::fesetround(FE_TONEAREST);
+  context::swap(st->fiber_ctx, st->main_ctx, nullptr);
+}
+
+TEST(Context, RoundTripsFpControlState) {
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  std::vector<char> stack_mem(64 * 1024);
+  fp_state st;
+  st.fiber_ctx =
+      context::make(stack_mem.data() + stack_mem.size(), &fp_entry);
+  context::swap(st.main_ctx, st.fiber_ctx, &st);
+  // The fiber switched itself to FE_DOWNWARD; our environment is intact.
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+  context::swap(st.main_ctx, st.fiber_ctx, nullptr);
+  EXPECT_TRUE(st.fiber_kept_downward);
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}
+
 // ------------------------------------------------------------------ stack
 
 TEST(StackPool, RecyclesStacks) {
@@ -86,6 +120,22 @@ TEST(StackPool, RecyclesStacks) {
 TEST(StackPool, RoundsUpToPages) {
   stack_pool pool(1);
   EXPECT_GE(pool.usable_bytes(), 4096u);
+}
+
+TEST(StackPool, BoundsPooledStacks) {
+  constexpr std::size_t kCap = 4;
+  stack_pool pool(16 * 1024, kCap);
+  std::vector<stack> stacks;
+  for (int i = 0; i < 16; ++i) stacks.push_back(pool.allocate());
+  EXPECT_EQ(pool.outstanding(), 16u);
+  for (auto& s : stacks) pool.deallocate(s);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // Only the cap survives in the free list; the overflow was unmapped.
+  EXPECT_EQ(pool.pooled(), kCap);
+  // The cap holds across further churn.
+  stack again = pool.allocate();
+  pool.deallocate(again);
+  EXPECT_LE(pool.pooled(), kCap);
 }
 
 TEST(StackPool, StacksAreWritable) {
