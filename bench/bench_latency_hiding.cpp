@@ -22,7 +22,7 @@ namespace {
 
 using namespace px;
 
-constexpr int kItems = 384;
+const int kItems = bench::smoke_mode() ? 48 : 384;
 constexpr double kComputeUs = 10.0;
 
 double serve_value(std::uint64_t key) {
@@ -97,14 +97,35 @@ int main() {
 
   util::text_table table({"latency (us)", "CSP (ms)", "ParalleX (ms)",
                           "speedup", "CSP exposed/item (us)"});
-  for (const std::uint64_t lat_us : {0ull, 5ull, 20ull, 50ull, 100ull}) {
+  std::vector<std::string> rows;
+  const std::vector<std::uint64_t> latencies =
+      bench::smoke_mode() ? std::vector<std::uint64_t>{0, 20}
+                          : std::vector<std::uint64_t>{0, 5, 20, 50, 100};
+  for (const std::uint64_t lat_us : latencies) {
     const double csp = csp_run_ms(lat_us * 1000);
     const double pxm = parallex_run_ms(lat_us * 1000);
     table.add_row(static_cast<std::int64_t>(lat_us), csp, pxm, csp / pxm,
                   csp * 1000.0 / kItems - kComputeUs);
+    char row[224];
+    std::snprintf(row, sizeof row,
+                  "{\"latency_us\": %llu, \"csp_ms\": %.4g, "
+                  "\"parallex_ms\": %.4g, \"speedup\": %.4g}",
+                  static_cast<unsigned long long>(lat_us), csp, pxm,
+                  csp / pxm);
+    rows.push_back(row);
   }
-  table.print("384 items x (remote fetch + 10us compute)");
+  table.print(std::to_string(kItems) +
+              " items x (remote fetch + 10us compute)");
   std::printf("%s", table.render_csv().c_str());
+
+  bench::json_writer json;
+  json.add("bench", std::string("latency_hiding"));
+  json.add("items", static_cast<std::int64_t>(kItems));
+  json.add("compute_us", kComputeUs);
+  json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
+  json.add_rows("latencies", rows);
+  json.write("BENCH_latency.json");
+
   std::printf(
       "\nshape check: CSP time grows linearly with latency (2 traversals "
       "exposed per item); ParalleX stays near the compute bound.\n");

@@ -147,19 +147,47 @@ BENCHMARK(BM_AgasResolveAuthoritative);
 
 // ---------------------------------------------------------------- parcels
 
-void BM_ParcelEncodeDecode(benchmark::State& state) {
+parcel::parcel sample_parcel() {
   parcel::parcel p;
   p.destination = gas::gid::make(gas::gid_kind::data, 1, 99);
   p.action = 3;
   p.cont.target = gas::gid::make(gas::gid_kind::lco, 0, 7);
   p.cont.action = 1;
   p.arguments = util::to_bytes(std::uint64_t{42}, 3.14);
+  return p;
+}
+
+// Encode into a reused buffer, decode via zero-copy view: the steady-state
+// per-parcel wire cost (no allocation in the loop).
+void BM_ParcelEncodeViewDecode(benchmark::State& state) {
+  const parcel::parcel p = sample_parcel();
+  std::vector<std::byte> buf;
   for (auto _ : state) {
-    auto bytes = parcel::encode(p);
-    benchmark::DoNotOptimize(parcel::decode(bytes));
+    buf.clear();
+    parcel::encode_into(buf, p);
+    auto v = parcel::parcel_view::parse(buf);
+    benchmark::DoNotOptimize(v);
   }
 }
-BENCHMARK(BM_ParcelEncodeDecode);
+BENCHMARK(BM_ParcelEncodeViewDecode);
+
+// Full batch frame round trip at a representative coalescing factor.
+void BM_ParcelFrameRoundTrip32(benchmark::State& state) {
+  const parcel::parcel p = sample_parcel();
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    parcel::frame_begin(buf);
+    for (int i = 0; i < 32; ++i) parcel::frame_append(buf, p);
+    auto frame = parcel::frame_view::parse(buf);
+    std::size_t args = 0;
+    for (auto it = frame->begin(); it != frame->end(); ++it) {
+      args += (*it).arguments().size();
+    }
+    benchmark::DoNotOptimize(args);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ParcelFrameRoundTrip32);
 
 int identity(int x) { return x; }
 PX_REGISTER_ACTION(identity)

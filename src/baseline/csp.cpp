@@ -25,10 +25,12 @@ csp_runtime::csp_runtime(csp_params params) : params_(params) {
   fabric_ = std::make_unique<net::fabric>(params_.fabric);
   for (std::size_t i = 0; i < params_.ranks; ++i) {
     fabric_->set_handler(
-        static_cast<net::endpoint_id>(i), [this, i](net::message m) {
+        static_cast<net::endpoint_id>(i), [this, i](net::message& m) {
           envelope env;
           env.source = static_cast<int>(m.source);
           env.tag = m.tag;
+          // Steals the payload (mailbox entries outlive the handler); the
+          // fabric's pool just sees a capacity-less release.
           env.payload = std::move(m.payload);
           post(static_cast<int>(i), std::move(env));
         });

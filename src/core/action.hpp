@@ -64,31 +64,37 @@ struct action {
     std::string reg_name =
         name != nullptr ? std::string(name)
                         : std::string("auto.") + typeid(action).name();
+    // &invoke is a plain function pointer: dispatch for typed actions is
+    // the registry's non-allocating fast path (no std::function erasure).
     return parcel::action_registry::global().register_action(
         std::move(reg_name), &invoke);
   }
 
-  static void invoke(void* ctx, parcel::parcel p) {
+  static void invoke(void* ctx, const parcel::parcel_view& pv) {
     auto* loc = static_cast<locality*>(ctx);
+    // Zero-copy argument decode: the typed tuple is materialized straight
+    // from the wire bytes here, before the view's backing frame is
+    // recycled; nothing else of the parcel is copied.
+    args_tuple args = util::from_bytes<args_tuple>(pv.arguments());
+    const parcel::continuation cont = pv.cont();
     // Message-driven execution: the parcel's arrival *is* the thread
     // creation event (paper: parcels let execution sites operate via a
     // work-queue model).
-    loc->spawn([loc, p = std::move(p)]() mutable {
-      args_tuple args = util::from_bytes<args_tuple>(p.arguments);
+    loc->spawn([loc, cont, args = std::move(args)]() mutable {
       if constexpr (std::is_void_v<result_type>) {
         std::apply(Fn, std::move(args));
-        if (p.cont.valid()) {
+        if (cont.valid()) {
           parcel::parcel done;
-          done.destination = p.cont.target;
-          done.action = p.cont.action;
+          done.destination = cont.target;
+          done.action = cont.action;
           loc->send(std::move(done));
         }
       } else {
         result_type result = std::apply(Fn, std::move(args));
-        if (p.cont.valid()) {
+        if (cont.valid()) {
           parcel::parcel done;
-          done.destination = p.cont.target;
-          done.action = p.cont.action;
+          done.destination = cont.target;
+          done.action = cont.action;
           done.arguments = util::to_bytes(result);
           loc->send(std::move(done));
         }

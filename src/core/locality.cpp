@@ -87,8 +87,7 @@ void locality::send(parcel::parcel p) {
   rt_.route(id_, std::move(p));
 }
 
-void locality::deliver(parcel::parcel p) {
-  parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
+bool locality::arriving_needs_forward(gas::gid dest) {
   // Establish locality context for the delivery path: on the fabric
   // progress thread this makes sink-fired continuations (and anything they
   // apply) run with the receiving locality as "here".  On a worker thread
@@ -97,26 +96,44 @@ void locality::deliver(parcel::parcel p) {
   detail::set_this_locality(this);
 
   // Ownership check for migratable kinds: if the object moved away and we
-  // were reached through a stale cache, forward toward the authoritative
-  // owner (bounded; each forward refreshes the sender-side cache).
-  const gas::gid dest = p.destination;
-  if (dest.kind() == gas::gid_kind::data ||
-      dest.kind() == gas::gid_kind::process) {
-    if (!has_object(dest)) {
-      const auto owner = rt_.gas().resolve_authoritative(id_, dest);
-      PX_ASSERT_MSG(owner.has_value(), "parcel for unbound object gid");
-      if (*owner != id_) {
-        PX_ASSERT_MSG(p.forwards < 8, "parcel forwarding loop");
-        p.forwards += 1;
-        parcels_forwarded_.fetch_add(1, std::memory_order_relaxed);
-        rt_.route(id_, std::move(p));
-        return;
-      }
-      // Authoritative owner is us but the object is gone: creation racing
-      // delivery; fall through and let the action handle or assert.
-    }
+  // were reached through a stale cache, the parcel must be rerouted toward
+  // the authoritative owner (bounded by runtime::route's forward cap; each
+  // forward refreshes the sender-side cache).
+  if (dest.kind() != gas::gid_kind::data &&
+      dest.kind() != gas::gid_kind::process) {
+    return false;
+  }
+  if (has_object(dest)) return false;
+  const auto owner = rt_.gas().resolve_authoritative(id_, dest);
+  PX_ASSERT_MSG(owner.has_value(), "parcel for unbound object gid");
+  // When the authoritative owner is us but the object is gone, creation is
+  // racing delivery; dispatch and let the action handle or assert.
+  return *owner != id_;
+}
+
+void locality::deliver(parcel::parcel p) {
+  parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (arriving_needs_forward(p.destination)) {
+    p.forwards += 1;
+    parcels_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    rt_.route(id_, std::move(p));
+    return;
   }
   parcel::action_registry::global().dispatch(this, std::move(p));
+}
+
+void locality::deliver(const parcel::parcel_view& pv) {
+  parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (arriving_needs_forward(pv.destination())) {
+    // Rare path: the view's frame is owned by the fabric, so the reroute
+    // needs an owning copy.
+    parcel::parcel p = pv.to_parcel();
+    p.forwards += 1;
+    parcels_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    rt_.route(id_, std::move(p));
+    return;
+  }
+  parcel::action_registry::global().dispatch(this, pv);
 }
 
 locality_stats locality::stats() const {
@@ -124,6 +141,7 @@ locality_stats locality::stats() const {
   s.parcels_sent = parcels_sent_.load(std::memory_order_relaxed);
   s.parcels_delivered = parcels_delivered_.load(std::memory_order_relaxed);
   s.parcels_forwarded = parcels_forwarded_.load(std::memory_order_relaxed);
+  s.parcels_dropped = parcels_dropped_.load(std::memory_order_relaxed);
   s.threads_spawned = threads_spawned_.load(std::memory_order_relaxed);
   return s;
 }

@@ -30,6 +30,7 @@ struct locality_stats {
   std::uint64_t parcels_sent = 0;
   std::uint64_t parcels_delivered = 0;
   std::uint64_t parcels_forwarded = 0;  // stale AGAS cache reroutes
+  std::uint64_t parcels_dropped = 0;    // forward-bound exceeded
   std::uint64_t threads_spawned = 0;
 };
 
@@ -75,14 +76,28 @@ class locality {
   // Routes a parcel toward its destination (local fast path or fabric).
   void send(parcel::parcel p);
 
-  // A parcel has arrived at this locality (from the fabric or the local
-  // fast path): verify ownership, forward if stale, else dispatch.
+  // A parcel has arrived at this locality: verify ownership, forward if
+  // stale, else dispatch.  The owned-parcel overload serves the local fast
+  // path (no encode round trip); the view overload serves the fabric path
+  // and dispatches zero-copy — the view's backing frame is only borrowed,
+  // so a forward (the rare path) materializes a copy.
   void deliver(parcel::parcel p);
+  void deliver(const parcel::parcel_view& pv);
+
+  // Bookkeeping for runtime::route's forward-bound enforcement.
+  void note_dropped() noexcept {
+    parcels_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   locality_stats stats() const;
 
  private:
   friend class runtime;
+
+  // True when the parcel for `dest` must be rerouted (object migrated away
+  // and we were reached through a stale cache); establishes the locality
+  // context as a side effect of the arrival.
+  bool arriving_needs_forward(gas::gid dest);
 
   runtime& rt_;
   gas::locality_id id_;
@@ -98,6 +113,7 @@ class locality {
   std::atomic<std::uint64_t> parcels_sent_{0};
   std::atomic<std::uint64_t> parcels_delivered_{0};
   std::atomic<std::uint64_t> parcels_forwarded_{0};
+  std::atomic<std::uint64_t> parcels_dropped_{0};
   std::atomic<std::uint64_t> threads_spawned_{0};
 };
 

@@ -1,0 +1,101 @@
+// Per-locality parcel port: outbound coalescing onto the fabric.
+//
+// The paper's parcel model makes communication overhead *amortizable*; this
+// is where the amortization happens.  Each locality owns one port holding
+// one open batch frame per remote destination.  enqueue() encodes the
+// parcel straight into that frame (buffer drawn from the fabric's pool —
+// steady state allocates nothing) and the frame ships when it crosses a
+// byte or count threshold, when a scheduler worker runs out of work
+// (flush-on-idle hook), when the fabric progress thread goes idle
+// (backstop), or when the runtime's quiescence loop forces it.
+//
+// Quiescence contract: a parcel is continuously visible to
+// runtime::wait_quiescent as pending() here, then in_flight() in the
+// fabric, then a live thread at the destination — and every transition
+// bumps a monotonic counter (enqueued_total here, messages_sent_total in
+// the fabric) *before* the previous stage's count drops, so the activity-
+// snapshot bracketing stays race-free with coalescing enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "net/fabric.hpp"
+#include "parcel/parcel.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::core {
+
+struct parcel_port_params {
+  std::size_t flush_bytes = 4096;  // ship a frame at this payload size...
+  std::uint32_t flush_count = 64;  // ...or at this many coalesced parcels
+};
+
+struct parcel_port_stats {
+  std::uint64_t parcels_enqueued = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t threshold_flushes = 0;  // frames shipped by size/count
+  std::uint64_t demand_flushes = 0;     // frames shipped by flush()/idle
+};
+
+class parcel_port {
+ public:
+  parcel_port(net::fabric& fabric, net::endpoint_id self,
+              parcel_port_params params);
+
+  parcel_port(const parcel_port&) = delete;
+  parcel_port& operator=(const parcel_port&) = delete;
+
+  // Coalesces p into the open frame for `dest` (must be a remote
+  // endpoint), shipping it if a threshold is crossed.  Thread-safe.
+  void enqueue(net::endpoint_id dest, const parcel::parcel& p);
+
+  // Ships the open frame for `dest` / for every destination, if any.
+  void flush(net::endpoint_id dest);
+  void flush_all();
+
+  // Parcels coalesced but not yet handed to the fabric.
+  std::uint64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  // Monotonic count of enqueue() calls, bumped before the parcel is
+  // buffered (quiescence activity snapshots).
+  std::uint64_t enqueued_total() const noexcept {
+    return enqueued_total_.load(std::memory_order_acquire);
+  }
+
+  parcel_port_stats stats() const;
+  const parcel_port_params& params() const noexcept { return params_; }
+
+ private:
+  struct out_channel {
+    util::spinlock lock;
+    std::vector<std::byte> buf;  // empty => no open frame
+    std::uint32_t count = 0;
+  };
+
+  // Takes the channel's open frame into `out` and closes the channel;
+  // returns the parcel count.  Caller holds ch.lock.
+  static std::uint32_t take_frame(out_channel& ch,
+                                  std::vector<std::byte>& out);
+
+  void ship(std::vector<std::byte> frame, std::uint32_t count,
+            net::endpoint_id dest);
+
+  net::fabric& fabric_;
+  net::endpoint_id self_;
+  parcel_port_params params_;
+  std::vector<std::unique_ptr<out_channel>> channels_;  // by destination
+
+  std::atomic<std::uint64_t> enqueued_total_{0};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> threshold_flushes_{0};
+  std::atomic<std::uint64_t> demand_flushes_{0};
+};
+
+}  // namespace px::core

@@ -13,12 +13,15 @@ namespace px::core {
 // Built-in continuation target: fire a single-shot LCO sink.  Runs on the
 // fabric progress thread by design — firing a future is enqueue-only work
 // and skipping the thread spawn keeps continuation latency minimal.
+// Registered as a raw function pointer (non-allocating dispatch); the sink
+// closure may outlive the wire frame, so the parcel is materialized here.
 parcel::action_id sink_action_id() {
   static const parcel::action_id id =
       parcel::action_registry::global().register_action(
-          "px.sink", [](void* ctx, parcel::parcel p) {
+          "px.sink", +[](void* ctx, const parcel::parcel_view& pv) {
             auto* loc = static_cast<locality*>(ctx);
-            const bool fired = loc->fire_sink(p.destination, std::move(p));
+            const bool fired =
+                loc->fire_sink(pv.destination(), pv.to_parcel());
             PX_ASSERT_MSG(fired, "continuation parcel for unknown sink");
           });
   return id;
@@ -28,6 +31,27 @@ runtime::runtime(runtime_params params)
     : params_(params), agas_(params.localities) {
   PX_ASSERT(params_.localities >= 1);
   params_.fabric.endpoints = params_.localities;
+  // parcel::forwards is u8: a bound of 255 could never trip (the counter
+  // would wrap to 0 first), silently restoring unbounded forwarding.
+  params_.max_forwards = std::min<std::uint8_t>(params_.max_forwards, 254);
+
+  // Coalescing thresholds: explicit params win, then PX_PARCEL_FLUSH_*
+  // environment variables, then built-in defaults.
+  parcel_port_params pp;
+  {
+    util::config cfg;
+    cfg.load_environment();
+    if (params_.parcel_flush_bytes == 0) {
+      params_.parcel_flush_bytes = static_cast<std::size_t>(cfg.get_int(
+          "parcel.flush_bytes", static_cast<std::int64_t>(pp.flush_bytes)));
+    }
+    if (params_.parcel_flush_count == 0) {
+      params_.parcel_flush_count = static_cast<std::uint32_t>(cfg.get_int(
+          "parcel.flush_count", static_cast<std::int64_t>(pp.flush_count)));
+    }
+  }
+  pp.flush_bytes = params_.parcel_flush_bytes;
+  pp.flush_count = std::max<std::uint32_t>(1, params_.parcel_flush_count);
 
   threads::scheduler_params sp;
   sp.workers = params_.workers_per_locality;
@@ -52,11 +76,21 @@ runtime::runtime(runtime_params params)
 
   fabric_ = std::make_unique<net::fabric>(params_.fabric);
   for (std::size_t i = 0; i < params_.localities; ++i) {
-    fabric_->set_handler(static_cast<net::endpoint_id>(i),
-                         [this](net::message m) {
-                           deliver_from_fabric(std::move(m));
-                         });
+    const auto ep = static_cast<net::endpoint_id>(i);
+    fabric_->set_handler(ep, [this](net::message& m) {
+      deliver_from_fabric(m);
+    });
+    ports_.push_back(std::make_unique<parcel_port>(*fabric_, ep, pp));
+    // Flush-on-idle: a worker with nothing to run ships this locality's
+    // half-full frames (communication fills the compute troughs).
+    localities_[i]->sched_.set_idle_hook(
+        [port = ports_.back().get()] { port->flush_all(); });
   }
+  // Backstop: if every worker of a locality is pinned busy (or asleep with
+  // the inject path quiet), the fabric progress thread flushes for them.
+  fabric_->set_idle_callback([this] {
+    for (auto& port : ports_) port->flush_all();
+  });
 
   echo_ = std::make_unique<echo_manager>(*this);
   percolation_ = std::make_unique<percolation_manager>(
@@ -104,6 +138,16 @@ gas::locality_id runtime::owner_of(gas::locality_id from, gas::gid id) {
 }
 
 void runtime::route(gas::locality_id from, parcel::parcel p) {
+  if (p.forwards > params_.max_forwards) {
+    // Stale-cache forwarding loop (or a migration storm outrunning the
+    // directory): drop with a diagnostic rather than bouncing forever.
+    at(from).note_dropped();
+    PX_LOG_WARN(
+        "dropping parcel after %u forwards (action %u, dest %s, source %u)",
+        static_cast<unsigned>(p.forwards), p.action,
+        p.destination.to_string().c_str(), p.source);
+    return;
+  }
   const gas::locality_id owner = owner_of(from, p.destination);
   PX_ASSERT_MSG(owner != gas::invalid_locality,
                 "route: destination gid is unbound");
@@ -114,46 +158,57 @@ void runtime::route(gas::locality_id from, parcel::parcel p) {
     at(owner).deliver(std::move(p));
     return;
   }
-  net::message m;
-  m.source = from;
-  m.dest = owner;
-  m.payload = parcel::encode(p);
-  fabric_->send(std::move(m));
+  ports_[from]->enqueue(static_cast<net::endpoint_id>(owner), p);
 }
 
-void runtime::deliver_from_fabric(net::message m) {
-  parcel::parcel p = parcel::decode(m.payload);
-  at(m.dest).deliver(std::move(p));
+void runtime::deliver_from_fabric(net::message& m) {
+  // Zero-copy receive: walk the batch frame in place; each parcel_view
+  // borrows the message payload, which the fabric recycles after we
+  // return.  Actions that keep state copy what they need.
+  const auto frame = parcel::frame_view::parse(m.payload);
+  PX_ASSERT_MSG(frame.has_value(), "fabric delivered an invalid parcel frame");
+  locality& dst = at(m.dest);
+  for (auto it = frame->begin(); it != frame->end(); ++it) {
+    dst.deliver(*it);
+  }
 }
 
 std::uint64_t runtime::activity_snapshot() const {
   // Monotonic count of work-creation events across the machine: every
-  // thread spawn and every fabric send bumps it before the work becomes
-  // visible.  Two equal snapshots bracketing a pass of zero-valued counter
-  // reads prove the pass observed a true fixed point.
+  // thread spawn, every parcel enqueued on a port, and every parcel the
+  // fabric accepts bumps it before the work becomes visible.  Two equal
+  // snapshots bracketing a pass of zero-valued counter reads prove the
+  // pass observed a true fixed point.  (A parcel moving port -> fabric is
+  // counted by both monotonic counters; only equality matters.)
   std::uint64_t n = fabric_->messages_sent_total();
+  for (const auto& port : ports_) n += port->enqueued_total();
   for (const auto& loc : localities_) n += loc->sched_.spawn_count();
   return n;
 }
 
 void runtime::wait_quiescent() {
-  // Fixed point: every scheduler idle AND no parcel in flight.  A drained
-  // fabric can re-populate schedulers (handlers spawn threads) and idle
-  // schedulers can re-populate the fabric, so loop until a pass observes
-  // both conditions with no intervening activity.
+  // Fixed point: every scheduler idle AND no parcel coalescing in a port
+  // AND no parcel in flight.  A drained fabric can re-populate schedulers
+  // (handlers spawn threads), idle schedulers can re-populate the ports,
+  // and flushed ports re-populate the fabric, so loop until a pass
+  // observes all three conditions with no intervening activity.
   //
   // The per-counter reads below are not atomic as a group, so a thread
   // that sends a parcel and terminates *between* the in_flight() read and
   // its locality's live_threads() read would make the pass look stable
   // with a parcel still in flight — the premature-quiescence race behind
   // the Runtime.ApplyRunsOnTargetLocality hang.  The activity snapshot
-  // closes it: any such hidden transition performed a spawn or a send
+  // closes it: any such hidden transition performed a spawn or an enqueue
   // during the pass, which changes the snapshot and forces another loop.
+  // A parcel buffered in a port is visible as pending() from the moment
+  // it is counted, so coalescing cannot fake quiescence either.
   for (;;) {
     const std::uint64_t before = activity_snapshot();
+    for (auto& port : ports_) port->flush_all();
     for (auto& loc : localities_) loc->sched_.wait_quiescent();
     fabric_->drain();
     bool stable = fabric_->in_flight() == 0;
+    for (auto& port : ports_) stable = stable && port->pending() == 0;
     for (auto& loc : localities_) {
       stable = stable && loc->sched_.live_threads() == 0;
     }

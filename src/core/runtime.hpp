@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/locality.hpp"
+#include "core/parcel_port.hpp"
 #include "gas/agas.hpp"
 #include "gas/name_service.hpp"
 #include "net/fabric.hpp"
@@ -36,6 +37,16 @@ struct runtime_params {
   // Fabric physics; `endpoints` is overwritten with `localities`.
   net::fabric_params fabric{};
   std::uint64_t seed = 7;
+  // Outbound parcel coalescing thresholds.  0 means "resolve from the
+  // PX_PARCEL_FLUSH_BYTES / PX_PARCEL_FLUSH_COUNT environment, falling
+  // back to the built-in defaults"; an explicit nonzero value wins over
+  // the environment (flush_count = 1 disables coalescing).
+  std::size_t parcel_flush_bytes = 0;
+  std::uint32_t parcel_flush_count = 0;
+  // Stale-cache forwarding hop bound: a parcel forwarded more than this
+  // many times is dropped with a diagnostic (locality_stats counts drops).
+  // Clamped to 254 — the u8 forwards counter must be able to exceed it.
+  std::uint8_t max_forwards = 16;
 };
 
 class runtime {
@@ -57,6 +68,7 @@ class runtime {
   gas::agas& gas() noexcept { return agas_; }
   gas::name_service& names() noexcept { return names_; }
   net::fabric& fabric() noexcept { return *fabric_; }
+  parcel_port& port(gas::locality_id id) { return *ports_.at(id); }
   echo_manager& echo_mgr() noexcept { return *echo_; }
   percolation_manager& percolation_mgr() noexcept { return *percolation_; }
 
@@ -65,7 +77,9 @@ class runtime {
   gas::gid locality_gid(gas::locality_id id) const;
 
   // Routes a parcel from locality `from` toward its destination's current
-  // owner.  Local destinations dispatch without touching the fabric.
+  // owner.  Local destinations dispatch without touching the fabric;
+  // remote destinations coalesce through `from`'s parcel port.  Parcels
+  // past the max_forwards hop bound are dropped with a diagnostic.
   void route(gas::locality_id from, parcel::parcel p);
 
   // Owner locality for a destination gid as seen from `from` (LCO/hardware
@@ -122,14 +136,18 @@ class runtime {
  private:
   friend class locality;
 
-  void deliver_from_fabric(net::message m);
+  void deliver_from_fabric(net::message& m);
   std::uint64_t activity_snapshot() const;
 
   runtime_params params_;
   gas::agas agas_;
   gas::name_service names_;
-  std::unique_ptr<net::fabric> fabric_;
+  // Declaration order is load-bearing for destruction: the fabric must die
+  // first (its progress thread's handlers and idle callback reference the
+  // localities and ports), so it is declared last of the three.
   std::vector<std::unique_ptr<locality>> localities_;
+  std::vector<std::unique_ptr<parcel_port>> ports_;  // one per locality
+  std::unique_ptr<net::fabric> fabric_;
   std::vector<gas::gid> locality_gids_;
   std::unique_ptr<echo_manager> echo_;
   std::unique_ptr<percolation_manager> percolation_;

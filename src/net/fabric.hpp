@@ -10,19 +10,33 @@
 // stalls the sender — matching the split-phase, asynchronous transport the
 // ParalleX model assumes.  Handlers must be registered before traffic flows
 // and must not block for long (they hand off to scheduler queues).
+//
+// Hot-path design: the send queue is sharded per destination endpoint, so
+// concurrent senders to different endpoints never contend on one global
+// mutex (per-endpoint stats are atomics, the latency histogram has its own
+// lock, and jitter RNG state is per shard).  Message payloads are drawn
+// from a buffer pool and recycled after the receive handler returns —
+// handlers take `message&` and decode in place (or steal the payload, which
+// simply costs the pool a miss).  A message may carry several coalesced
+// parcels: `units` is the logical parcel count, and the quiescence-facing
+// counters (messages_sent_total, in_flight) account in parcels, not frames,
+// while the latency model charges the full frame's bytes to the wire.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/buffer_pool.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
+#include "util/spinlock.hpp"
 
 namespace px::net {
 
@@ -33,6 +47,7 @@ struct message {
   endpoint_id dest = 0;
   std::uint64_t tag = 0;  // channel discriminator for the CSP baseline
   std::vector<std::byte> payload;
+  std::uint32_t units = 1;  // logical parcels carried (1 for plain traffic)
 };
 
 enum class topology_kind {
@@ -59,14 +74,17 @@ struct fabric_params {
 };
 
 struct endpoint_stats {
-  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_sent = 0;   // frames put on the wire
+  std::uint64_t parcels_sent = 0;    // logical units (== messages unbatched)
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
 };
 
 class fabric {
  public:
-  using handler = std::function<void(message)>;
+  // The payload is owned by the fabric: decode in place, or move it out
+  // (the fabric recycles whatever capacity is left after the call).
+  using handler = std::function<void(message&)>;
 
   explicit fabric(fabric_params params);
   ~fabric();
@@ -74,11 +92,18 @@ class fabric {
   fabric(const fabric&) = delete;
   fabric& operator=(const fabric&) = delete;
 
-  // Registration is not thread-safe; complete it before sending.
+  // Registration is not thread-safe and must complete before the first
+  // send(); both are asserted.
   void set_handler(endpoint_id ep, handler h);
 
+  // Optional backstop invoked by the progress thread whenever its queues
+  // run dry (at most every ~200us): the runtime uses it to flush outbound
+  // coalescing buffers even if every scheduler worker is pinned busy.
+  // Must be set before traffic starts; runs on the progress thread.
+  void set_idle_callback(std::function<void()> cb);
+
   // Computes the delivery deadline from the latency model and enqueues.
-  // Thread-safe; never blocks on the receiver.
+  // Thread-safe; never blocks on the receiver.  Asserts source/dest range.
   void send(message m);
 
   // Model-predicted one-way latency for a payload of `bytes` between a and
@@ -86,14 +111,15 @@ class fabric {
   std::uint64_t model_latency_ns(endpoint_id a, endpoint_id b,
                                  std::size_t bytes) const noexcept;
 
+  // Parcels (units) currently queued or in a handler.
   std::uint64_t in_flight() const noexcept {
     return in_flight_.load(std::memory_order_acquire);
   }
 
-  // Monotonic count of send() calls, incremented before the message is
-  // visible to the progress thread.  Paired with scheduler::spawn_count()
-  // in the runtime's quiescence protocol to detect activity racing its
-  // counter reads.
+  // Monotonic count of parcels (message units) accepted by send(),
+  // incremented before the message is visible to the progress thread.
+  // Paired with scheduler::spawn_count() in the runtime's quiescence
+  // protocol to detect activity racing its counter reads.
   std::uint64_t messages_sent_total() const noexcept {
     return sent_total_.load(std::memory_order_acquire);
   }
@@ -102,10 +128,14 @@ class fabric {
   // and the handler returned.
   void drain();
 
+  // Recycled payload buffers; senders acquire here so the steady state
+  // allocates nothing per message.
+  util::buffer_pool& pool() noexcept { return pool_; }
+
   const fabric_params& params() const noexcept { return params_; }
   std::size_t endpoints() const noexcept { return params_.endpoints; }
   endpoint_stats stats(endpoint_id ep) const;
-  // Distribution of modeled in-flight delays (ns) across all messages.
+  // Distribution of modeled in-flight delays (ns), one sample per parcel.
   util::log_histogram latency_histogram() const;
 
  private:
@@ -119,22 +149,50 @@ class fabric {
       return a.due != b.due ? a.due > b.due : a.seq > b.seq;
     }
   };
+  // One shard per destination endpoint: senders to different endpoints
+  // touch disjoint locks.  Delivery order is preserved within a shard;
+  // across shards only due-time order is honored (as jitter reorders
+  // anyway, no cross-endpoint ordering is promised).
+  struct send_shard {
+    std::mutex m;
+    std::priority_queue<timed_message, std::vector<timed_message>, later> q;
+    util::xoshiro256 rng{0};
+  };
+  struct atomic_endpoint_stats {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> parcels_sent{0};
+    std::atomic<std::uint64_t> messages_received{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+  };
 
   void progress_loop();
+  void wake_progress();
 
   fabric_params params_;
   std::vector<handler> handlers_;
+  std::function<void()> idle_cb_;
+  std::vector<std::unique_ptr<send_shard>> shards_;
+  std::vector<std::unique_ptr<atomic_endpoint_stats>> stats_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable drained_cv_;
-  std::priority_queue<timed_message, std::vector<timed_message>, later> queue_;
-  std::uint64_t next_seq_ = 0;
-  bool stopping_ = false;
-  util::xoshiro256 rng_;
-  std::vector<endpoint_stats> stats_;
+  mutable util::spinlock hist_lock_;
   util::log_histogram latency_hist_;
 
+  util::buffer_pool pool_;
+
+  // Progress-thread sleep/wake handshake: senders push to a shard, then
+  // seq_cst-store dirty_ and check sleeping_; the progress thread seq_cst-
+  // stores sleeping_ before re-evaluating dirty_ under progress_mutex_.
+  // One side always observes the other (Dekker), and every wait is timed
+  // as defence in depth.
+  std::mutex progress_mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drained_cv_;
+  bool stopping_ = false;  // guarded by progress_mutex_
+  std::atomic<bool> dirty_{false};
+  std::atomic<bool> sleeping_{false};
+  std::atomic<bool> traffic_started_{false};
+
+  std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> sent_total_{0};
   std::thread progress_;

@@ -11,34 +11,67 @@ action_registry& action_registry::global() {
   return instance;
 }
 
-action_id action_registry::register_action(std::string name, handler h) {
+action_registry::action_registry()
+    : entries_(std::make_unique<entry[]>(max_actions)) {}
+
+action_id action_registry::insert(std::string name, view_handler fast,
+                                  handler slow) {
   PX_ASSERT(!name.empty());
-  PX_ASSERT(h != nullptr);
   std::lock_guard lock(lock_);
-  for (const auto& e : entries_) {
-    PX_ASSERT_MSG(e.name != name, "action name registered twice");
+  const std::uint32_t n = count_.load(std::memory_order_relaxed);
+  PX_ASSERT_MSG(n < max_actions, "action registry full");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PX_ASSERT_MSG(entries_[i].name != name, "action name registered twice");
   }
-  entries_.push_back(entry{std::move(name), std::move(h)});
-  return static_cast<action_id>(entries_.size());  // ids start at 1
+  entries_[n].name = std::move(name);
+  entries_[n].fast = fast;
+  entries_[n].slow = std::move(slow);
+  // Publish: dispatchers index only below count_, so the release store
+  // makes the fully-written slot visible without them taking the lock.
+  count_.store(n + 1, std::memory_order_release);
+  return static_cast<action_id>(n + 1);  // ids start at 1
+}
+
+action_id action_registry::register_action(std::string name,
+                                           view_handler fn) {
+  PX_ASSERT(fn != nullptr);
+  return insert(std::move(name), fn, nullptr);
+}
+
+action_id action_registry::register_action(std::string name, handler h) {
+  PX_ASSERT(h != nullptr);
+  return insert(std::move(name), nullptr, std::move(h));
+}
+
+const action_registry::entry& action_registry::at(action_id id) const {
+  const std::uint32_t n = count_.load(std::memory_order_acquire);
+  PX_ASSERT_MSG(id != invalid_action && id <= n,
+                "dispatch of unregistered action");
+  return entries_[id - 1];
+}
+
+void action_registry::dispatch(void* ctx, const parcel_view& pv) const {
+  const entry& e = at(pv.action());
+  if (e.fast != nullptr) {
+    e.fast(ctx, pv);
+    return;
+  }
+  e.slow(ctx, pv.to_parcel());
 }
 
 void action_registry::dispatch(void* ctx, parcel p) const {
-  const action_id id = p.action;
-  const handler* fn = nullptr;
-  {
-    std::lock_guard lock(lock_);
-    PX_ASSERT_MSG(id != invalid_action && id <= entries_.size(),
-                  "dispatch of unregistered action");
-    fn = &entries_[id - 1].fn;
+  const entry& e = at(p.action);
+  if (e.fast != nullptr) {
+    e.fast(ctx, parcel_view::of(p));  // borrows p.arguments, no copy
+    return;
   }
-  // Handlers are immutable once registered; calling outside the lock is
-  // safe and required (they may send parcels, spawning registry lookups).
-  (*fn)(ctx, std::move(p));
+  e.slow(ctx, std::move(p));
 }
 
 std::optional<action_id> action_registry::find(std::string_view name) const {
   std::lock_guard lock(lock_);
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
+  const std::uint32_t n = count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
     if (entries_[i].name == name) return static_cast<action_id>(i + 1);
   }
   return std::nullopt;
@@ -46,13 +79,13 @@ std::optional<action_id> action_registry::find(std::string_view name) const {
 
 const std::string& action_registry::name_of(action_id id) const {
   std::lock_guard lock(lock_);
-  PX_ASSERT(id != invalid_action && id <= entries_.size());
+  PX_ASSERT(id != invalid_action &&
+            id <= count_.load(std::memory_order_relaxed));
   return entries_[id - 1].name;
 }
 
 std::size_t action_registry::size() const {
-  std::lock_guard lock(lock_);
-  return entries_.size();
+  return count_.load(std::memory_order_acquire);
 }
 
 }  // namespace px::parcel

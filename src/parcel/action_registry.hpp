@@ -4,15 +4,24 @@
 // data are first class entities").  Every locality shares one registry (we
 // model a single program image, as MPI/SPMD systems do), so an action_id is
 // valid system-wide.  Handlers receive an opaque runtime context pointer —
-// the locality the parcel landed on — and the parcel itself; the typed
-// argument-unpacking layer lives in core/action.hpp.
+// the locality the parcel landed on — and a zero-copy parcel_view; the
+// typed argument-unpacking layer lives in core/action.hpp.
+//
+// Dispatch is the per-parcel hot path, so it is lock-free and, for actions
+// registered through core/action.hpp, allocation-free: entries live in a
+// fixed slab published by an atomic count (slots are written before the
+// count advances and are immutable afterwards), and the fast path is a raw
+// function pointer — no std::function type erasure, no registry lock.
+// Closure handlers remain supported for tests and ad-hoc endpoints; they
+// pay one parcel materialization per dispatch.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "parcel/parcel.hpp"
 #include "util/spinlock.hpp"
@@ -22,14 +31,23 @@ namespace px::parcel {
 class action_registry {
  public:
   // `ctx` is the destination locality (core::locality*), kept opaque here
-  // to avoid a dependency cycle.
+  // to avoid a dependency cycle.  The view (and its backing buffer) is only
+  // valid for the duration of the call; handlers copy what they keep.
+  using view_handler = void (*)(void* ctx, const parcel_view& pv);
   using handler = std::function<void(void* ctx, parcel p)>;
+
+  action_registry();
 
   // Registers under a unique name; returns the stable id.  Re-registering
   // a name is an error (asserts) — action identity must be unambiguous.
+  action_id register_action(std::string name, view_handler fn);
   action_id register_action(std::string name, handler h);
 
-  // Invokes the handler for p.action.
+  // Invokes the handler for the view's action.  Zero-copy fast path for
+  // view_handler entries; closure entries receive a materialized parcel.
+  void dispatch(void* ctx, const parcel_view& pv) const;
+  // Dispatches an owned parcel (local fast path): view_handler entries
+  // borrow it without copying, closure entries take it by move.
   void dispatch(void* ctx, parcel p) const;
 
   std::optional<action_id> find(std::string_view name) const;
@@ -39,14 +57,21 @@ class action_registry {
   // Process-wide instance (single program image model).
   static action_registry& global();
 
+  static constexpr std::size_t max_actions = 1024;
+
  private:
   struct entry {
     std::string name;
-    handler fn;
+    view_handler fast = nullptr;  // non-allocating dispatch when set
+    handler slow;                 // closure fallback
   };
 
-  mutable util::spinlock lock_;
-  std::vector<entry> entries_;
+  action_id insert(std::string name, view_handler fast, handler slow);
+  const entry& at(action_id id) const;
+
+  mutable util::spinlock lock_;  // writers and name lookups only
+  std::unique_ptr<entry[]> entries_;
+  std::atomic<std::uint32_t> count_{0};
 };
 
 }  // namespace px::parcel

@@ -1,18 +1,163 @@
 #include "parcel/parcel.hpp"
 
+#include <cstring>
+
+#include "util/assert.hpp"
+
 namespace px::parcel {
 
-std::vector<std::byte> encode(const parcel& p) {
-  util::output_archive ar;
-  ar& p;
-  return std::move(ar).take();
+namespace {
+
+// Field offsets inside a parcel record body (see the layout comment in
+// parcel.hpp).  Scalars are memcpy'd — the buffer carries no alignment
+// guarantee.
+constexpr std::size_t kOffDestination = 0;
+constexpr std::size_t kOffContTarget = 8;
+constexpr std::size_t kOffAction = 16;
+constexpr std::size_t kOffContAction = 20;
+constexpr std::size_t kOffSource = 24;
+constexpr std::size_t kOffForwards = 28;
+constexpr std::size_t kOffArgLen = 32;
+
+template <typename T>
+void store(std::byte* base, std::size_t off, T value) noexcept {
+  std::memcpy(base + off, &value, sizeof value);
 }
 
-parcel decode(std::span<const std::byte> bytes) {
-  util::input_archive ar(bytes);
+template <typename T>
+T load(const std::byte* base, std::size_t off) noexcept {
+  T value;
+  std::memcpy(&value, base + off, sizeof value);
+  return value;
+}
+
+void patch_u32(std::vector<std::byte>& buf, std::size_t off,
+               std::uint32_t value) noexcept {
+  std::memcpy(buf.data() + off, &value, sizeof value);
+}
+
+std::uint32_t read_u32(std::span<const std::byte> buf,
+                       std::size_t off) noexcept {
+  std::uint32_t value;
+  std::memcpy(&value, buf.data() + off, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+void encode_into(std::vector<std::byte>& out, const parcel& p) {
+  PX_ASSERT_MSG(p.arguments.size() <= 0xffffffffull,
+                "parcel arguments exceed the u32 wire length field");
+  const std::size_t base = out.size();
+  out.resize(base + wire_header_bytes + p.arguments.size());
+  std::byte* d = out.data() + base;
+  store<std::uint64_t>(d, kOffDestination, p.destination.bits());
+  store<std::uint64_t>(d, kOffContTarget, p.cont.target.bits());
+  store<std::uint32_t>(d, kOffAction, p.action);
+  store<std::uint32_t>(d, kOffContAction, p.cont.action);
+  store<std::uint32_t>(d, kOffSource, p.source);
+  store<std::uint8_t>(d, kOffForwards, p.forwards);
+  std::memset(d + kOffForwards + 1, 0, 3);  // reserved
+  store<std::uint32_t>(d, kOffArgLen,
+                       static_cast<std::uint32_t>(p.arguments.size()));
+  if (!p.arguments.empty()) {
+    std::memcpy(d + wire_header_bytes, p.arguments.data(),
+                p.arguments.size());
+  }
+}
+
+std::optional<parcel_view> parcel_view::parse(
+    std::span<const std::byte> record) noexcept {
+  if (record.size() < wire_header_bytes) return std::nullopt;
+  const std::byte* d = record.data();
+  const auto arg_len = load<std::uint32_t>(d, kOffArgLen);
+  if (record.size() - wire_header_bytes != arg_len) return std::nullopt;
+  parcel_view v;
+  v.destination_ = gas::gid::from_bits(load<std::uint64_t>(d, kOffDestination));
+  v.cont_.target = gas::gid::from_bits(load<std::uint64_t>(d, kOffContTarget));
+  v.action_ = load<std::uint32_t>(d, kOffAction);
+  v.cont_.action = load<std::uint32_t>(d, kOffContAction);
+  v.source_ = load<std::uint32_t>(d, kOffSource);
+  v.forwards_ = load<std::uint8_t>(d, kOffForwards);
+  v.arguments_ = record.subspan(wire_header_bytes, arg_len);
+  return v;
+}
+
+parcel_view parcel_view::of(const parcel& p) noexcept {
+  parcel_view v;
+  v.destination_ = p.destination;
+  v.cont_ = p.cont;
+  v.action_ = p.action;
+  v.source_ = p.source;
+  v.forwards_ = p.forwards;
+  v.arguments_ = std::span<const std::byte>(p.arguments);
+  return v;
+}
+
+parcel parcel_view::to_parcel() const {
   parcel p;
-  ar& p;
+  p.destination = destination_;
+  p.action = action_;
+  p.cont = cont_;
+  p.source = source_;
+  p.forwards = forwards_;
+  p.arguments.assign(arguments_.begin(), arguments_.end());
   return p;
+}
+
+void frame_begin(std::vector<std::byte>& buf) {
+  buf.clear();
+  buf.resize(frame_header_bytes);
+  patch_u32(buf, 0, frame_magic);
+  patch_u32(buf, 4, 0);
+}
+
+void frame_append(std::vector<std::byte>& buf, const parcel& p) {
+  PX_DEBUG_ASSERT(buf.size() >= frame_header_bytes);
+  const std::size_t len_off = buf.size();
+  buf.resize(len_off + sizeof(std::uint32_t));
+  const std::size_t start = buf.size();
+  encode_into(buf, p);
+  patch_u32(buf, len_off, static_cast<std::uint32_t>(buf.size() - start));
+  patch_u32(buf, 4, frame_count(buf) + 1);
+}
+
+std::uint32_t frame_count(std::span<const std::byte> frame) noexcept {
+  if (frame.size() < frame_header_bytes) return 0;
+  return read_u32(frame, 4);
+}
+
+std::optional<frame_view> frame_view::parse(
+    std::span<const std::byte> frame) noexcept {
+  if (frame.size() < frame_header_bytes) return std::nullopt;
+  if (read_u32(frame, 0) != frame_magic) return std::nullopt;
+  const std::uint32_t count = read_u32(frame, 4);
+  std::size_t offset = frame_header_bytes;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (frame.size() - offset < sizeof(std::uint32_t)) return std::nullopt;
+    const std::uint32_t len = read_u32(frame, offset);
+    offset += sizeof(std::uint32_t);
+    if (frame.size() - offset < len) return std::nullopt;
+    if (!parcel_view::parse(frame.subspan(offset, len))) return std::nullopt;
+    offset += len;
+  }
+  if (offset != frame.size()) return std::nullopt;  // trailing garbage
+  return frame_view(frame, count);
+}
+
+parcel_view frame_view::iterator::operator*() const noexcept {
+  const std::uint32_t len = read_u32(frame_, offset_);
+  auto v = parcel_view::parse(
+      frame_.subspan(offset_ + sizeof(std::uint32_t), len));
+  PX_DEBUG_ASSERT(v.has_value());  // frame_view::parse validated every record
+  return *v;
+}
+
+frame_view::iterator& frame_view::iterator::operator++() noexcept {
+  const std::uint32_t len = read_u32(frame_, offset_);
+  offset_ += sizeof(std::uint32_t) + len;
+  index_ += 1;
+  return *this;
 }
 
 }  // namespace px::parcel

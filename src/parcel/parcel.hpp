@@ -6,9 +6,27 @@
 // feature over active messages — a *continuation specifier* naming what
 // happens after the action completes.  The continuation lets the locus of
 // control migrate across the system instead of bouncing back to a caller.
+//
+// Wire format.  Parcels travel in *batch frames* so the fabric's per-message
+// costs amortize over many parcels (the coalescing the AMT literature
+// identifies as the deciding factor for parcel-rate ceilings):
+//
+//   frame  := [u32 magic "PXBF"] [u32 count] record*count
+//   record := [u32 len] parcel-bytes (len of them)
+//   parcel := [u64 destination] [u64 cont.target] [u32 action]
+//             [u32 cont.action] [u32 source] [u8 forwards] [u8*3 zero]
+//             [u32 arg_len] argument-bytes
+//
+// All integers are host-endian (the runtime is single-image x86-64; see the
+// porting note in README.md).  Encoding appends into a caller-supplied
+// buffer — typically one drawn from a px::util::buffer_pool — and decoding
+// is zero-copy: a `parcel_view` reads every field in place over a
+// std::span, so the receive path touches no heap until an action chooses to
+// materialize what it needs.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -54,8 +72,109 @@ struct parcel {
   }
 };
 
-// Wire helpers: a parcel is the payload of exactly one fabric message.
-std::vector<std::byte> encode(const parcel& p);
-parcel decode(std::span<const std::byte> bytes);
+// ------------------------------------------------------------ wire layout
+
+inline constexpr std::size_t wire_header_bytes = 36;
+inline constexpr std::size_t frame_header_bytes = 8;
+inline constexpr std::uint32_t frame_magic = 0x46425850u;  // "PXBF"
+
+// Exact encoded size of one parcel record body (excluding the frame's
+// per-record length prefix).
+inline std::size_t encoded_size(const parcel& p) noexcept {
+  return wire_header_bytes + p.arguments.size();
+}
+
+// Appends the encoded record body of `p` to `out` (no frame bookkeeping;
+// use frame_append for framed traffic).
+void encode_into(std::vector<std::byte>& out, const parcel& p);
+
+// Zero-copy decoded parcel: scalar fields are read out of the record header
+// and the argument bytes stay in place as a span into the backing buffer.
+// A view is valid only while that buffer lives; handlers that outlive the
+// dispatch call must copy (to_parcel or from_bytes over arguments()).
+class parcel_view {
+ public:
+  parcel_view() = default;
+
+  // Validates and decodes exactly one record body.  Rejects (nullopt)
+  // truncated headers and argument lengths that disagree with the record
+  // size; never reads out of bounds.
+  static std::optional<parcel_view> parse(
+      std::span<const std::byte> record) noexcept;
+
+  // Borrows an in-memory parcel (arguments() aliases p.arguments); used by
+  // the local fast path to dispatch without an encode round trip.
+  static parcel_view of(const parcel& p) noexcept;
+
+  gas::gid destination() const noexcept { return destination_; }
+  action_id action() const noexcept { return action_; }
+  const continuation& cont() const noexcept { return cont_; }
+  gas::locality_id source() const noexcept { return source_; }
+  std::uint8_t forwards() const noexcept { return forwards_; }
+  std::span<const std::byte> arguments() const noexcept { return arguments_; }
+
+  // Materializes an owning parcel (copies the argument bytes).
+  parcel to_parcel() const;
+
+ private:
+  gas::gid destination_;
+  continuation cont_;
+  action_id action_ = invalid_action;
+  gas::locality_id source_ = gas::invalid_locality;
+  std::uint8_t forwards_ = 0;
+  std::span<const std::byte> arguments_;
+};
+
+// --------------------------------------------------------- frame encoding
+
+// Starts an empty batch frame in `buf` (clears it first).
+void frame_begin(std::vector<std::byte>& buf);
+
+// Appends one parcel record to an open frame and bumps its count in place.
+void frame_append(std::vector<std::byte>& buf, const parcel& p);
+
+// Count field of a frame; 0 for buffers too short to carry one.
+std::uint32_t frame_count(std::span<const std::byte> frame) noexcept;
+
+// Validated, zero-copy reader over a batch frame.  parse() walks the whole
+// frame once — magic, count, every record length, every parcel header — and
+// rejects anything inconsistent (truncation, trailing garbage, corrupt
+// lengths), so iteration afterwards cannot go out of bounds.
+class frame_view {
+ public:
+  static std::optional<frame_view> parse(
+      std::span<const std::byte> frame) noexcept;
+
+  std::uint32_t count() const noexcept { return count_; }
+
+  class iterator {
+   public:
+    parcel_view operator*() const noexcept;
+    iterator& operator++() noexcept;
+    bool operator!=(const iterator& other) const noexcept {
+      return index_ != other.index_;
+    }
+
+   private:
+    friend class frame_view;
+    iterator(std::span<const std::byte> frame, std::size_t offset,
+             std::uint32_t index) noexcept
+        : frame_(frame), offset_(offset), index_(index) {}
+    std::span<const std::byte> frame_;
+    std::size_t offset_ = 0;
+    std::uint32_t index_ = 0;
+  };
+
+  iterator begin() const noexcept {
+    return iterator(frame_, frame_header_bytes, 0);
+  }
+  iterator end() const noexcept { return iterator(frame_, 0, count_); }
+
+ private:
+  frame_view(std::span<const std::byte> frame, std::uint32_t count) noexcept
+      : frame_(frame), count_(count) {}
+  std::span<const std::byte> frame_;
+  std::uint32_t count_ = 0;
+};
 
 }  // namespace px::parcel

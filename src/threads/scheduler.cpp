@@ -195,6 +195,11 @@ thread_descriptor* scheduler::find_work(detail::worker& w) {
 }
 
 void scheduler::idle_wait(detail::worker& w) {
+  // Flush-on-idle: give the embedding layer one shot at deferred work
+  // (outbound parcel coalescing buffers) before this worker parks.  Runs
+  // on every idle pass, so even a fully-asleep locality re-drives it each
+  // timeout tick.
+  if (idle_hook_) idle_hook_();
   w.sleeps.fetch_add(1, std::memory_order_relaxed);
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   // Consumer half of the handshake with wake_for_new_work(): the fence
@@ -234,6 +239,12 @@ void scheduler::set_worker_init(std::function<void(unsigned)> fn) {
   PX_ASSERT_MSG(!running_.load(std::memory_order_acquire),
                 "set_worker_init after start");
   worker_init_ = std::move(fn);
+}
+
+void scheduler::set_idle_hook(std::function<void()> fn) {
+  PX_ASSERT_MSG(!running_.load(std::memory_order_acquire),
+                "set_idle_hook after start");
+  idle_hook_ = std::move(fn);
 }
 
 void scheduler::worker_main(detail::worker& w) {

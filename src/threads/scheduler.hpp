@@ -67,6 +67,14 @@ class scheduler {
   // owning ParalleX locality).  Must be set before start().
   void set_worker_init(std::function<void(unsigned)> fn);
 
+  // Runs on a worker each time it exhausts local work, theft, and the
+  // inject queue — just before it considers sleeping.  The runtime hangs
+  // the parcel-port flush here, so coalesced parcels leave the moment a
+  // locality has nothing better to do (the paper's "overlap communication
+  // with computation" turned into: communicate when computation runs dry).
+  // Must be set before start(); must not block.
+  void set_idle_hook(std::function<void()> fn);
+
   // Creates a ParalleX thread.  Callable from worker threads, from other
   // schedulers' workers, and from plain OS threads (e.g. main, network
   // progress).
@@ -135,6 +143,7 @@ class scheduler {
 
   scheduler_params params_;
   std::function<void(unsigned)> worker_init_;
+  std::function<void()> idle_hook_;
   std::vector<std::unique_ptr<detail::worker>> workers_;
   util::intrusive_mpsc_queue<thread_descriptor> inject_;
   util::spinlock inject_drain_lock_;  // MPSC pop is single-consumer

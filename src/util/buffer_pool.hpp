@@ -1,0 +1,86 @@
+// Bounded pool of reusable byte buffers for the parcel/net hot path.
+//
+// The parcel pipeline's steady state must perform zero heap allocations per
+// parcel: outbound coalescing buffers are acquired here, shipped through the
+// fabric as message payloads, and released back after the receive handler
+// returns — so a small working set of vectors (with their grown capacity)
+// circulates forever.  Buffers above `max_buffer_bytes` are discarded on
+// release rather than pinned, which caps the pool's resident footprint after
+// a burst of jumbo frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/spinlock.hpp"
+
+namespace px::util {
+
+struct buffer_pool_params {
+  std::size_t max_buffers = 128;           // pooled buffers kept at rest
+  std::size_t max_buffer_bytes = 1 << 20;  // larger buffers are not retained
+};
+
+struct buffer_pool_stats {
+  std::uint64_t acquires = 0;
+  std::uint64_t hits = 0;      // acquires served from the pool
+  std::uint64_t releases = 0;
+  std::uint64_t discards = 0;  // releases dropped (pool full / oversized)
+};
+
+class buffer_pool {
+ public:
+  explicit buffer_pool(buffer_pool_params params = {}) : params_(params) {}
+
+  buffer_pool(const buffer_pool&) = delete;
+  buffer_pool& operator=(const buffer_pool&) = delete;
+
+  // Returns an empty buffer, reusing pooled capacity when available.
+  std::vector<std::byte> acquire() {
+    std::lock_guard lock(lock_);
+    stats_.acquires += 1;
+    if (!free_.empty()) {
+      stats_.hits += 1;
+      std::vector<std::byte> buf = std::move(free_.back());
+      free_.pop_back();
+      buf.clear();
+      return buf;
+    }
+    return {};
+  }
+
+  // Returns a buffer's capacity to the pool.  Safe to call with a
+  // moved-from or capacity-less vector (it is simply dropped).
+  void release(std::vector<std::byte> buf) {
+    std::lock_guard lock(lock_);
+    stats_.releases += 1;
+    if (buf.capacity() == 0 || buf.capacity() > params_.max_buffer_bytes ||
+        free_.size() >= params_.max_buffers) {
+      stats_.discards += 1;
+      return;  // vector destructor frees it
+    }
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard lock(lock_);
+    return free_.size();
+  }
+
+  buffer_pool_stats stats() const {
+    std::lock_guard lock(lock_);
+    return stats_;
+  }
+
+  const buffer_pool_params& params() const noexcept { return params_; }
+
+ private:
+  buffer_pool_params params_;
+  mutable spinlock lock_;
+  std::vector<std::vector<std::byte>> free_;
+  buffer_pool_stats stats_;
+};
+
+}  // namespace px::util

@@ -6,17 +6,20 @@
 
 namespace px::util {
 
-void running_stats::add(double x) noexcept {
+void running_stats::add(double x, std::uint64_t weight) noexcept {
+  if (weight == 0) return;
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
-  ++count_;
+  // Weighted Welford update: identical moments to `weight` repeated adds
+  // of the same value.
+  count_ += weight;
   const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
+  mean_ += delta * static_cast<double>(weight) / static_cast<double>(count_);
+  m2_ += delta * (x - mean_) * static_cast<double>(weight);
 }
 
 void running_stats::merge(const running_stats& other) noexcept {
@@ -54,10 +57,10 @@ int bucket_of(double value) noexcept {
 
 }  // namespace
 
-void log_histogram::add(double value) noexcept {
-  buckets_[static_cast<std::size_t>(bucket_of(value))]++;
-  ++total_;
-  stats_.add(value);
+void log_histogram::add(double value, std::uint64_t weight) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_of(value))] += weight;
+  total_ += weight;
+  stats_.add(value, weight);
 }
 
 void log_histogram::merge(const log_histogram& other) noexcept {

@@ -14,7 +14,10 @@ namespace px::util {
 // Welford running mean/variance plus min/max.
 class running_stats {
  public:
-  void add(double x) noexcept;
+  void add(double x) noexcept { add(x, 1); }
+  // Weighted sample: equivalent to `weight` repeated add(x) calls (used by
+  // the fabric to record one latency per coalesced parcel in O(1)).
+  void add(double x, std::uint64_t weight) noexcept;
   void merge(const running_stats& other) noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
@@ -41,7 +44,8 @@ class log_histogram {
  public:
   log_histogram();
 
-  void add(double value) noexcept;
+  void add(double value) noexcept { add(value, 1); }
+  void add(double value, std::uint64_t weight) noexcept;
   void merge(const log_histogram& other) noexcept;
 
   std::uint64_t count() const noexcept { return total_; }

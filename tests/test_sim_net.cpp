@@ -109,12 +109,12 @@ TEST(Fabric, DeliversToHandler) {
   p.endpoints = 2;
   net::fabric f(p);
   std::atomic<int> got{0};
-  f.set_handler(1, [&](net::message m) {
+  f.set_handler(1, [&](net::message& m) {
     EXPECT_EQ(m.source, 0u);
     EXPECT_EQ(m.payload.size(), 3u);
     got.fetch_add(1);
   });
-  f.set_handler(0, [](net::message) {});
+  f.set_handler(0, [](net::message&) {});
   f.send(net::message{0, 1, 0, std::vector<std::byte>(3)});
   f.drain();
   EXPECT_EQ(got.load(), 1);
@@ -125,9 +125,9 @@ TEST(Fabric, ImposesConfiguredLatency) {
   p.endpoints = 2;
   p.base_latency_ns = 2'000'000;  // 2ms, comfortably measurable
   net::fabric f(p);
-  f.set_handler(0, [](net::message) {});
+  f.set_handler(0, [](net::message&) {});
   std::atomic<bool> got{false};
-  f.set_handler(1, [&](net::message) { got.store(true); });
+  f.set_handler(1, [&](net::message&) { got.store(true); });
   const auto start = std::chrono::steady_clock::now();
   f.send(net::message{0, 1, 0, {}});
   f.drain();
@@ -170,7 +170,7 @@ TEST(Fabric, ManyMessagesAllArriveAcrossEndpoints) {
   net::fabric f(p);
   std::atomic<int> got{0};
   for (unsigned i = 0; i < 4; ++i) {
-    f.set_handler(i, [&](net::message) { got.fetch_add(1); });
+    f.set_handler(i, [&](net::message&) { got.fetch_add(1); });
   }
   for (int k = 0; k < 500; ++k) {
     f.send(net::message{static_cast<net::endpoint_id>(k % 4),
@@ -186,13 +186,75 @@ TEST(Fabric, StatsCountBytes) {
   net::fabric_params p;
   p.endpoints = 2;
   net::fabric f(p);
-  f.set_handler(0, [](net::message) {});
-  f.set_handler(1, [](net::message) {});
+  f.set_handler(0, [](net::message&) {});
+  f.set_handler(1, [](net::message&) {});
   f.send(net::message{0, 1, 0, std::vector<std::byte>(100)});
   f.send(net::message{0, 1, 0, std::vector<std::byte>(20)});
   f.drain();
   EXPECT_EQ(f.stats(0).bytes_sent, 120u);
   EXPECT_EQ(f.stats(1).messages_received, 2u);
+}
+
+TEST(Fabric, BatchedMessageCountsParcelsNotFrames) {
+  net::fabric_params p;
+  p.endpoints = 2;
+  net::fabric f(p);
+  f.set_handler(0, [](net::message&) {});
+  std::atomic<std::uint32_t> units_seen{0};
+  f.set_handler(1, [&](net::message& m) { units_seen.store(m.units); });
+  net::message m{0, 1, 0, std::vector<std::byte>(64)};
+  m.units = 5;  // one frame carrying five coalesced parcels
+  f.send(std::move(m));
+  f.drain();
+  EXPECT_EQ(units_seen.load(), 5u);
+  EXPECT_EQ(f.messages_sent_total(), 5u);  // quiescence counts parcels
+  EXPECT_EQ(f.in_flight(), 0u);
+  EXPECT_EQ(f.stats(0).messages_sent, 1u);  // wire stats count frames
+  EXPECT_EQ(f.stats(0).parcels_sent, 5u);
+  EXPECT_EQ(f.latency_histogram().count(), 5u);  // one sample per parcel
+}
+
+TEST(Fabric, PayloadBuffersAreRecycled) {
+  net::fabric_params p;
+  p.endpoints = 2;
+  net::fabric f(p);
+  f.set_handler(0, [](net::message&) {});
+  f.set_handler(1, [](net::message&) {});  // decodes in place, never steals
+  for (int round = 0; round < 50; ++round) {
+    auto buf = f.pool().acquire();
+    buf.resize(256);
+    f.send(net::message{0, 1, 0, std::move(buf)});
+    f.drain();  // round-trip one at a time so the pool sees each release
+  }
+  const auto st = f.pool().stats();
+  EXPECT_EQ(st.acquires, 50u);
+  // After the first allocation warms the pool, every acquire must hit.
+  EXPECT_GE(st.hits, 48u);
+  EXPECT_GE(st.releases, 49u);
+}
+
+TEST(FabricDeath, SendToOutOfRangeEndpointAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  net::fabric_params p;
+  p.endpoints = 2;
+  net::fabric f(p);
+  f.set_handler(0, [](net::message&) {});
+  f.set_handler(1, [](net::message&) {});
+  EXPECT_DEATH(f.send(net::message{0, 7, 0, {}}), "dest out of range");
+  EXPECT_DEATH(f.send(net::message{9, 1, 0, {}}), "source out of range");
+}
+
+TEST(FabricDeath, SetHandlerAfterTrafficAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  net::fabric_params p;
+  p.endpoints = 2;
+  net::fabric f(p);
+  f.set_handler(0, [](net::message&) {});
+  f.set_handler(1, [](net::message&) {});
+  f.send(net::message{0, 1, 0, {}});
+  f.drain();
+  EXPECT_DEATH(f.set_handler(1, [](net::message&) {}),
+               "set_handler after traffic started");
 }
 
 }  // namespace
