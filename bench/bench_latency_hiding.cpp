@@ -58,6 +58,36 @@ double parallex_run_ms(std::uint64_t latency_ns) {
   return elapsed;
 }
 
+// Isolated request/reply round trip: one thread, one outstanding request,
+// nothing to coalesce behind it.  This is the parcel pipeline's worst case
+// (batching buys nothing, buffering costs latency); the first-parcel eager
+// flush exists exactly for it.  PX_PARCEL_EAGER_FLUSH / parcel_eager_flush
+// toggles the two modes being compared.
+double single_request_us(bool eager, std::uint64_t latency_ns) {
+  const int reps = bench::smoke_mode() ? 64 : 512;
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  p.parcel_eager_flush = eager ? 1 : 0;
+  p.fabric.base_latency_ns = latency_ns;
+  core::runtime rt(p);
+  rt.start();
+  double elapsed_ms = 0;
+  rt.run([&] {
+    // Warm caches, stacks, and the action registry off the clock.
+    core::async<&serve_value>(rt.locality_gid(1), 0).get();
+    elapsed_ms = bench::time_ms([&] {
+      for (int i = 0; i < reps; ++i) {
+        (void)core::async<&serve_value>(rt.locality_gid(1),
+                                        static_cast<std::uint64_t>(i))
+            .get();
+      }
+    });
+  });
+  rt.stop();
+  return elapsed_ms * 1000.0 / reps;
+}
+
 double csp_run_ms(std::uint64_t latency_ns) {
   baseline::csp_params p;
   p.ranks = 2;
@@ -118,12 +148,34 @@ int main() {
               " items x (remote fetch + 10us compute)");
   std::printf("%s", table.render_csv().c_str());
 
+  // Single-request latency, both pipeline modes: eager first-parcel flush
+  // (ship the lone parcel from the send path) vs idle-flush only (the
+  // parcel waits for the sender to suspend and the flush-on-idle pass).
+  util::text_table single({"fabric latency (us)", "eager RTT (us)",
+                           "idle-flush RTT (us)", "eager saves (us)"});
+  std::vector<std::string> single_rows;
+  for (const std::uint64_t lat_us : {0ull, 20ull}) {
+    const double on = single_request_us(true, lat_us * 1000);
+    const double off = single_request_us(false, lat_us * 1000);
+    single.add_row(static_cast<std::int64_t>(lat_us), on, off, off - on);
+    char row[160];
+    std::snprintf(row, sizeof row,
+                  "{\"latency_us\": %llu, \"eager_us\": %.4g, "
+                  "\"idle_flush_us\": %.4g}",
+                  static_cast<unsigned long long>(lat_us), on, off);
+    single_rows.push_back(row);
+  }
+  single.print("isolated request/reply round trip (no concurrency to hide "
+               "behind)");
+  std::printf("%s", single.render_csv().c_str());
+
   bench::json_writer json;
   json.add("bench", std::string("latency_hiding"));
   json.add("items", static_cast<std::int64_t>(kItems));
   json.add("compute_us", kComputeUs);
   json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
   json.add_rows("latencies", rows);
+  json.add_rows("single_request", single_rows);
   json.write("BENCH_latency.json");
 
   std::printf(

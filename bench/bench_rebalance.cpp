@@ -1,0 +1,172 @@
+// REBAL-1: adaptive rebalancing vs static placement on a skewed hot-spot
+// workload (paper §2.1: starvation "caused either due to inadequate
+// program parallelism or due to poor load balancing", answered by the
+// model's dynamic adaptive resource management).
+//
+// Workload: M hot data objects, all initially bound at locality 0; each
+// object carries a chain of D message-driven hops, every hop performing a
+// fixed *service* at the object's current owner before re-sending to the
+// same gid.  The service is latency-bound (a short compute slice plus a
+// blocking hold of the execution site — the paper's "L": waiting on a slow
+// resource), so completion time is governed by the deepest service queue,
+// not by aggregate CPU; the experiment is therefore meaningful on any host
+// core count, including single-core CI runners.
+//
+// With the rebalancer off, every hop lands on locality 0 and the other
+// execution sites starve behind it.  With it on, the introspection
+// monitors expose the ready-depth skew, hot objects migrate away
+// (agas::migrate + stale-cache forwarding), and the chains follow their
+// objects to the idle sites — completion approaches work/sites.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "gas/gid.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace px;
+
+const std::size_t kLocalities = 4;
+const int kObjects = bench::smoke_mode() ? 12 : 32;
+const std::uint32_t kHops = bench::smoke_mode() ? 40 : 120;
+constexpr double kSpinUs = 3.0;    // compute slice (CPU-bound)
+constexpr double kBlockUs = 40.0;  // blocking hold of the execution site
+
+std::atomic<std::uint64_t> hops_done{0};
+
+void chain_hop(std::uint64_t gid_bits, std::uint32_t remaining) {
+  bench::busy_spin_us(kSpinUs);
+  // The slow-resource hold: blocks this worker (the execution site), so
+  // queued hops behind it wait — exactly the starvation a deep queue
+  // means.  A real machine would be stalled on memory or a device here.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(kBlockUs));
+  hops_done.fetch_add(1, std::memory_order_relaxed);
+  if (remaining > 0) {
+    core::apply<&chain_hop>(gas::gid::from_bits(gid_bits), gid_bits,
+                            remaining - 1);
+  }
+}
+PX_REGISTER_ACTION(chain_hop)
+
+struct run_result {
+  double ms = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t triggers = 0;
+  std::vector<std::size_t> objects_per_locality;
+};
+
+run_result hot_spot_run(bool adaptive) {
+  core::runtime_params p;
+  p.localities = kLocalities;
+  p.workers_per_locality = 1;
+  p.rebalance = adaptive ? 1 : 0;
+  p.rebalance_interval_us = 100;
+  p.rebalance_min_depth = 4;
+  core::runtime rt(p);
+
+  std::vector<gas::gid> objs;
+  for (int i = 0; i < kObjects; ++i) {
+    objs.push_back(rt.new_object<int>(0, i));  // the hot spot: all at loc 0
+  }
+
+  hops_done.store(0);
+  run_result res;
+  rt.start();
+  res.ms = bench::time_ms([&] {
+    rt.run([&] {
+      for (const auto id : objs) {
+        core::apply<&chain_hop>(id, id.bits(), kHops - 1);
+      }
+    });
+  });
+  if (hops_done.load() !=
+      static_cast<std::uint64_t>(kObjects) * kHops) {
+    std::fprintf(stderr, "rebalance bench lost hops: %llu/%llu\n",
+                 static_cast<unsigned long long>(hops_done.load()),
+                 static_cast<unsigned long long>(
+                     static_cast<std::uint64_t>(kObjects) * kHops));
+  }
+  const auto st = rt.balancer().stats();
+  res.migrations = st.objects_migrated;
+  res.triggers = st.triggers;
+  for (std::size_t l = 0; l < kLocalities; ++l) {
+    res.objects_per_locality.push_back(
+        rt.at(static_cast<gas::locality_id>(l)).object_count());
+  }
+  rt.stop();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace px;
+  bench::banner(
+      "REBAL-1 / adaptive rebalancing vs static hot spot (section 2.1)",
+      "\"Starvation is the lack of work and therefore the idle cycles "
+      "experienced by an execution site ... caused either due to inadequate "
+      "program parallelism or due to poor load balancing.\"  Dynamic "
+      "adaptive resource management is the model's answer.");
+
+  // Best of two: rebalancing decisions are timing-dependent, scheduling
+  // noise only adds.
+  run_result off = hot_spot_run(false);
+  run_result on = hot_spot_run(true);
+  {
+    const run_result off2 = hot_spot_run(false);
+    if (off2.ms < off.ms) off = off2;
+    run_result on2 = hot_spot_run(true);
+    if (on2.ms < on.ms) on = std::move(on2);
+  }
+
+  util::text_table table({"rebalancer", "completion (ms)", "improvement",
+                          "migrations", "trigger rounds"});
+  table.add_row("off", off.ms, 1.0, static_cast<std::int64_t>(off.migrations),
+                static_cast<std::int64_t>(off.triggers));
+  table.add_row("on", on.ms, off.ms / on.ms,
+                static_cast<std::int64_t>(on.migrations),
+                static_cast<std::int64_t>(on.triggers));
+  table.print(std::to_string(kObjects) + " hot objects x " +
+              std::to_string(kHops) + " chained hops x (" +
+              std::to_string(static_cast<int>(kSpinUs)) + "us compute + " +
+              std::to_string(static_cast<int>(kBlockUs)) +
+              "us blocking service), all bound at locality 0 of " +
+              std::to_string(kLocalities));
+  std::printf("%s", table.render_csv().c_str());
+
+  std::printf("\nfinal object distribution (rebalancer on): ");
+  for (std::size_t l = 0; l < on.objects_per_locality.size(); ++l) {
+    std::printf("L%zu=%zu ", l, on.objects_per_locality[l]);
+  }
+  std::printf("\n");
+
+  bench::json_writer json;
+  json.add("bench", std::string("rebalance"));
+  json.add("objects", static_cast<std::int64_t>(kObjects));
+  json.add("hops", static_cast<std::int64_t>(kHops));
+  json.add("spin_us", kSpinUs);
+  json.add("block_us", kBlockUs);
+  json.add("localities", static_cast<std::int64_t>(kLocalities));
+  json.add("off_ms", off.ms);
+  json.add("on_ms", on.ms);
+  json.add("improvement", off.ms / on.ms);
+  json.add("migrations", static_cast<std::int64_t>(on.migrations));
+  json.add("trigger_rounds", static_cast<std::int64_t>(on.triggers));
+  json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
+  json.write("BENCH_rebalance.json");
+
+  std::printf(
+      "\nshape check: with the rebalancer off, every chained hop lands on "
+      "locality 0 (one site computes, three starve); with it on, hot "
+      "objects migrate toward idle sites and completion approaches "
+      "work/sites.\n");
+  return 0;
+}

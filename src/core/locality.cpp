@@ -1,9 +1,11 @@
 #include "core/locality.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "core/runtime.hpp"
 #include "util/assert.hpp"
+#include "util/clock.hpp"
 
 namespace px::core {
 
@@ -111,6 +113,53 @@ bool locality::arriving_needs_forward(gas::gid dest) {
   return *owner != id_;
 }
 
+void locality::note_heat(gas::gid dest) noexcept {
+  if (!heat_enabled_.load(std::memory_order_relaxed)) return;
+  if (dest.kind() != gas::gid_kind::data) return;  // only migratable heat
+  // Heat is a rough rate signal (halved every rebalance round), so a 1-in-8
+  // sample preserves its shape while keeping the delivery hot path off the
+  // lock seven times out of eight — the dispatch path stays near the
+  // lock-free budget PR 2 bought even with the rebalancer enabled.
+  if ((heat_seq_.fetch_add(1, std::memory_order_relaxed) & 7u) != 0) return;
+  std::lock_guard lock(heat_lock_);
+  if (heat_.size() >= kMaxHeatEntries &&
+      heat_.find(dest) == heat_.end()) {
+    // Bound the table even when load stays balanced and the rebalancer
+    // never drains it: age everything in place so entries for cooled-off
+    // (or destroyed) objects fall out instead of accumulating forever.
+    // The aging scan is rate-limited — a saturated table of persistently
+    // hot entries must not turn every sampled delivery into an O(table)
+    // walk under the lock, nor erode the heat signal between rounds.
+    const std::int64_t now = util::now_ns();
+    if (now - heat_last_age_ns_ < kHeatAgeIntervalNs) return;  // drop sample
+    heat_last_age_ns_ = now;
+    for (auto it = heat_.begin(); it != heat_.end();) {
+      it->second /= 2;
+      it = it->second == 0 ? heat_.erase(it) : std::next(it);
+    }
+    if (heat_.size() >= kMaxHeatEntries) return;  // everything still hot
+  }
+  heat_[dest] += 1;
+}
+
+std::vector<std::pair<gas::gid, std::uint64_t>> locality::hottest_objects(
+    std::size_t n) {
+  std::vector<std::pair<gas::gid, std::uint64_t>> out;
+  std::lock_guard lock(heat_lock_);
+  out.reserve(heat_.size());
+  for (const auto& [id, count] : heat_) out.emplace_back(id, count);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  // Age everything: heat is a rate signal, not a lifetime total.
+  for (auto it = heat_.begin(); it != heat_.end();) {
+    it->second /= 2;
+    it = it->second == 0 ? heat_.erase(it) : std::next(it);
+  }
+  return out;
+}
+
 void locality::deliver(parcel::parcel p) {
   parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
   if (arriving_needs_forward(p.destination)) {
@@ -119,6 +168,7 @@ void locality::deliver(parcel::parcel p) {
     rt_.route(id_, std::move(p));
     return;
   }
+  note_heat(p.destination);
   parcel::action_registry::global().dispatch(this, std::move(p));
 }
 
@@ -133,6 +183,7 @@ void locality::deliver(const parcel::parcel_view& pv) {
     rt_.route(id_, std::move(p));
     return;
   }
+  note_heat(pv.destination());
   parcel::action_registry::global().dispatch(this, pv);
 }
 

@@ -16,6 +16,8 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "gas/gid.hpp"
 #include "parcel/parcel.hpp"
@@ -89,6 +91,21 @@ class locality {
     parcels_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --------------------------------------------- object heat (rebalancer)
+
+  // Turns on per-object delivery accounting; set once by the runtime when
+  // the rebalancer is enabled (the disabled fast path is a single relaxed
+  // load per delivery).
+  void enable_heat_tracking() noexcept {
+    heat_enabled_.store(true, std::memory_order_relaxed);
+  }
+
+  // The up-to-n hottest migratable (data-kind) objects delivered here,
+  // hottest first.  Ages all remaining heat by half so a former hot spot
+  // cools off instead of being re-migrated forever.
+  std::vector<std::pair<gas::gid, std::uint64_t>> hottest_objects(
+      std::size_t n);
+
   locality_stats stats() const;
 
  private:
@@ -98,6 +115,15 @@ class locality {
   // and we were reached through a stale cache); establishes the locality
   // context as a side effect of the arrival.
   bool arriving_needs_forward(gas::gid dest);
+
+  // Delivery-path heat accounting (no-op unless heat tracking is enabled).
+  void note_heat(gas::gid dest) noexcept;
+
+  // Heat-table size bound; crossing it ages the table in place (see
+  // note_heat), so balanced workloads cannot grow it without limit.  The
+  // aging scan itself runs at most once per interval.
+  static constexpr std::size_t kMaxHeatEntries = 1024;
+  static constexpr std::int64_t kHeatAgeIntervalNs = 1000 * 1000;  // 1ms
 
   runtime& rt_;
   gas::locality_id id_;
@@ -109,6 +135,12 @@ class locality {
 
   mutable util::spinlock sinks_lock_;
   std::unordered_map<gas::gid, std::function<void(parcel::parcel)>> sinks_;
+
+  std::atomic<bool> heat_enabled_{false};
+  std::atomic<std::uint64_t> heat_seq_{0};  // 1-in-8 delivery sampling
+  mutable util::spinlock heat_lock_;
+  std::unordered_map<gas::gid, std::uint64_t> heat_;
+  std::int64_t heat_last_age_ns_ = 0;  // guarded by heat_lock_
 
   std::atomic<std::uint64_t> parcels_sent_{0};
   std::atomic<std::uint64_t> parcels_delivered_{0};

@@ -3,8 +3,11 @@
 #include <mutex>
 
 #include "util/assert.hpp"
+#include "util/clock.hpp"
 
 namespace px::core {
+
+using util::now_ns;
 
 parcel_port::parcel_port(net::fabric& fabric, net::endpoint_id self,
                          parcel_port_params params)
@@ -21,10 +24,12 @@ std::uint32_t parcel_port::take_frame(out_channel& ch,
   out = std::move(ch.buf);
   ch.buf.clear();
   ch.count = 0;
+  ch.last_close_ns = now_ns();
   return count;
 }
 
-void parcel_port::enqueue(net::endpoint_id dest, const parcel::parcel& p) {
+parcel_enqueue_result parcel_port::enqueue(net::endpoint_id dest,
+                                           const parcel::parcel& p) {
   PX_ASSERT_MSG(dest < channels_.size(), "parcel_port: dest out of range");
   PX_ASSERT_MSG(dest != self_, "parcel_port: local parcels bypass the port");
   // Visibility order matters for quiescence: the monotonic counter first
@@ -33,12 +38,16 @@ void parcel_port::enqueue(net::endpoint_id dest, const parcel::parcel& p) {
   enqueued_total_.fetch_add(1, std::memory_order_acq_rel);
   pending_.fetch_add(1, std::memory_order_acq_rel);
 
+  parcel_enqueue_result res;
   std::vector<std::byte> to_ship;
   std::uint32_t shipped_count = 0;
   {
     out_channel& ch = *channels_[dest];
     std::lock_guard lock(ch.lock);
     if (ch.buf.empty()) {
+      // Opening a frame: the clock read (~20ns) runs at most once per
+      // frame, so the storm path pays it once per flush_count parcels.
+      res.quiet_first = now_ns() - ch.last_close_ns > eager_quiet_ns;
       ch.buf = fabric_.pool().acquire();
       parcel::frame_begin(ch.buf);
     }
@@ -50,12 +59,15 @@ void parcel_port::enqueue(net::endpoint_id dest, const parcel::parcel& p) {
     }
   }
   if (shipped_count > 0) {
+    res.shipped = true;
     threshold_flushes_.fetch_add(1, std::memory_order_relaxed);
     ship(std::move(to_ship), shipped_count, dest);
   }
+  return res;
 }
 
-void parcel_port::flush(net::endpoint_id dest) {
+void parcel_port::flush_counted(net::endpoint_id dest,
+                                std::atomic<std::uint64_t>& counter) {
   PX_ASSERT(dest < channels_.size());
   std::vector<std::byte> to_ship;
   std::uint32_t shipped_count = 0;
@@ -65,8 +77,16 @@ void parcel_port::flush(net::endpoint_id dest) {
     if (ch.count == 0) return;
     shipped_count = take_frame(ch, to_ship);
   }
-  demand_flushes_.fetch_add(1, std::memory_order_relaxed);
+  counter.fetch_add(1, std::memory_order_relaxed);
   ship(std::move(to_ship), shipped_count, dest);
+}
+
+void parcel_port::flush(net::endpoint_id dest) {
+  flush_counted(dest, demand_flushes_);
+}
+
+void parcel_port::flush_eager(net::endpoint_id dest) {
+  flush_counted(dest, eager_flushes_);
 }
 
 void parcel_port::flush_all() {
@@ -97,6 +117,7 @@ parcel_port_stats parcel_port::stats() const {
   s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
   s.threshold_flushes = threshold_flushes_.load(std::memory_order_relaxed);
   s.demand_flushes = demand_flushes_.load(std::memory_order_relaxed);
+  s.eager_flushes = eager_flushes_.load(std::memory_order_relaxed);
   return s;
 }
 

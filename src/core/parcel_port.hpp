@@ -39,10 +39,28 @@ struct parcel_port_stats {
   std::uint64_t frames_sent = 0;
   std::uint64_t threshold_flushes = 0;  // frames shipped by size/count
   std::uint64_t demand_flushes = 0;     // frames shipped by flush()/idle
+  std::uint64_t eager_flushes = 0;      // first-parcel latency flushes
+};
+
+// What enqueue() observed, so the routing layer can decide on an eager
+// flush without a second trip through the channel lock.
+struct parcel_enqueue_result {
+  bool shipped = false;      // a threshold flush already sent the frame
+  bool quiet_first = false;  // p opened the frame of a *quiet* channel:
+                             // nothing shipped from it for longer than the
+                             // burst window, so this parcel is likely an
+                             // isolated request, not the head of a storm
 };
 
 class parcel_port {
  public:
+  // Burst-detection window for quiet_first: a channel that shipped a frame
+  // within this many ns is mid-burst, and eager-flushing it would defeat
+  // coalescing (a storm re-opens its frame right after every threshold
+  // ship).  Isolated request/reply traffic has gaps of at least a fabric
+  // round trip, comfortably above this.
+  static constexpr std::int64_t eager_quiet_ns = 5000;
+
   parcel_port(net::fabric& fabric, net::endpoint_id self,
               parcel_port_params params);
 
@@ -51,11 +69,15 @@ class parcel_port {
 
   // Coalesces p into the open frame for `dest` (must be a remote
   // endpoint), shipping it if a threshold is crossed.  Thread-safe.
-  void enqueue(net::endpoint_id dest, const parcel::parcel& p);
+  parcel_enqueue_result enqueue(net::endpoint_id dest,
+                                const parcel::parcel& p);
 
   // Ships the open frame for `dest` / for every destination, if any.
   void flush(net::endpoint_id dest);
   void flush_all();
+
+  // flush(dest) accounted as a first-parcel eager flush (latency path).
+  void flush_eager(net::endpoint_id dest);
 
   // Parcels coalesced but not yet handed to the fabric.
   std::uint64_t pending() const noexcept {
@@ -76,6 +98,7 @@ class parcel_port {
     util::spinlock lock;
     std::vector<std::byte> buf;  // empty => no open frame
     std::uint32_t count = 0;
+    std::int64_t last_close_ns = 0;  // when a frame last shipped from here
   };
 
   // Takes the channel's open frame into `out` and closes the channel;
@@ -85,6 +108,8 @@ class parcel_port {
 
   void ship(std::vector<std::byte> frame, std::uint32_t count,
             net::endpoint_id dest);
+  void flush_counted(net::endpoint_id dest,
+                     std::atomic<std::uint64_t>& counter);
 
   net::fabric& fabric_;
   net::endpoint_id self_;
@@ -96,6 +121,7 @@ class parcel_port {
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> threshold_flushes_{0};
   std::atomic<std::uint64_t> demand_flushes_{0};
+  std::atomic<std::uint64_t> eager_flushes_{0};
 };
 
 }  // namespace px::core

@@ -27,9 +27,13 @@ void process::spawn(gas::locality_id where, std::function<void()> fn) {
 }
 
 void process::spawn_any(std::function<void()> fn) {
+  // Adaptive placement: the rebalancer steers toward the shallowest ready
+  // queue in the span (falling back to static round-robin when disabled
+  // or balanced) — the paper's dynamic resource management applied at the
+  // moment work is created, not just after it has piled up.
   const std::uint64_t slot =
       next_placement_.fetch_add(1, std::memory_order_relaxed);
-  spawn(span_[slot % span_.size()], std::move(fn));
+  spawn(rt_.balancer().place(span_, slot), std::move(fn));
 }
 
 void process::seal() { complete_one(); }

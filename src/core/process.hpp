@@ -36,7 +36,8 @@ class process : public std::enable_shared_from_this<process> {
   // from any thread, including the process's own children (nesting).
   void spawn(gas::locality_id where, std::function<void()> fn);
 
-  // Round-robin placement over the span.
+  // Placement over the span: least-loaded locality when the runtime's
+  // rebalancer is enabled, round-robin otherwise (rebalancer::place).
   void spawn_any(std::function<void()> fn);
 
   // Invokes action Fn(args...) on every locality of the span (untracked

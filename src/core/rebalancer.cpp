@@ -1,0 +1,161 @@
+#include "core/rebalancer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "core/locality.hpp"
+#include "core/runtime.hpp"
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace px::core {
+
+using util::now_ns;
+
+rebalancer::rebalancer(runtime& rt, rebalancer_params params)
+    : rt_(rt), params_(params) {}
+
+void rebalancer::poll() noexcept {
+  if (!params_.enabled) return;
+  const std::int64_t now = now_ns();
+  std::int64_t last = last_poll_ns_.load(std::memory_order_relaxed);
+  const auto interval_ns =
+      static_cast<std::int64_t>(params_.interval_us) * 1000;
+  if (now - last < interval_ns) return;
+  if (!last_poll_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return;  // a concurrent poller took this slot
+  }
+  if (!round_lock_.try_lock()) return;  // a round is still running
+  rebalance_once();
+  round_lock_.unlock();
+}
+
+void rebalancer::rebalance_once() {
+  const std::size_t n = rt_.num_localities();
+  if (n < 2) return;
+
+  // Freshen every monitor (the overloaded locality never runs its own
+  // idle hook), then read instantaneous depths: acting on a stale signal
+  // would migrate objects *toward* yesterday's idle site.
+  std::uint64_t total = 0, max_depth = 0;
+  gas::locality_id deepest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rt_.monitor_at(static_cast<gas::locality_id>(i)).tick();
+    const std::uint64_t d =
+        rt_.at(static_cast<gas::locality_id>(i)).sched().ready_estimate();
+    total += d;
+    if (d > max_depth) {
+      max_depth = d;
+      deepest = static_cast<gas::locality_id>(i);
+    }
+  }
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(n);
+  const double imbalance =
+      mean > 0.0 ? static_cast<double>(max_depth) / mean : 0.0;
+  last_imbalance_milli_.store(static_cast<std::uint64_t>(imbalance * 1000.0),
+                              std::memory_order_relaxed);
+  if (max_depth < params_.min_depth || imbalance < params_.threshold) return;
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+
+  // Every locality below the mean is an eligible destination, shallowest
+  // first; migrations cycle across them so one idle site does not absorb
+  // the entire hot spot (which would just move the imbalance).
+  std::vector<std::pair<std::uint64_t, gas::locality_id>> dests;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lid = static_cast<gas::locality_id>(i);
+    if (lid == deepest) continue;
+    const std::uint64_t d = rt_.at(lid).sched().ready_estimate();
+    if (static_cast<double>(d) <= mean) dests.emplace_back(d, lid);
+  }
+  if (dests.empty()) return;
+  std::sort(dests.begin(), dests.end());
+
+  // Oversample the heat list: entries for objects that already migrated
+  // away linger (cooling) in the table; rebalance_migrate rejects them
+  // (owner != deepest), so they cost a directory lookup but never a slot
+  // of the migration budget — and never yank an object off the innocent
+  // locality it moved to.
+  const auto hot =
+      rt_.at(deepest).hottest_objects(4u * params_.max_migrations);
+  std::uint32_t moved = 0;
+  std::size_t next_dest = 0;
+  for (const auto& [id, heat] : hot) {
+    (void)heat;
+    if (moved >= params_.max_migrations) break;
+    const gas::locality_id to = dests[next_dest % dests.size()].second;
+    if (rt_.rebalance_migrate(id, deepest, to)) {
+      ++moved;
+      ++next_dest;
+    }
+  }
+  if (moved > 0) {
+    migrated_.fetch_add(moved, std::memory_order_relaxed);
+    PX_LOG_DEBUG("rebalancer: moved %u hot objects off L%u "
+                 "(imbalance %.2f, depth %llu)",
+                 moved, deepest, imbalance,
+                 static_cast<unsigned long long>(max_depth));
+  }
+}
+
+gas::locality_id rebalancer::place(
+    const std::vector<gas::locality_id>& span, std::uint64_t rr) {
+  const gas::locality_id fallback = span[rr % span.size()];
+  if (!params_.enabled || span.size() < 2) return fallback;
+  // Least-loaded placement over the span; round-robin breaks ties so a
+  // balanced span degenerates to exactly the old static behaviour.  One
+  // pass, one depth read per locality: re-reading the (constantly moving)
+  // depths to pick among ties would race its own first scan.  Depths are
+  // cached on the stack for typical spans — this runs per spawn_any, and
+  // an allocator round trip per task would dwarf the fetch_add it
+  // replaces.
+  constexpr std::size_t kStackSpan = 64;
+  std::uint64_t stack_depths[kStackSpan];
+  std::vector<std::uint64_t> heap_depths;
+  std::uint64_t* depths = stack_depths;
+  if (span.size() > kStackSpan) {
+    heap_depths.resize(span.size());
+    depths = heap_depths.data();
+  }
+  std::uint64_t best = ~0ull;
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < span.size(); ++i) {
+    depths[i] = rt_.at(span[i]).sched().ready_estimate();
+    if (depths[i] < best) {
+      best = depths[i];
+      ties = 1;
+    } else if (depths[i] == best) {
+      ++ties;
+    }
+  }
+  std::size_t pick = rr % ties;
+  gas::locality_id chosen = fallback;
+  for (std::size_t i = 0; i < span.size(); ++i) {
+    if (depths[i] == best && pick-- == 0) {
+      chosen = span[i];
+      break;
+    }
+  }
+  if (chosen != fallback) redirects_.fetch_add(1, std::memory_order_relaxed);
+  return chosen;
+}
+
+rebalancer_stats rebalancer::stats() const {
+  rebalancer_stats s;
+  s.rounds = rounds_.load(std::memory_order_relaxed);
+  s.triggers = triggers_.load(std::memory_order_relaxed);
+  s.objects_migrated = migrated_.load(std::memory_order_relaxed);
+  s.placement_redirects = redirects_.load(std::memory_order_relaxed);
+  s.last_imbalance =
+      static_cast<double>(
+          last_imbalance_milli_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return s;
+}
+
+}  // namespace px::core

@@ -1,0 +1,102 @@
+// Adaptive load rebalancer: introspection counters turned into action.
+//
+// Paper §2.1: starvation is "idle cycles ... caused either due to
+// inadequate program parallelism or due to poor load balancing"; the model
+// answers with dynamic adaptive resource management.  This policy engine
+// closes the loop over the introspection subsystem:
+//
+//   observe   per-locality instantaneous ready depths
+//             (scheduler::ready_estimate; acting on a lagged signal would
+//             chase yesterday's imbalance, so decisions read the live
+//             counters while the introspect::monitor EWMA — refreshed on
+//             every poll — serves the exported counters and remote
+//             observers)
+//   decide    load-imbalance coefficient = max_depth / mean_depth;
+//             act only when it exceeds a threshold and the deepest queue
+//             is deep enough to matter
+//   act       (a) migrate the hottest gid-bound data objects away from the
+//                 overloaded locality (agas::migrate; in-flight parcels
+//                 heal through the stale-cache forwarding path), so the
+//                 *message-driven work follows the objects* to idle sites;
+//             (b) steer process::spawn_any placement toward the shallowest
+//                 ready queues, replacing static round-robin.
+//
+// poll() is cheap, rate-limited, and runs opportunistically on whichever
+// thread has nothing better to do: idle scheduler workers (a starved
+// locality lobbies for work on its own idle cycles) and the fabric
+// progress thread's idle callback (so a machine whose workers are all
+// pinned busy is still rebalanced from outside).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::core {
+
+class runtime;
+
+struct rebalancer_params {
+  bool enabled = false;
+  // Trigger: max ready depth / mean ready depth must exceed this...
+  double threshold = 2.0;
+  // ...and the deepest queue must hold at least this many ready threads
+  // (rebalancing a near-idle machine is noise, not adaptation).
+  std::uint32_t min_depth = 8;
+  // Object migrations per rebalance round (the next round re-evaluates,
+  // so correction is incremental rather than oscillatory).
+  std::uint32_t max_migrations = 4;
+  // Minimum spacing between rebalance rounds.
+  std::uint64_t interval_us = 200;
+};
+
+struct rebalancer_stats {
+  std::uint64_t rounds = 0;             // imbalance evaluations
+  std::uint64_t triggers = 0;           // rounds that exceeded threshold
+  std::uint64_t objects_migrated = 0;
+  std::uint64_t placement_redirects = 0;  // spawn_any steered off round-robin
+  double last_imbalance = 0.0;          // most recent coefficient
+};
+
+class rebalancer {
+ public:
+  rebalancer(runtime& rt, rebalancer_params params);
+
+  rebalancer(const rebalancer&) = delete;
+  rebalancer& operator=(const rebalancer&) = delete;
+
+  bool enabled() const noexcept { return params_.enabled; }
+  const rebalancer_params& params() const noexcept { return params_; }
+
+  // Evaluates imbalance and acts; rate-limited and self-serializing, so
+  // safe (and cheap) to call from any thread on any idle pass.
+  void poll() noexcept;
+
+  // Placement choice for spawn_any-style calls: the span member with the
+  // shallowest ready queue (ties broken round-robin by `rr`); plain
+  // round-robin when disabled.
+  gas::locality_id place(const std::vector<gas::locality_id>& span,
+                         std::uint64_t rr);
+
+  rebalancer_stats stats() const;
+
+ private:
+  void rebalance_once();
+
+  runtime& rt_;
+  rebalancer_params params_;
+
+  std::atomic<std::int64_t> last_poll_ns_{0};
+  util::spinlock round_lock_;  // one rebalance round at a time
+
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> triggers_{0};
+  std::atomic<std::uint64_t> migrated_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> last_imbalance_milli_{0};
+};
+
+}  // namespace px::core

@@ -1,10 +1,12 @@
 #include "core/runtime.hpp"
 
 #include <mutex>
+#include <string>
 
 #include "core/action.hpp"
 #include "core/echo.hpp"
 #include "core/percolation.hpp"
+#include "lco/lco.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -28,7 +30,9 @@ parcel::action_id sink_action_id() {
 }
 
 runtime::runtime(runtime_params params)
-    : params_(params), agas_(params.localities) {
+    : params_(params),
+      agas_(params.localities),
+      introspect_(agas_, names_) {
   PX_ASSERT(params_.localities >= 1);
   params_.fabric.endpoints = params_.localities;
   // parcel::forwards is u8: a bound of 255 could never trip (the counter
@@ -36,8 +40,11 @@ runtime::runtime(runtime_params params)
   params_.max_forwards = std::min<std::uint8_t>(params_.max_forwards, 254);
 
   // Coalescing thresholds: explicit params win, then PX_PARCEL_FLUSH_*
-  // environment variables, then built-in defaults.
+  // environment variables, then built-in defaults.  The eager-flush and
+  // rebalancer knobs resolve the same way (PX_PARCEL_EAGER_FLUSH,
+  // PX_REBALANCE, PX_REBALANCE_*).
   parcel_port_params pp;
+  rebalancer_params rp;
   {
     util::config cfg;
     cfg.load_environment();
@@ -49,6 +56,32 @@ runtime::runtime(runtime_params params)
       params_.parcel_flush_count = static_cast<std::uint32_t>(cfg.get_int(
           "parcel.flush_count", static_cast<std::int64_t>(pp.flush_count)));
     }
+    eager_flush_ = params_.parcel_eager_flush < 0
+                       ? cfg.get_bool("parcel.eager_flush", true)
+                       : params_.parcel_eager_flush != 0;
+    rp.enabled = params_.rebalance < 0 ? cfg.get_bool("rebalance", false)
+                                       : params_.rebalance != 0;
+    rp.threshold = params_.rebalance_threshold > 0.0
+                       ? params_.rebalance_threshold
+                       : cfg.get_double("rebalance.threshold", rp.threshold);
+    rp.min_depth =
+        params_.rebalance_min_depth > 0
+            ? params_.rebalance_min_depth
+            : static_cast<std::uint32_t>(cfg.get_int(
+                  "rebalance.min_depth",
+                  static_cast<std::int64_t>(rp.min_depth)));
+    rp.max_migrations =
+        params_.rebalance_max_migrations > 0
+            ? params_.rebalance_max_migrations
+            : static_cast<std::uint32_t>(cfg.get_int(
+                  "rebalance.max_migrations",
+                  static_cast<std::int64_t>(rp.max_migrations)));
+    rp.interval_us =
+        params_.rebalance_interval_us > 0
+            ? params_.rebalance_interval_us
+            : static_cast<std::uint64_t>(cfg.get_int(
+                  "rebalance.interval_us",
+                  static_cast<std::int64_t>(rp.interval_us)));
   }
   pp.flush_bytes = params_.parcel_flush_bytes;
   pp.flush_count = std::max<std::uint32_t>(1, params_.parcel_flush_count);
@@ -81,20 +114,137 @@ runtime::runtime(runtime_params params)
       deliver_from_fabric(m);
     });
     ports_.push_back(std::make_unique<parcel_port>(*fabric_, ep, pp));
+    monitors_.push_back(
+        std::make_unique<introspect::monitor>(localities_[i]->sched_));
+  }
+  balancer_ = std::make_unique<rebalancer>(*this, rp);
+  if (rp.enabled) {
+    for (auto& loc : localities_) loc->enable_heat_tracking();
+  }
+
+  for (std::size_t i = 0; i < params_.localities; ++i) {
     // Flush-on-idle: a worker with nothing to run ships this locality's
-    // half-full frames (communication fills the compute troughs).
+    // half-full frames (communication fills the compute troughs), samples
+    // its own load (decaying the monitor signal toward idle), and gives
+    // the rebalancer a rate-limited chance to pull work its way.
     localities_[i]->sched_.set_idle_hook(
-        [port = ports_.back().get()] { port->flush_all(); });
+        [port = ports_[i].get(), mon = monitors_[i].get(),
+         bal = balancer_.get()] {
+          port->flush_all();
+          mon->tick();
+          bal->poll();
+        });
   }
   // Backstop: if every worker of a locality is pinned busy (or asleep with
-  // the inject path quiet), the fabric progress thread flushes for them.
+  // the inject path quiet), the fabric progress thread flushes, samples,
+  // and rebalances for them — the overloaded locality never runs its own
+  // idle hook, so this is the path that observes it.
   fabric_->set_idle_callback([this] {
     for (auto& port : ports_) port->flush_all();
+    for (auto& mon : monitors_) mon->tick();
+    balancer_->poll();
   });
+
+  register_counters();
 
   echo_ = std::make_unique<echo_manager>(*this);
   percolation_ = std::make_unique<percolation_manager>(
       *this, params_.staging_slots_per_locality);
+}
+
+// Every load-bearing runtime quantity becomes a first-class, gid-named,
+// path-addressable counter (paper: hardware resources are typed first-class
+// entities).  Schema: runtime/loc<i>/<subsystem>/<metric> for per-locality
+// counters, runtime/<service>/<metric> for machine-global ones (homed at
+// locality 0, which hosts the global services).
+void runtime::register_counters() {
+  for (std::size_t i = 0; i < localities_.size(); ++i) {
+    const auto lid = static_cast<gas::locality_id>(i);
+    locality* loc = localities_[i].get();
+    parcel_port* port = ports_[i].get();
+    introspect::monitor* mon = monitors_[i].get();
+    const std::string p = "runtime/loc" + std::to_string(i);
+    auto& reg = introspect_;
+
+    threads::scheduler& sched = loc->sched();
+    reg.add(lid, p + "/sched/ready_depth",
+            [&sched] { return sched.ready_estimate(); });
+    reg.add(lid, p + "/sched/live_threads",
+            [&sched] { return sched.live_threads(); });
+    reg.add(lid, p + "/sched/spawned",
+            [&sched] { return sched.spawn_count(); });
+    reg.add(lid, p + "/sched/steals",
+            [&sched] { return sched.stats().steals; });
+    reg.add(lid, p + "/sched/suspends",
+            [&sched] { return sched.stats().suspends; });
+    reg.add(lid, p + "/sched/sleeps",
+            [&sched] { return sched.stats().sleeps; });
+
+    reg.add(lid, p + "/parcels/sent",
+            [loc] { return loc->stats().parcels_sent; });
+    reg.add(lid, p + "/parcels/delivered",
+            [loc] { return loc->stats().parcels_delivered; });
+    reg.add(lid, p + "/parcels/forwarded",
+            [loc] { return loc->stats().parcels_forwarded; });
+    reg.add(lid, p + "/parcels/dropped",
+            [loc] { return loc->stats().parcels_dropped; });
+
+    reg.add(lid, p + "/port/pending", [port] { return port->pending(); });
+    reg.add(lid, p + "/port/enqueued",
+            [port] { return port->enqueued_total(); });
+    reg.add(lid, p + "/port/frames_sent",
+            [port] { return port->stats().frames_sent; });
+    reg.add(lid, p + "/port/eager_flushes",
+            [port] { return port->stats().eager_flushes; });
+
+    net::fabric* fab = fabric_.get();
+    const auto ep = static_cast<net::endpoint_id>(i);
+    reg.add(lid, p + "/fabric/frames_sent",
+            [fab, ep] { return fab->stats(ep).messages_sent; });
+    reg.add(lid, p + "/fabric/parcels_sent",
+            [fab, ep] { return fab->stats(ep).parcels_sent; });
+    reg.add(lid, p + "/fabric/bytes_sent",
+            [fab, ep] { return fab->stats(ep).bytes_sent; });
+
+    reg.add(lid, p + "/monitor/ready_ewma_milli",
+            [mon] { return mon->ready_ewma_milli(); });
+    reg.add(lid, p + "/monitor/samples",
+            [mon] { return mon->samples_taken(); });
+  }
+
+  // Machine-global services, homed where they conceptually live (loc 0).
+  auto& reg = introspect_;
+  reg.add(0, "runtime/agas/binds", [this] { return agas_.stats().binds; });
+  reg.add(0, "runtime/agas/cache_hits",
+          [this] { return agas_.stats().cache_hits; });
+  reg.add(0, "runtime/agas/cache_misses",
+          [this] { return agas_.stats().cache_misses; });
+  reg.add(0, "runtime/agas/migrations",
+          [this] { return agas_.stats().migrations; });
+  reg.add(0, "runtime/agas/stale_refreshes",
+          [this] { return agas_.stats().stale_refreshes; });
+
+  reg.add_raw(0, "runtime/lco/depleted_threads",
+              lco::lco_counters::depleted_threads_created);
+  reg.add_raw(0, "runtime/lco/continuations",
+              lco::lco_counters::continuations_attached);
+  reg.add_raw(0, "runtime/lco/fires", lco::lco_counters::fires);
+
+  reg.add(0, "runtime/fabric/in_flight",
+          [this] { return fabric_->in_flight(); });
+
+  rebalancer* bal = balancer_.get();
+  reg.add(0, "runtime/rebalance/rounds",
+          [bal] { return bal->stats().rounds; });
+  reg.add(0, "runtime/rebalance/triggers",
+          [bal] { return bal->stats().triggers; });
+  reg.add(0, "runtime/rebalance/migrations",
+          [bal] { return bal->stats().objects_migrated; });
+  reg.add(0, "runtime/rebalance/redirects",
+          [bal] { return bal->stats().placement_redirects; });
+  reg.add(0, "runtime/rebalance/imbalance_milli", [bal] {
+    return static_cast<std::uint64_t>(bal->stats().last_imbalance * 1000.0);
+  });
 }
 
 runtime::~runtime() {
@@ -158,7 +308,22 @@ void runtime::route(gas::locality_id from, parcel::parcel p) {
     at(owner).deliver(std::move(p));
     return;
   }
-  ports_[from]->enqueue(static_cast<net::endpoint_id>(owner), p);
+  const auto dest_ep = static_cast<net::endpoint_id>(owner);
+  const auto res = ports_[from]->enqueue(dest_ep, p);
+  // First-parcel eager flush: an isolated request from an otherwise-empty
+  // port, sent by a locality with no other ready work, would sit buffered
+  // until the sender suspends and the flush-on-idle pass runs — pure added
+  // latency with nothing to coalesce behind it.  Three guards keep bursts
+  // batching: the channel must have been quiet (a storm re-opens its frame
+  // within the burst window), the whole port must hold nothing but this
+  // parcel (a multi-destination storm keeps sibling frames open), and the
+  // scheduler must have no ready backlog (queued threads mean more
+  // parcels are coming).
+  if (res.quiet_first && !res.shipped && eager_flush_ &&
+      ports_[from]->pending() <= 1 &&
+      at(from).sched().ready_estimate() == 0) {
+    ports_[from]->flush_eager(dest_ep);
+  }
 }
 
 void runtime::deliver_from_fabric(net::message& m) {
@@ -220,6 +385,27 @@ void runtime::run(std::function<void()> root) {
   if (!started_) start();
   at(0).spawn(std::move(root));
   wait_quiescent();
+}
+
+bool runtime::rebalance_migrate(gas::gid id, gas::locality_id from,
+                                gas::locality_id to) {
+  if (id.kind() != gas::gid_kind::data) return false;
+  PX_ASSERT(to < localities_.size());
+  std::lock_guard migration(migrate_lock_);
+  const auto resolved = agas_.resolve_authoritative(to, id);
+  if (!resolved.has_value()) return false;  // unbound (object destroyed)
+  const gas::locality_id owner = *resolved;
+  if (owner != from || owner == to) return false;  // stale heat entry
+  auto obj = at(owner).get_object(id);
+  if (obj == nullptr) return false;  // racing migrate/destroy; skip
+  // Implant before rebinding, erase after: a parcel racing this move finds
+  // the object wherever its resolution lands it (old owner until the
+  // directory flips, new owner afterwards) — never a gap where dispatch
+  // would run against a missing object.
+  at(to).put_object(id, std::move(obj));
+  agas_.migrate(id, to);
+  at(owner).erase_object(id);
+  return true;
 }
 
 namespace {

@@ -11,14 +11,18 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "core/locality.hpp"
 #include "core/parcel_port.hpp"
+#include "core/rebalancer.hpp"
 #include "gas/agas.hpp"
 #include "gas/name_service.hpp"
+#include "introspect/monitor.hpp"
+#include "introspect/registry.hpp"
 #include "net/fabric.hpp"
 #include "parcel/action_registry.hpp"
 #include "parcel/parcel.hpp"
@@ -47,6 +51,24 @@ struct runtime_params {
   // many times is dropped with a diagnostic (locality_stats counts drops).
   // Clamped to 254 — the u8 forwards counter must be able to exceed it.
   std::uint8_t max_forwards = 16;
+  // First-parcel eager flush: when an isolated parcel opens a quiet port
+  // channel and the sending scheduler has no other ready work, ship the
+  // frame immediately instead of waiting for the flush-on-idle pass —
+  // single-request latency without giving up batched throughput (bursts
+  // are detected and left to coalesce).  -1 resolves from
+  // PX_PARCEL_EAGER_FLUSH, defaulting to on.
+  int parcel_eager_flush = -1;
+  // Introspection-driven adaptive rebalancing (core/rebalancer.hpp).
+  // `rebalance` is tri-state: -1 resolves from PX_REBALANCE (default
+  // off).  Zero-valued tuning fields resolve from PX_REBALANCE_THRESHOLD /
+  // PX_REBALANCE_MIN_DEPTH / PX_REBALANCE_MAX_MIGRATIONS /
+  // PX_REBALANCE_INTERVAL_US, falling back to the rebalancer_params
+  // built-ins.
+  int rebalance = -1;
+  double rebalance_threshold = 0.0;
+  std::uint32_t rebalance_min_depth = 0;
+  std::uint32_t rebalance_max_migrations = 0;
+  std::uint64_t rebalance_interval_us = 0;
 };
 
 class runtime {
@@ -71,6 +93,25 @@ class runtime {
   parcel_port& port(gas::locality_id id) { return *ports_.at(id); }
   echo_manager& echo_mgr() noexcept { return *echo_; }
   percolation_manager& percolation_mgr() noexcept { return *percolation_; }
+
+  // Introspection: the counter registry (every counter is gid-addressable
+  // and path-named; see introspect/registry.hpp), the per-locality load
+  // monitors, and the adaptive rebalancer acting on them.
+  introspect::registry& introspection() noexcept { return introspect_; }
+  introspect::monitor& monitor_at(gas::locality_id id) {
+    return *monitors_.at(id);
+  }
+  rebalancer& balancer() noexcept { return *balancer_; }
+
+  // Untyped control-plane migration used by the rebalancer: moves the
+  // object's table entry (implant at destination, then AGAS rebind, then
+  // erase at source — the object is continuously resolvable and present at
+  // whichever locality a racing parcel lands on).  Returns false when the
+  // object vanished or no longer lives at `from` (a stale heat entry for
+  // an object that already migrated away must not be yanked off an
+  // innocent locality).
+  bool rebalance_migrate(gas::gid id, gas::locality_id from,
+                         gas::locality_id to);
 
   // The typed hardware gid naming locality `id` (paper: hardware resources
   // are first-class named entities).
@@ -137,16 +178,21 @@ class runtime {
   friend class locality;
 
   void deliver_from_fabric(net::message& m);
+  void register_counters();
   std::uint64_t activity_snapshot() const;
 
   runtime_params params_;
   gas::agas agas_;
   gas::name_service names_;
+  introspect::registry introspect_;
   // Declaration order is load-bearing for destruction: the fabric must die
   // first (its progress thread's handlers and idle callback reference the
-  // localities and ports), so it is declared last of the three.
+  // localities, ports, monitors, and rebalancer), so it is declared last
+  // of this group.
   std::vector<std::unique_ptr<locality>> localities_;
   std::vector<std::unique_ptr<parcel_port>> ports_;  // one per locality
+  std::vector<std::unique_ptr<introspect::monitor>> monitors_;
+  std::unique_ptr<rebalancer> balancer_;
   std::unique_ptr<net::fabric> fabric_;
   std::vector<gas::gid> locality_gids_;
   std::unique_ptr<echo_manager> echo_;
@@ -157,22 +203,33 @@ class runtime {
   std::unordered_map<std::uint64_t, std::function<void()>> closures_;
   std::atomic<std::uint64_t> next_closure_{1};
 
+  // Serializes object migrations: a rebalancer round racing a user
+  // migrate_object on the same gid could otherwise implant a stale
+  // pointer over the other's move.  Migration is control-plane rare, so
+  // one lock for all of them is fine.
+  util::spinlock migrate_lock_;
+
+  bool eager_flush_ = true;  // resolved from params/env in the ctor
   bool started_ = false;
 };
 
 template <typename T>
 void runtime::migrate_object(gas::gid id, gas::locality_id to) {
-  // Synchronous control-plane migration: extract at the current owner,
-  // rebind, implant at the destination.  Data-plane traffic racing with
-  // the move is healed by delivery-path forwarding.
+  // Synchronous control-plane migration.  Same implant-rebind-erase order
+  // as rebalance_migrate: a parcel racing the move always finds the object
+  // present wherever its resolution lands it.  Data-plane traffic routed
+  // on stale caches is healed by delivery-path forwarding; concurrent
+  // *migrations* of the same object are serialized by migrate_lock_.
+  std::lock_guard migration(migrate_lock_);
   const auto resolved = agas_.resolve_authoritative(to, id);
   PX_ASSERT_MSG(resolved.has_value(), "migrate of unbound gid");
   const gas::locality_id owner = *resolved;
+  if (owner == to) return;
   auto obj = std::static_pointer_cast<T>(at(owner).get_object(id));
   PX_ASSERT_MSG(obj != nullptr, "migrate: object not at resolved owner");
-  at(owner).erase_object(id);
-  agas_.migrate(id, to);
   at(to).put_object(id, std::move(obj));
+  agas_.migrate(id, to);
+  at(owner).erase_object(id);
 }
 
 }  // namespace px::core

@@ -37,6 +37,9 @@ const agas::shard& agas::home_shard(gid id) const {
 
 gid agas::allocate(gid_kind kind, locality_id home) {
   PX_ASSERT(home < shards_.size());
+  // Belt and braces with gid::make's own assert: a home that does not fit
+  // the 12-bit field would alias another locality's directory shard.
+  PX_ASSERT_MSG(home <= 0xfffu, "agas::allocate: home exceeds gid range");
   const std::uint64_t seq =
       shards_[home]->next_sequence.fetch_add(1, std::memory_order_relaxed);
   return gid::make(kind, home, seq);

@@ -15,6 +15,8 @@
 #include <functional>
 #include <string>
 
+#include "util/assert.hpp"
+
 namespace px::gas {
 
 using locality_id = std::uint32_t;
@@ -36,10 +38,16 @@ class gid {
   constexpr gid() = default;
 
   static constexpr gid make(gid_kind kind, locality_id home,
-                            std::uint64_t sequence) noexcept {
+                            std::uint64_t sequence) {
+    // A home >= 4096 (or a sequence >= 2^48) would silently alias another
+    // locality's (or object's) gid under the masks below — a truncation
+    // bug that corrupts the directory, not a representable gid.
+    PX_ASSERT_MSG(home <= 0xfffu, "gid::make: home locality out of range");
+    PX_ASSERT_MSG(sequence <= 0xffffffffffffull,
+                  "gid::make: sequence out of range");
     return gid((static_cast<std::uint64_t>(kind) << 60) |
-               ((static_cast<std::uint64_t>(home) & 0xfffull) << 48) |
-               (sequence & 0xffffffffffffull));
+               (static_cast<std::uint64_t>(home) << 48) |
+               sequence);
   }
 
   static constexpr gid from_bits(std::uint64_t bits) noexcept {

@@ -1,0 +1,34 @@
+#include "introspect/monitor.hpp"
+
+#include "util/clock.hpp"
+
+namespace px::introspect {
+
+using util::now_ns;
+
+monitor::monitor(threads::scheduler& sched, monitor_params params)
+    : sched_(sched), params_(params) {}
+
+void monitor::tick() noexcept {
+  const std::int64_t now = now_ns();
+  std::int64_t last = last_sample_ns_.load(std::memory_order_relaxed);
+  const auto interval_ns =
+      static_cast<std::int64_t>(params_.sample_interval_us) * 1000;
+  if (now - last < interval_ns) return;
+  // One sampler wins the slot; losers skip (concurrent ticks come from
+  // idle workers and the fabric progress thread).
+  if (!last_sample_ns_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+    return;
+  }
+  const auto depth = static_cast<double>(sched_.ready_estimate());
+  const auto prev =
+      static_cast<double>(ewma_milli_.load(std::memory_order_relaxed));
+  const double next = params_.alpha * depth * 1000.0 +
+                      (1.0 - params_.alpha) * prev;
+  ewma_milli_.store(static_cast<std::uint64_t>(next),
+                    std::memory_order_relaxed);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace px::introspect

@@ -1,0 +1,63 @@
+// Per-locality load monitor: periodic sampling of the scheduler's ready
+// depth into a smoothed (EWMA) load signal.
+//
+// Ticks are driven from two existing idle paths — the scheduler's
+// flush-on-idle hook (an under-loaded locality samples itself constantly,
+// decaying its signal toward zero) and the fabric progress thread's idle
+// callback (which ticks *every* monitor, so a locality whose workers are
+// pinned busy is still observed from outside).  A tick is a relaxed-atomic
+// rate gate plus one relaxed load in the common "too soon" case; the
+// sample itself is one more relaxed load, so monitoring costs the hot path
+// nothing it would notice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "threads/scheduler.hpp"
+
+namespace px::introspect {
+
+struct monitor_params {
+  std::uint64_t sample_interval_us = 100;  // min spacing between samples
+  double alpha = 0.25;                     // EWMA weight of the new sample
+};
+
+class monitor {
+ public:
+  explicit monitor(threads::scheduler& sched, monitor_params params = {});
+
+  monitor(const monitor&) = delete;
+  monitor& operator=(const monitor&) = delete;
+
+  // Takes a sample if at least sample_interval_us elapsed since the last
+  // one; otherwise a no-op.  Callable concurrently from any thread.
+  void tick() noexcept;
+
+  // Instantaneous ready depth (no smoothing, no rate limit).
+  std::uint64_t ready_now() const noexcept { return sched_.ready_estimate(); }
+
+  // Smoothed ready depth.
+  double ready_ewma() const noexcept {
+    return static_cast<double>(ewma_milli_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+
+  // Fixed-point (x1000) EWMA for counter export (counters are u64).
+  std::uint64_t ready_ewma_milli() const noexcept {
+    return ewma_milli_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t samples_taken() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  threads::scheduler& sched_;
+  monitor_params params_;
+  std::atomic<std::uint64_t> ewma_milli_{0};
+  std::atomic<std::int64_t> last_sample_ns_{0};
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+}  // namespace px::introspect

@@ -1,0 +1,34 @@
+#include "introspect/query.hpp"
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+
+namespace px::introspect {
+
+namespace {
+
+// Runs at the counter's home locality: sample the registry and return the
+// value through the continuation.  The destination gid doubles as the
+// argument so the handler knows which counter was addressed.
+std::uint64_t read_counter_action(std::uint64_t gid_bits) {
+  core::locality* here = core::this_locality();
+  const auto value =
+      here->rt().introspection().read(gas::gid::from_bits(gid_bits));
+  return value.value_or(no_such_counter);
+}
+PX_REGISTER_ACTION_AS(read_counter_action, "px.query_counter")
+
+}  // namespace
+
+lco::future<std::uint64_t> query_counter(core::locality& from, gas::gid id) {
+  return core::async_from<&read_counter_action>(from, id, id.bits());
+}
+
+std::optional<lco::future<std::uint64_t>> query_counter(
+    core::locality& from, std::string_view path) {
+  const auto id = from.rt().introspection().find(path);
+  if (!id.has_value()) return std::nullopt;
+  return query_counter(from, *id);
+}
+
+}  // namespace px::introspect

@@ -1,0 +1,72 @@
+#include "introspect/registry.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace px::introspect {
+
+registry::registry(gas::agas& agas, gas::name_service& names)
+    : agas_(agas), names_(names) {}
+
+gas::gid registry::add(gas::locality_id home, std::string path,
+                       sample_fn fn) {
+  PX_ASSERT_MSG(gas::name_service::valid_path(path),
+                "introspect: malformed counter path");
+  PX_ASSERT(fn != nullptr);
+  const gas::gid id = agas_.allocate(gas::gid_kind::hardware, home);
+  agas_.bind(id, home);
+  const bool named = names_.register_name(path, id);
+  PX_ASSERT_MSG(named, "introspect: counter path already registered");
+  std::lock_guard lock(lock_);
+  counters_.emplace(id, entry{std::move(path), std::move(fn)});
+  return id;
+}
+
+gas::gid registry::add_raw(gas::locality_id home, std::string path,
+                           const std::atomic<std::uint64_t>& raw) {
+  return add(home, std::move(path),
+             [&raw] { return raw.load(std::memory_order_relaxed); });
+}
+
+std::optional<std::uint64_t> registry::read(gas::gid id) const {
+  // The sample runs under the lock: entries are never removed, but the
+  // callbacks are cheap by contract, so holding the spinlock across the
+  // call is simpler than a copy of the std::function per read.
+  std::lock_guard lock(lock_);
+  const auto it = counters_.find(id);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second.sample();
+}
+
+std::optional<std::uint64_t> registry::read(std::string_view path) const {
+  const auto id = find(path);
+  if (!id.has_value()) return std::nullopt;
+  return read(*id);
+}
+
+std::optional<gas::gid> registry::find(std::string_view path) const {
+  const auto id = names_.lookup(path);
+  if (!id.has_value()) return std::nullopt;
+  std::lock_guard lock(lock_);
+  if (counters_.find(*id) == counters_.end()) return std::nullopt;
+  return id;
+}
+
+std::vector<counter_info> registry::list(std::string_view prefix) const {
+  std::vector<counter_info> out;
+  auto named = names_.list(prefix);
+  std::lock_guard lock(lock_);
+  for (auto& [path, id] : named) {
+    if (counters_.find(id) == counters_.end()) continue;
+    out.push_back(counter_info{std::move(path), id});
+  }
+  return out;
+}
+
+std::size_t registry::size() const {
+  std::lock_guard lock(lock_);
+  return counters_.size();
+}
+
+}  // namespace px::introspect

@@ -1,0 +1,97 @@
+// Introspection counter registry: the runtime observing itself.
+//
+// Paper §2.1 frames ParalleX as "dynamic adaptive resource management"
+// against the SLOW factors; nothing adapts without observation, so every
+// interesting runtime quantity — scheduler ready depth, steal counts,
+// parcel-port queue depths, fabric rates, AGAS hit/miss ratios, LCO event
+// counts — registers here as a *first-class counter*.  A counter is a
+// gid-addressable object (`gid_kind::hardware`, the paper's "hardware
+// resources have their own names") bound in the AGAS directory and exposed
+// under a hierarchical path in the symbolic name space, e.g.
+//
+//   runtime/loc3/sched/ready_depth
+//   runtime/agas/cache_misses
+//
+// so any locality can discover counters by prefix listing and interrogate
+// any other locality with a plain parcel (see introspect/query.hpp).
+//
+// Cost model: registration happens at runtime construction (spinlocked);
+// reads take the same spinlock only to find the entry — the sample
+// callbacks themselves are relaxed-atomic loads or O(workers) scans, so a
+// monitor sampling every counter steals microseconds, not milliseconds,
+// from the execution sites it watches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gas/agas.hpp"
+#include "gas/gid.hpp"
+#include "gas/name_service.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::introspect {
+
+// Samples the counter's current value.  Must be cheap, non-blocking, and
+// callable from any thread (workers, the fabric progress thread, plain OS
+// threads); must not call back into the registry.
+using sample_fn = std::function<std::uint64_t()>;
+
+struct counter_info {
+  std::string path;
+  gas::gid id;
+};
+
+class registry {
+ public:
+  registry(gas::agas& agas, gas::name_service& names);
+
+  registry(const registry&) = delete;
+  registry& operator=(const registry&) = delete;
+
+  // Registers a sampled counter homed at locality `home` under `path`.
+  // Allocates + binds a hardware gid (hardware gids never migrate, so the
+  // home locality stays the single authority for the counter) and binds
+  // the path in the symbolic name space.  Asserts on duplicate paths.
+  gas::gid add(gas::locality_id home, std::string path, sample_fn fn);
+
+  // Convenience for the common case: the counter is an existing relaxed
+  // atomic (locality stats, fabric stats, lco_counters, ...).
+  gas::gid add_raw(gas::locality_id home, std::string path,
+                   const std::atomic<std::uint64_t>& raw);
+
+  // Samples a counter; nullopt for gids/paths that name no counter.
+  std::optional<std::uint64_t> read(gas::gid id) const;
+  std::optional<std::uint64_t> read(std::string_view path) const;
+
+  // Path -> gid through the name service (nullopt when the path is bound
+  // to something that is not a counter).
+  std::optional<gas::gid> find(std::string_view path) const;
+
+  // All counters under `prefix` (name-service segment semantics), sampled
+  // lazily by the caller via read().
+  std::vector<counter_info> list(std::string_view prefix) const;
+
+  std::size_t size() const;
+
+ private:
+  struct entry {
+    std::string path;
+    sample_fn sample;
+  };
+
+  gas::agas& agas_;
+  gas::name_service& names_;
+
+  mutable util::spinlock lock_;
+  std::unordered_map<gas::gid, entry> counters_;
+};
+
+}  // namespace px::introspect

@@ -131,6 +131,7 @@ void scheduler::resume(thread_descriptor* td) {
 }
 
 void scheduler::enqueue(thread_descriptor* td) {
+  ready_.fetch_add(1, std::memory_order_relaxed);
   detail::worker* w = current_worker();
   if (w != nullptr && w->sched == this) {
     w->deque.push(td);
@@ -253,6 +254,7 @@ void scheduler::worker_main(detail::worker& w) {
   while (!stop_.load(std::memory_order_acquire)) {
     thread_descriptor* td = find_work(w);
     if (td != nullptr) {
+      ready_.fetch_sub(1, std::memory_order_relaxed);
       run_one(w, td);
     } else {
       idle_wait(w);
@@ -292,6 +294,7 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
     }
     case thread_state::ready: {  // yield
       yields_.fetch_add(1, std::memory_order_relaxed);
+      ready_.fetch_add(1, std::memory_order_relaxed);
       // FIFO inject queue, not the owner's LIFO deque: a yielded thread
       // re-pushed locally would be popped right back, starving peers.
       // Same wake handshake as enqueue(): a sibling worker drifting off to

@@ -116,6 +116,14 @@ class scheduler {
     return spawned_.load(std::memory_order_acquire);
   }
 
+  // Threads queued runnable but not currently executing (deques + inject).
+  // Maintained with relaxed counters around enqueue/dequeue, so the value
+  // is exact up to in-flight transitions — the introspection subsystem's
+  // load signal and the rebalancer's imbalance input.
+  std::uint64_t ready_estimate() const noexcept {
+    return ready_.load(std::memory_order_relaxed);
+  }
+
   // Blocks the calling OS thread until live_threads() drops to zero.
   // Must not be called from a ParalleX thread of this scheduler.
   void wait_quiescent() const;
@@ -162,6 +170,7 @@ class scheduler {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> ready_{0};
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> spawned_{0};
   std::atomic<std::uint64_t> completed_{0};

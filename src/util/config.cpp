@@ -44,11 +44,25 @@ void config::set(const std::string& key, bool value) {
 }
 
 bool config::contains(const std::string& key) const {
-  return values_.count(key) != 0;
+  // Delegate to raw() so this agrees with the getters about
+  // environment-derived keys (underscore-to-dot normalization).
+  return raw(key).has_value();
 }
 
 std::optional<std::string> config::raw(const std::string& key) const {
-  const auto it = values_.find(key);
+  auto it = values_.find(key);
+  if (it == values_.end() && key.find('_') != std::string::npos) {
+    // Environment-derived entries are fully dotted (PX_A_B_C -> "a.b.c"),
+    // so a key with an underscore segment ("rebalance.min_depth") can only
+    // have arrived from the environment under its normalized spelling —
+    // retry with underscores flattened to dots.  Exact-match set() calls
+    // still win above.
+    std::string normalized = key;
+    for (char& c : normalized) {
+      if (c == '_') c = '.';
+    }
+    it = values_.find(normalized);
+  }
   if (it == values_.end()) return std::nullopt;
   return it->second;
 }

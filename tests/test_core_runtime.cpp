@@ -95,6 +95,41 @@ TEST(Runtime, AsyncLandsOnTheNamedLocality) {
   EXPECT_EQ(where, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(Runtime, EagerFlushShipsIsolatedRequestImmediately) {
+  // Isolated requests from an otherwise-idle locality: the first-parcel
+  // eager flush must ship them from route() itself (the sender never has
+  // to suspend and wait for the flush-on-idle pass), and the reply leg is
+  // just as isolated, so both ports count eager flushes.  Several round
+  // trips because any single one can lose the benign race where the
+  // fabric progress thread's idle flush ships the frame first (counted as
+  // a demand flush); all of them losing it is not a thing.
+  runtime rt(quick_params(2, 1));
+  int result = 0;
+  rt.run([&] {
+    for (int i = 0; i < 16; ++i) {
+      result = core::async<&add>(rt.locality_gid(1), 20, i).get();
+    }
+  });
+  EXPECT_EQ(result, 35);
+  EXPECT_GE(rt.port(0).stats().eager_flushes, 1u);
+  EXPECT_GE(rt.port(1).stats().eager_flushes, 1u);
+}
+
+TEST(Runtime, EagerFlushDisabledFallsBackToIdleFlush) {
+  runtime_params p = quick_params(2, 1);
+  p.parcel_eager_flush = 0;
+  runtime rt(p);
+  int result = 0;
+  rt.run([&] {
+    result = core::async<&add>(rt.locality_gid(1), 20, 22).get();
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(rt.port(0).stats().eager_flushes, 0u);
+  EXPECT_EQ(rt.port(1).stats().eager_flushes, 0u);
+  // The parcels still left — through demand (idle/quiescence) flushes.
+  EXPECT_GE(rt.port(0).stats().demand_flushes, 1u);
+}
+
 TEST(Runtime, DistributedFibonacci) {
   runtime rt(quick_params(4, 2));
   std::uint64_t result = 0;

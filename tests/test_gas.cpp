@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "gas/agas.hpp"
 #include "gas/gid.hpp"
@@ -55,6 +57,26 @@ TEST_P(GidProperty, EncodeDecodeIdentity) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GidProperty, ::testing::Values(11, 22, 33));
+
+// Regression: `make` used to mask home & 0xfff silently, so locality 4096
+// aliased locality 0 — its gids would resolve against the wrong directory
+// shard.  Out-of-range fields are now a hard assert, not a wrap.
+TEST(GidDeathTest, MakeRejectsOutOfRangeHome) {
+  EXPECT_DEATH(gid::make(gid_kind::data, 4096, 1),
+               "home locality out of range");
+  EXPECT_DEATH(gid::make(gid_kind::data, 0xffffffffu, 1),
+               "home locality out of range");
+}
+
+TEST(GidDeathTest, MakeRejectsOutOfRangeSequence) {
+  EXPECT_DEATH(gid::make(gid_kind::data, 0, 1ull << 48),
+               "sequence out of range");
+}
+
+TEST(GidDeathTest, AllocateRejectsOutOfRangeHome) {
+  agas a(4);
+  EXPECT_DEATH(a.allocate(gid_kind::data, 4), "assertion failed");
+}
 
 // ------------------------------------------------------------------- agas
 
@@ -153,6 +175,78 @@ TEST(Agas, ConcurrentResolveAndMigrateStaysConsistent) {
   EXPECT_EQ(a.resolve_authoritative(0, g).value(), 100 % kLoc);
 }
 
+// Deterministic stats accounting: every resolve is exactly one hit or one
+// miss, a stale-cache refresh is counted when an authoritative resolve
+// overwrites an existing cache entry, and migrations count once each.
+TEST(Agas, StatsAccountingIsExact) {
+  agas a(2);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+  EXPECT_EQ(a.stats().binds, 1u);
+
+  (void)a.resolve(1, g);  // cold: miss, fresh cache insert
+  (void)a.resolve(1, g);  // warm: hit
+  a.migrate(g, 1);
+  (void)a.resolve(1, g);                // stale hit (cache not coherent)
+  (void)a.resolve_authoritative(1, g);  // miss + stale refresh
+  (void)a.resolve(1, g);                // hit, now fresh
+
+  const auto st = a.stats();
+  EXPECT_EQ(st.cache_hits, 3u);
+  EXPECT_EQ(st.cache_misses, 2u);
+  EXPECT_EQ(st.stale_refreshes, 1u);
+  EXPECT_EQ(st.migrations, 1u);
+}
+
+// Satellite: agas_stats under a migration storm — hits + misses must equal
+// the total resolution attempts (no lost or double-counted accounting),
+// and the migrator's repeated authoritative refreshes show up as stale
+// refreshes.
+TEST(Agas, StatsReconcileUnderMigrationStorm) {
+  constexpr std::size_t kLoc = 8;
+  constexpr int kReaders = 3;
+  constexpr int kResolvesPer = 4000;
+  constexpr int kMigrations = 300;
+  agas a(kLoc);
+  const gid g = a.allocate(gid_kind::data, 0);
+  a.bind(g, 0);
+
+  std::atomic<std::uint64_t> resolves{0}, auths{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kResolvesPer; ++i) {
+        const auto owner = a.resolve(static_cast<locality_id>(t), g);
+        ASSERT_TRUE(owner.has_value());
+        ASSERT_LT(*owner, kLoc);
+        resolves.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 1; i <= kMigrations; ++i) {
+      a.migrate(g, static_cast<locality_id>(i % kLoc));
+      const auto owner =
+          a.resolve_authoritative(static_cast<locality_id>(kLoc - 1), g);
+      ASSERT_TRUE(owner.has_value());
+      auths.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  const auto st = a.stats();
+  EXPECT_EQ(st.migrations, static_cast<std::uint64_t>(kMigrations));
+  // Conservation: every attempt was classified exactly once.
+  EXPECT_EQ(st.cache_hits + st.cache_misses,
+            resolves.load() + auths.load());
+  // The migrator refreshed its own warm cache kMigrations - 1 times at
+  // minimum (the first authoritative resolve inserts fresh).
+  EXPECT_GE(st.stale_refreshes,
+            static_cast<std::uint64_t>(kMigrations - 1));
+  EXPECT_GT(st.cache_hits, 0u);
+  EXPECT_EQ(a.resolve_authoritative(0, g).value(), kMigrations % kLoc);
+}
+
 // ----------------------------------------------------------- name service
 
 TEST(NameService, RegisterLookupUnregister) {
@@ -179,6 +273,62 @@ TEST(NameService, HierarchicalPrefixListing) {
   EXPECT_EQ(under_app.size(), 3u);
   // Prefix must respect segment boundaries: "app/gr" matches nothing.
   EXPECT_TRUE(ns.list("app/gr").empty());
+}
+
+// Satellite: concurrent register/lookup/list must neither lose bindings
+// nor hand out torn state (the introspection registry leans on this —
+// counter registration races live lookup/list traffic).
+TEST(NameService, ConcurrentRegisterLookupListStaysConsistent) {
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 250;
+  name_service ns;
+  std::atomic<bool> stop{false};
+  std::atomic<int> registered{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const gid g = gid::make(gid_kind::data, 0,
+                                static_cast<std::uint64_t>(w) * kPerWriter +
+                                    i + 1);
+        const std::string path =
+            "app/w" + std::to_string(w) + "/n" + std::to_string(i);
+        ASSERT_TRUE(ns.register_name(path, g));
+        registered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      px::util::xoshiro256 rng(91 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        const int w = static_cast<int>(rng.below(kWriters));
+        const int i = static_cast<int>(rng.below(kPerWriter));
+        const auto hit = ns.lookup("app/w" + std::to_string(w) + "/n" +
+                                   std::to_string(i));
+        if (hit.has_value()) {
+          ASSERT_EQ(hit->sequence(),
+                    static_cast<std::uint64_t>(w) * kPerWriter + i + 1);
+        }
+        // A prefix listing taken mid-storm is a valid snapshot: every
+        // entry it returns is fully formed and within bounds.
+        const auto listing = ns.list("app/w" + std::to_string(w));
+        ASSERT_LE(listing.size(), static_cast<std::size_t>(kPerWriter));
+        for (const auto& [path, g] : listing) {
+          ASSERT_TRUE(g.valid()) << path;
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(registered.load(), kWriters * kPerWriter);
+  EXPECT_EQ(ns.size(), static_cast<std::size_t>(kWriters * kPerWriter));
+  EXPECT_EQ(ns.list("app").size(),
+            static_cast<std::size_t>(kWriters * kPerWriter));
 }
 
 TEST(NameService, RejectsMalformedPaths) {

@@ -1,0 +1,317 @@
+// Introspection + adaptive rebalancing: counter registry (gid-addressable,
+// path-named), cross-locality query_counter round trips, the per-locality
+// load monitor, and the rebalancer's two actuators (hot-object migration,
+// spawn_any placement steering).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/process.hpp"
+#include "core/runtime.hpp"
+#include "introspect/monitor.hpp"
+#include "introspect/query.hpp"
+#include "threads/scheduler.hpp"
+
+namespace {
+
+using namespace px;
+using namespace std::chrono_literals;
+
+void spin_us(double us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::micro>(us);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+// Polls `cond` for up to two seconds; the runtime gets no magic clocks.
+template <typename F>
+bool eventually(F&& cond) {
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return cond();
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Introspect, CountersAreGidAddressableAndPathNamed) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  core::runtime rt(p);
+
+  const auto id = rt.introspection().find("runtime/loc0/sched/spawned");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->kind(), gas::gid_kind::hardware);
+  EXPECT_EQ(id->home(), 0u);
+  // Bound in the AGAS directory like any first-class object.
+  EXPECT_EQ(rt.gas().resolve_authoritative(1, *id).value(), 0u);
+
+  // A counter names a *live* value, not a snapshot taken at registration.
+  const std::uint64_t before =
+      rt.introspection().read("runtime/loc0/sched/spawned").value();
+  rt.run([] {
+    for (int i = 0; i < 5; ++i) {
+      core::this_locality()->spawn([] {});
+    }
+  });
+  const std::uint64_t after =
+      rt.introspection().read("runtime/loc0/sched/spawned").value();
+  EXPECT_GE(after, before + 6);  // root + 5 children
+  rt.stop();
+}
+
+TEST(Introspect, ListEnumeratesCounterSubtrees) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  core::runtime rt(p);
+
+  // Per-locality subtree: scheduler, parcels, port, fabric, monitor.
+  const auto loc1 = rt.introspection().list("runtime/loc1");
+  EXPECT_GE(loc1.size(), 15u);
+  for (const auto& c : loc1) {
+    EXPECT_EQ(c.id.home(), 1u) << c.path;
+    EXPECT_TRUE(rt.introspection().read(c.id).has_value()) << c.path;
+  }
+  // Global services.
+  EXPECT_EQ(rt.introspection().list("runtime/agas").size(), 5u);
+  EXPECT_EQ(rt.introspection().list("runtime/lco").size(), 3u);
+  EXPECT_GE(rt.introspection().list("runtime/rebalance").size(), 5u);
+  // The locality hardware gids are *not* counters.
+  EXPECT_FALSE(rt.introspection().read("hw/locality/0").has_value());
+  rt.stop();
+}
+
+// ------------------------------------------------------------ query action
+
+TEST(Introspect, QueryCounterCrossLocalityReturnsLiveValue) {
+  core::runtime_params p;
+  p.localities = 3;
+  p.workers_per_locality = 1;
+  core::runtime rt(p);
+  rt.start();
+
+  // Make locality 2 do real work, then interrogate it from locality 0
+  // with a plain parcel round trip.
+  constexpr int kThreads = 32;
+  for (int i = 0; i < kThreads; ++i) {
+    rt.at(2).spawn([] {});
+  }
+  rt.wait_quiescent();
+
+  std::atomic<std::uint64_t> by_path{0}, by_gid{0};
+  const gas::gid counter =
+      rt.introspection().find("runtime/loc2/sched/spawned").value();
+  rt.run([&] {
+    auto fut = introspect::query_counter(*core::this_locality(),
+                                         "runtime/loc2/sched/spawned");
+    ASSERT_TRUE(fut.has_value());
+    by_path.store(fut->get());
+    by_gid.store(
+        introspect::query_counter(*core::this_locality(), counter).get());
+  });
+  // Live: at least the K explicit spawns (the query action itself spawns
+  // at locality 2, so the second read can only be larger).
+  EXPECT_GE(by_path.load(), static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(by_gid.load(), by_path.load());
+
+  // A hardware gid that is not a counter answers with the sentinel
+  // instead of wedging the asker.
+  std::atomic<std::uint64_t> missing{0};
+  rt.run([&] {
+    missing.store(introspect::query_counter(*core::this_locality(),
+                                            rt.locality_gid(1))
+                      .get());
+  });
+  EXPECT_EQ(missing.load(), introspect::no_such_counter);
+
+  // Unknown paths fail locally, before any parcel is spent.
+  rt.run([&] {
+    EXPECT_FALSE(introspect::query_counter(*core::this_locality(),
+                                           "runtime/loc9/nope")
+                     .has_value());
+  });
+  rt.stop();
+}
+
+// ----------------------------------------------------------------- monitor
+
+TEST(Introspect, MonitorSamplesReadyDepthAndDecays) {
+  threads::scheduler sched(threads::scheduler_params{.workers = 1});
+  introspect::monitor mon(sched,
+                          introspect::monitor_params{
+                              .sample_interval_us = 0, .alpha = 0.5});
+  sched.start();
+
+  std::atomic<bool> release{false};
+  constexpr int kSpinners = 9;
+  for (int i = 0; i < kSpinners; ++i) {
+    sched.spawn([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        threads::scheduler::yield();
+      }
+    });
+  }
+  // One spinner occupies the worker; the rest sit ready.
+  ASSERT_TRUE(eventually(
+      [&] { return sched.ready_estimate() >= kSpinners - 1; }));
+  mon.tick();
+  EXPECT_GE(mon.samples_taken(), 1u);
+  EXPECT_GT(mon.ready_ewma(), 0.0);
+
+  release.store(true, std::memory_order_release);
+  sched.wait_quiescent();
+  EXPECT_EQ(mon.ready_now(), 0u);
+  const double loaded = mon.ready_ewma();
+  for (int i = 0; i < 24; ++i) mon.tick();
+  EXPECT_LT(mon.ready_ewma(), loaded);
+  EXPECT_LT(mon.ready_ewma(), 0.1);  // decayed to idle
+  sched.stop();
+}
+
+// -------------------------------------------------------------- rebalancer
+
+std::atomic<std::uint64_t> hops_done{0};
+
+// A self-chaining hot-spot: each hop does a slice of compute at the
+// object's *current* owner, then re-sends to the same gid — so after a
+// migration the chain follows the object (message-driven work moves to
+// the data).
+void chain_hop(std::uint64_t gid_bits, std::uint32_t remaining) {
+  spin_us(10.0);
+  hops_done.fetch_add(1, std::memory_order_relaxed);
+  if (remaining > 0) {
+    core::apply<&chain_hop>(gas::gid::from_bits(gid_bits), gid_bits,
+                            remaining - 1);
+  }
+}
+PX_REGISTER_ACTION(chain_hop)
+
+TEST(Rebalancer, MigratesHotObjectsAwayFromOverloadedLocality) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  p.rebalance = 1;
+  p.rebalance_threshold = 1.2;
+  p.rebalance_min_depth = 2;
+  p.rebalance_max_migrations = 4;
+  p.rebalance_interval_us = 50;
+  core::runtime rt(p);
+
+  constexpr int kObjects = 8;
+  constexpr std::uint32_t kHops = 100;
+  std::vector<gas::gid> objs;
+  for (int i = 0; i < kObjects; ++i) {
+    objs.push_back(rt.new_object<int>(0, i));  // all homed+bound at loc 0
+  }
+
+  hops_done.store(0);
+  rt.run([&] {
+    for (const auto id : objs) {
+      core::apply<&chain_hop>(id, id.bits(), kHops - 1);
+    }
+  });
+
+  // Work conserved across every migration and forward.
+  EXPECT_EQ(hops_done.load(), static_cast<std::uint64_t>(kObjects) * kHops);
+
+  const auto st = rt.balancer().stats();
+  EXPECT_GT(st.rounds, 0u);
+  EXPECT_GT(st.triggers, 0u);
+  EXPECT_GE(st.objects_migrated, 1u);
+  EXPECT_GE(rt.gas().stats().migrations, 1u);
+  // The skew physically moved: some hot objects now live at locality 1.
+  EXPECT_GE(rt.at(1).object_count(), 1u);
+  // And the counters advertise it machine-wide.
+  EXPECT_EQ(rt.introspection().read("runtime/rebalance/migrations").value(),
+            st.objects_migrated);
+  rt.stop();
+}
+
+TEST(Rebalancer, SpawnAnySteersTowardShallowQueues) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  p.rebalance = 1;
+  // Keep the migration actuator out of the way: placement steering is
+  // unconditional while the rebalancer is enabled.
+  p.rebalance_min_depth = 1000000;
+  core::runtime rt(p);
+  rt.start();
+
+  // The clog must stay deeper than the whole task batch: placement reads
+  // instantaneous depths, and tasks parked at locality 1 count against it
+  // until its worker drains them.
+  std::atomic<bool> release{false};
+  constexpr int kClog = 24;
+  for (int i = 0; i < kClog; ++i) {
+    rt.at(0).spawn([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        threads::scheduler::yield();
+      }
+    });
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return rt.at(0).sched().ready_estimate() >= kClog - 1; }));
+
+  auto proc = core::create_process(rt, {0, 1});
+  std::atomic<int> ran_at_1{0};
+  constexpr int kTasks = 12;
+  for (int i = 0; i < kTasks; ++i) {
+    proc->spawn_any([&ran_at_1] {
+      if (core::this_locality()->id() == 1) {
+        ran_at_1.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  proc->seal();
+  release.store(true, std::memory_order_release);
+  proc->terminated().wait();
+  rt.wait_quiescent();
+
+  // Static round-robin would put exactly half at locality 1; steering
+  // sends the whole batch away from the clogged locality (its queue is
+  // always strictly deeper than locality 1 can transiently get).
+  EXPECT_GE(ran_at_1.load(), kTasks - 1);
+  EXPECT_GT(rt.balancer().stats().placement_redirects, 0u);
+  rt.stop();
+}
+
+TEST(Rebalancer, DisabledKeepsRoundRobinAndMigratesNothing) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  p.rebalance = 0;
+  core::runtime rt(p);
+  rt.start();
+
+  auto proc = core::create_process(rt, {0, 1});
+  std::atomic<int> ran_at_1{0};
+  constexpr int kTasks = 10;
+  for (int i = 0; i < kTasks; ++i) {
+    proc->spawn_any([&ran_at_1] {
+      if (core::this_locality()->id() == 1) {
+        ran_at_1.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  proc->seal();
+  proc->terminated().wait();
+  rt.wait_quiescent();
+
+  EXPECT_EQ(ran_at_1.load(), kTasks / 2);  // exact round-robin split
+  const auto st = rt.balancer().stats();
+  EXPECT_EQ(st.placement_redirects, 0u);
+  EXPECT_EQ(st.objects_migrated, 0u);
+  rt.stop();
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Unit tests: util — serialization, histograms, RNG, config, queues, table.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
@@ -198,6 +199,31 @@ TEST(Config, TypedAccessorsAndFallbacks) {
 
 TEST(Config, EnvNameMapping) {
   EXPECT_EQ(config::env_name_for("scheduler.workers"), "PX_SCHEDULER_WORKERS");
+}
+
+// Regression: the environment loader flattens every '_' to '.', so a key
+// whose last segment contains an underscore ("rebalance.min_depth", from
+// PX_REBALANCE_MIN_DEPTH) must still find the normalized entry — these
+// tuning knobs were silently dead otherwise.
+TEST(Config, UnderscoreKeysFindEnvDerivedEntries) {
+  config c;
+  c.set("rebalance.min.depth", std::int64_t{7});  // as load_environment stores
+  c.set("parcel.eager.flush", false);
+  EXPECT_EQ(c.get_int("rebalance.min_depth", 0), 7);
+  EXPECT_FALSE(c.get_bool("parcel.eager_flush", true));
+  // An exact-key set() still wins over the normalized spelling.
+  c.set("rebalance.min_depth", std::int64_t{9});
+  EXPECT_EQ(c.get_int("rebalance.min_depth", 0), 9);
+}
+
+TEST(Config, LoadEnvironmentPicksUpPxVariables) {
+  ::setenv("PX_TEST_UNDERSCORE_KNOB", "123", 1);
+  config c;
+  c.load_environment();
+  EXPECT_EQ(c.get_int("test.underscore.knob", 0), 123);
+  // The spelling a caller would naturally use for a two-word field.
+  EXPECT_EQ(c.get_int("test.underscore_knob", 0), 123);
+  ::unsetenv("PX_TEST_UNDERSCORE_KNOB");
 }
 
 TEST(Config, MalformedNumbersFallBack) {
