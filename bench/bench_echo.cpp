@@ -10,7 +10,11 @@
 //                  locality (the no-replication discipline);
 //   echo:          reads hit the local replica at zero fabric cost; writes
 //                  are split-phase validated commits.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -18,6 +22,7 @@
 #include "core/echo.hpp"
 #include "core/runtime.hpp"
 #include "lco/lco.hpp"
+#include "util/subproc.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -109,10 +114,126 @@ double run_echo_ms(core::runtime& rt, int actors) {
   return ms;
 }
 
+// ------------------------------------------------- TCP loopback net mode
+//
+// PX_BENCH_NET=1 turns this binary into a two-process TCP benchmark
+// (localhost loopback): the parent forks itself as ranks, rank 0 measures
+// (a) single-request action round-trip latency (the eager-flush path) and
+// (b) batched fire-and-forget parcel throughput including the distributed
+// quiescence wait, then emits BENCH_net.json.  This is the perf-trajectory
+// probe for the real-socket path, the wire counterpart of the modeled
+// numbers in BENCH_latency.json/BENCH_overhead.json.
+
+std::uint64_t net_ping(std::uint64_t x) { return x + 1; }
+PX_REGISTER_ACTION(net_ping)
+
+std::atomic<std::uint64_t> g_net_hits{0};
+void net_storm_hit() { g_net_hits.fetch_add(1); }
+PX_REGISTER_ACTION(net_storm_hit)
+
+int net_rank_main() {
+  const int rtt_iters = bench::smoke_mode() ? 200 : 5000;
+  const int storm_parcels = bench::smoke_mode() ? 20'000 : 400'000;
+
+  core::runtime rt;  // tcp backend from the launcher's PX_NET_* env
+  double rtt_us = 0.0;
+  rt.run([&] {
+    if (rt.rank() != 0) return;
+    for (int i = 0; i < 50; ++i) {  // warmup
+      core::async<&net_ping>(rt.locality_gid(1), 1ull).get();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < rtt_iters; ++i) {
+      core::async<&net_ping>(rt.locality_gid(1),
+                             static_cast<std::uint64_t>(i))
+          .get();
+    }
+    rtt_us = std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count() /
+             rtt_iters;
+  });
+
+  // Throughput storm, timed around run() so the figure includes shipping,
+  // remote delivery, AND the distributed quiescence proof.
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([&] {
+    if (rt.rank() != 0) return;
+    for (int i = 0; i < storm_parcels; ++i) {
+      core::apply<&net_storm_hit>(rt.locality_gid(1));
+    }
+  });
+  const double storm_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  int rc = 0;
+  if (rt.rank() == 1 &&
+      g_net_hits.load() != static_cast<std::uint64_t>(storm_parcels)) {
+    std::fprintf(stderr, "net bench: rank 1 saw %llu of %d storm parcels\n",
+                 static_cast<unsigned long long>(g_net_hits.load()),
+                 storm_parcels);
+    rc = 1;
+  }
+  if (rt.rank() == 0) {
+    const auto link = rt.transport().link(0);
+    const double parcels_per_sec = storm_parcels / (storm_ms / 1000.0);
+    std::printf("tcp loopback: %.1f us/round-trip, storm %d parcels in "
+                "%.1f ms (%.0f parcels/s, %llu frames, %llu bytes tx)\n",
+                rtt_us, storm_parcels, storm_ms, parcels_per_sec,
+                static_cast<unsigned long long>(link.msgs_tx),
+                static_cast<unsigned long long>(link.bytes_tx));
+    bench::json_writer json;
+    json.add("bench", std::string("net"));
+    json.add("backend", std::string("tcp"));
+    json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
+    json.add("ranks", static_cast<std::int64_t>(2));
+    json.add("rtt_iters", static_cast<std::int64_t>(rtt_iters));
+    json.add("single_request_rtt_us", rtt_us);
+    json.add("storm_parcels", static_cast<std::int64_t>(storm_parcels));
+    json.add("storm_ms", storm_ms);
+    json.add("parcels_per_sec", parcels_per_sec);
+    json.add("frames_tx", static_cast<std::int64_t>(link.msgs_tx));
+    json.add("bytes_tx", static_cast<std::int64_t>(link.bytes_tx));
+    json.write("BENCH_net.json");
+  }
+  rt.stop();
+  return rc;
+}
+
+int net_launcher_main() {
+  const int nranks = 2;
+  const int root_port = util::pick_free_tcp_port();
+  std::printf("ECHO-net / TCP loopback parcel bench: launching %d ranks\n",
+              nranks);
+  const std::vector<std::string> argv = {util::self_exe_path()};
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nranks; ++r) {
+    pids.push_back(
+        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+  }
+  int failures = 0;
+  for (int r = 0; r < nranks; ++r) {
+    if (util::wait_exit(pids[r]) != 0) failures += 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "net bench: %d rank(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   using namespace px;
+  if (std::getenv("PX_BENCH_NET") != nullptr &&
+      std::getenv("PX_BENCH_NET")[0] != '0') {
+    // Children carry PX_NET_RANK (set by the launcher); the plain
+    // invocation is the launcher itself.
+    return std::getenv("PX_NET_RANK") != nullptr ? net_rank_main()
+                                                 : net_launcher_main();
+  }
   bench::banner(
       "ECHO-1 / echo copy semantics vs home-anchored sharing (section 2.2)",
       "\"echo ... identifies the tree of equivalent locations all of which "

@@ -1,0 +1,104 @@
+// Distributed pingpong: parcels crossing real process boundaries.
+//
+// This binary is its own px-launch style launcher.  Invoked plainly it
+// forks itself once per rank with the PX_NET_* environment set and reaps
+// the children:
+//
+//   ./example_distributed_pingpong [nranks=2] [iters=1000]
+//
+// Invoked with PX_NET_RANK set (by the launcher or by hand across real
+// machines) it runs as one rank: every process hosts one locality, rank 0
+// measures action round-trip latency to each peer over TCP, and global
+// quiescence + shutdown run the distributed protocol.  The rank body is
+// the same code you would write against the simulated fabric — only the
+// environment differs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "util/subproc.hpp"
+
+namespace {
+
+using namespace px;
+
+std::uint64_t ping(std::uint64_t x) { return x + 1; }
+PX_REGISTER_ACTION(ping)
+
+int run_rank(int iters) {
+  core::runtime rt;  // backend, rank, ranks: resolved from PX_NET_*
+  const auto nranks = static_cast<std::uint32_t>(rt.num_localities());
+  rt.run([&] {
+    if (rt.rank() != 0) return;  // peers just serve pings
+    std::printf("rank 0: %u ranks, %d round trips per peer\n", nranks,
+                iters);
+    for (std::uint32_t peer = 1; peer < nranks; ++peer) {
+      // Warmup, then the timed run.
+      for (int i = 0; i < 10; ++i) {
+        core::async<&ping>(rt.locality_gid(peer), 1ull).get();
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < iters; ++i) {
+        const std::uint64_t got =
+            core::async<&ping>(rt.locality_gid(peer),
+                               static_cast<std::uint64_t>(i))
+                .get();
+        if (got != static_cast<std::uint64_t>(i) + 1) {
+          std::fprintf(stderr, "rank 0: bad echo from peer %u\n", peer);
+          std::abort();
+        }
+      }
+      const double us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      std::printf("  peer %u: %.1f us/round-trip over %d iters\n", peer,
+                  us / iters, iters);
+    }
+  });
+  rt.stop();
+  return 0;
+}
+
+int run_launcher(int nranks, int iters) {
+  const int root_port = util::pick_free_tcp_port();
+  std::printf("launching %d ranks (root 127.0.0.1:%d)...\n", nranks,
+              root_port);
+  const std::vector<std::string> argv = {util::self_exe_path(),
+                                         std::to_string(nranks),
+                                         std::to_string(iters)};
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nranks; ++r) {
+    pids.push_back(
+        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+  }
+  int failures = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const int code = util::wait_exit(pids[r]);
+    if (code != 0) {
+      std::fprintf(stderr, "rank %d failed (exit %d)\n", r, code);
+      failures += 1;
+    }
+  }
+  std::printf(failures == 0 ? "all ranks exited cleanly\n"
+                            : "%d rank(s) failed\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 1000;
+  if (nranks < 2 || iters < 1) {
+    std::fprintf(stderr, "usage: %s [nranks>=2] [iters>=1]\n", argv[0]);
+    return 2;
+  }
+  if (std::getenv("PX_NET_RANK") != nullptr) return run_rank(iters);
+  return run_launcher(nranks, iters);
+}

@@ -9,11 +9,11 @@ namespace px::core {
 
 using util::now_ns;
 
-parcel_port::parcel_port(net::fabric& fabric, net::endpoint_id self,
+parcel_port::parcel_port(net::transport& transport, net::endpoint_id self,
                          parcel_port_params params)
-    : fabric_(fabric), self_(self), params_(params) {
+    : transport_(transport), self_(self), params_(params) {
   PX_ASSERT(params_.flush_count >= 1);
-  for (std::size_t i = 0; i < fabric_.endpoints(); ++i) {
+  for (std::size_t i = 0; i < transport_.endpoints(); ++i) {
     channels_.push_back(std::make_unique<out_channel>());
   }
 }
@@ -48,7 +48,7 @@ parcel_enqueue_result parcel_port::enqueue(net::endpoint_id dest,
       // Opening a frame: the clock read (~20ns) runs at most once per
       // frame, so the storm path pays it once per flush_count parcels.
       res.quiet_first = now_ns() - ch.last_close_ns > eager_quiet_ns;
-      ch.buf = fabric_.pool().acquire();
+      ch.buf = transport_.pool().acquire();
       parcel::frame_begin(ch.buf);
     }
     parcel::frame_append(ch.buf, p);
@@ -107,7 +107,7 @@ void parcel_port::ship(std::vector<std::byte> frame, std::uint32_t count,
   // send() marks the units in flight before they become invisible here;
   // decrementing pending_ only afterwards keeps every parcel continuously
   // accounted (see the quiescence contract in the header).
-  fabric_.send(std::move(m));
+  transport_.send(std::move(m));
   pending_.fetch_sub(count, std::memory_order_acq_rel);
 }
 

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "gas/gid.hpp"
-#include "net/fabric.hpp"
+#include "net/transport.hpp"
 #include "parcel/parcel.hpp"
 #include "util/spinlock.hpp"
 
@@ -61,7 +61,7 @@ class parcel_port {
   // round trip, comfortably above this.
   static constexpr std::int64_t eager_quiet_ns = 5000;
 
-  parcel_port(net::fabric& fabric, net::endpoint_id self,
+  parcel_port(net::transport& transport, net::endpoint_id self,
               parcel_port_params params);
 
   parcel_port(const parcel_port&) = delete;
@@ -111,7 +111,7 @@ class parcel_port {
   void flush_counted(net::endpoint_id dest,
                      std::atomic<std::uint64_t>& counter);
 
-  net::fabric& fabric_;
+  net::transport& transport_;
   net::endpoint_id self_;
   parcel_port_params params_;
   std::vector<std::unique_ptr<out_channel>> channels_;  // by destination

@@ -2,13 +2,17 @@
 
 #include <mutex>
 #include <string>
+#include <tuple>
 
 #include "core/action.hpp"
 #include "core/echo.hpp"
 #include "core/percolation.hpp"
 #include "lco/lco.hpp"
+#include "net/bootstrap.hpp"
+#include "net/tcp_transport.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/serialize.hpp"
 
 namespace px::core {
 
@@ -29,11 +33,47 @@ parcel::action_id sink_action_id() {
   return id;
 }
 
+namespace {
+
+// Resolves the transport backend + distributed identity before any member
+// whose size depends on the locality count constructs (AGAS shards are per
+// locality, and under the tcp backend the locality count *is* the rank
+// count from the launcher's environment).
+runtime_params resolve_net(runtime_params p) {
+  util::config cfg;
+  cfg.load_environment();
+  if (p.net.backend.empty()) {
+    p.net.backend = cfg.get_string("net.backend", "sim");
+  }
+  if (p.net.rank < 0) p.net.rank = cfg.get_int("net.rank", 0);
+  if (p.net.ranks <= 0) p.net.ranks = cfg.get_int("net.ranks", 0);
+  if (p.net.listen.empty()) {
+    p.net.listen = cfg.get_string("net.listen", "127.0.0.1:0");
+  }
+  if (p.net.root.empty()) {
+    p.net.root = cfg.get_string("net.root", "127.0.0.1:7733");
+  }
+  PX_ASSERT_MSG(p.net.backend == "sim" || p.net.backend == "tcp",
+                "PX_NET_BACKEND must be \"sim\" or \"tcp\"");
+  if (p.net.backend == "tcp") {
+    PX_ASSERT_MSG(p.net.ranks >= 1,
+                  "tcp backend: PX_NET_RANKS (or net.ranks) must be set");
+    PX_ASSERT_MSG(p.net.rank >= 0 && p.net.rank < p.net.ranks,
+                  "PX_NET_RANK out of range");
+    p.localities = static_cast<std::size_t>(p.net.ranks);
+  }
+  return p;
+}
+
+}  // namespace
+
 runtime::runtime(runtime_params params)
-    : params_(params),
-      agas_(params.localities),
+    : params_(resolve_net(std::move(params))),
+      agas_(params_.localities),
       introspect_(agas_, names_) {
   PX_ASSERT(params_.localities >= 1);
+  distributed_ = params_.net.backend == "tcp";
+  rank_ = distributed_ ? static_cast<gas::locality_id>(params_.net.rank) : 0;
   params_.fabric.endpoints = params_.localities;
   // parcel::forwards is u8: a bound of 255 could never trip (the counter
   // would wrap to 0 first), silently restoring unbounded forwarding.
@@ -83,37 +123,89 @@ runtime::runtime(runtime_params params)
                   "rebalance.interval_us",
                   static_cast<std::int64_t>(rp.interval_us)));
   }
-  pp.flush_bytes = params_.parcel_flush_bytes;
-  pp.flush_count = std::max<std::uint32_t>(1, params_.parcel_flush_count);
+  if (distributed_ && rp.enabled) {
+    // Objects never migrate across process boundaries (AGAS directories
+    // are home-partitioned per process), so adaptive migration is a
+    // single-process feature for now.
+    PX_LOG_WARN("rebalancer disabled: not supported on the tcp backend");
+    rp.enabled = false;
+  }
 
   threads::scheduler_params sp;
   sp.workers = params_.workers_per_locality;
   sp.stack_bytes = params_.stack_bytes;
 
+  // In distributed mode this process hosts exactly one locality (its
+  // rank); the other slots stay null so a stray in-process access to a
+  // remote locality asserts instead of silently reading the wrong machine.
   for (std::size_t i = 0; i < params_.localities; ++i) {
+    if (distributed_ && i != rank_) {
+      localities_.push_back(nullptr);
+      continue;
+    }
     sp.seed = params_.seed + i * 0x9e3779b9u;
     localities_.push_back(std::make_unique<locality>(
         *this, static_cast<gas::locality_id>(i), sp));
   }
 
   // Bind the typed hardware name of each locality and expose it in the
-  // symbolic namespace ("hw/locality/<i>").
+  // symbolic namespace ("hw/locality/<i>").  Every process replays the
+  // allocation for *all* localities: boot-time gid sequences must be
+  // identical machine-wide so `locality_gid(r)` addresses rank r's
+  // locality from any process.
   for (std::size_t i = 0; i < params_.localities; ++i) {
     const auto lid = static_cast<gas::locality_id>(i);
     const gas::gid g = agas_.allocate(gas::gid_kind::hardware, lid);
     agas_.bind(g, lid);
     locality_gids_.push_back(g);
-    localities_[i]->here_ = g;
+    if (localities_[i] != nullptr) localities_[i]->here_ = g;
     names_.register_name("hw/locality/" + std::to_string(i), g);
   }
 
-  fabric_ = std::make_unique<net::fabric>(params_.fabric);
+  // Transport backend.  The tcp path is three-phase: bind the data-plane
+  // listener (ctor), trade endpoints + wire params through the bootstrap,
+  // and — only after every local consumer below is wired up — dial the
+  // mesh (connect_peers starts the progress thread, so the handler must
+  // already be in place; a fast peer may send the moment its ctor ends).
+  std::vector<std::string> peer_table;
+  if (distributed_) {
+    net::tcp_params tp;
+    tp.rank = rank_;
+    tp.nranks = static_cast<std::uint32_t>(params_.localities);
+    tp.listen = params_.net.listen;
+    tcp_ = std::make_unique<net::tcp_transport>(tp);
+    net::bootstrap_params bp;
+    bp.rank = rank_;
+    bp.nranks = static_cast<std::uint32_t>(params_.localities);
+    bp.root = params_.net.root;
+    bootstrap_ = std::make_unique<net::bootstrap>(bp);
+    const std::vector<std::byte> blob =
+        rank_ == 0 ? encode_wire_params() : std::vector<std::byte>{};
+    auto ex = bootstrap_->exchange(tcp_->listen_address(), blob);
+    // Rank 0's wire-relevant knobs win everywhere: ranks coalescing with
+    // different thresholds or forward bounds would be a debugging trap.
+    if (rank_ != 0) apply_wire_params(ex.params_blob);
+    peer_table = std::move(ex.endpoints);
+    transport_ = tcp_.get();
+  } else {
+    fabric_ = std::make_unique<net::fabric>(params_.fabric);
+    transport_ = fabric_.get();
+  }
+
+  pp.flush_bytes = params_.parcel_flush_bytes;
+  pp.flush_count = std::max<std::uint32_t>(1, params_.parcel_flush_count);
+
   for (std::size_t i = 0; i < params_.localities; ++i) {
+    if (localities_[i] == nullptr) {
+      ports_.push_back(nullptr);
+      monitors_.push_back(nullptr);
+      continue;
+    }
     const auto ep = static_cast<net::endpoint_id>(i);
-    fabric_->set_handler(ep, [this](net::message& m) {
+    transport_->set_handler(ep, [this](net::message& m) {
       deliver_from_fabric(m);
     });
-    ports_.push_back(std::make_unique<parcel_port>(*fabric_, ep, pp));
+    ports_.push_back(std::make_unique<parcel_port>(*transport_, ep, pp));
     monitors_.push_back(
         std::make_unique<introspect::monitor>(localities_[i]->sched_));
   }
@@ -123,6 +215,7 @@ runtime::runtime(runtime_params params)
   }
 
   for (std::size_t i = 0; i < params_.localities; ++i) {
+    if (localities_[i] == nullptr) continue;
     // Flush-on-idle: a worker with nothing to run ships this locality's
     // half-full frames (communication fills the compute troughs), samples
     // its own load (decaying the monitor signal toward idle), and gives
@@ -136,12 +229,16 @@ runtime::runtime(runtime_params params)
         });
   }
   // Backstop: if every worker of a locality is pinned busy (or asleep with
-  // the inject path quiet), the fabric progress thread flushes, samples,
-  // and rebalances for them — the overloaded locality never runs its own
-  // idle hook, so this is the path that observes it.
-  fabric_->set_idle_callback([this] {
-    for (auto& port : ports_) port->flush_all();
-    for (auto& mon : monitors_) mon->tick();
+  // the inject path quiet), the transport progress thread flushes,
+  // samples, and rebalances for them — the overloaded locality never runs
+  // its own idle hook, so this is the path that observes it.
+  transport_->set_idle_callback([this] {
+    for (auto& port : ports_) {
+      if (port != nullptr) port->flush_all();
+    }
+    for (auto& mon : monitors_) {
+      if (mon != nullptr) mon->tick();
+    }
     balancer_->poll();
   });
 
@@ -150,6 +247,15 @@ runtime::runtime(runtime_params params)
   echo_ = std::make_unique<echo_manager>(*this);
   percolation_ = std::make_unique<percolation_manager>(
       *this, params_.staging_slots_per_locality);
+
+  if (distributed_) {
+    tcp_->connect_peers(peer_table);
+    // Barrier before traffic: no rank leaves its ctor (and starts sending
+    // parcels) until every rank's mesh and handlers are up.  The barrier
+    // also cross-checks the counter-schema digest — boot-time gid
+    // allocation must have replayed identically in every process.
+    bootstrap_->barrier(introspect_.schema_digest());
+  }
 }
 
 // Every load-bearing runtime quantity becomes a first-class, gid-named,
@@ -157,7 +263,26 @@ runtime::runtime(runtime_params params)
 // entities).  Schema: runtime/loc<i>/<subsystem>/<metric> for per-locality
 // counters, runtime/<service>/<metric> for machine-global ones (homed at
 // locality 0, which hosts the global services).
+//
+// Distributed mode replays the *identical* registration sequence in every
+// process — locality slots this process doesn't host (and the globals on
+// non-zero ranks) register sampler-less via add_remote — so counter gids
+// allocate in the same order machine-wide and any rank can query any
+// other's counters by path or gid (introspect::query_counter pays a parcel
+// round trip to the home rank, whose registry holds the live callback).
+// Keep both arms of the branch below in lock-step when adding counters.
 void runtime::register_counters() {
+  // Per-locality schema, in registration order (remote replay).
+  static constexpr const char* kLocalitySchema[] = {
+      "/sched/ready_depth", "/sched/live_threads", "/sched/spawned",
+      "/sched/steals", "/sched/suspends", "/sched/sleeps",
+      "/parcels/sent", "/parcels/delivered", "/parcels/forwarded",
+      "/parcels/dropped", "/port/pending", "/port/enqueued",
+      "/port/frames_sent", "/port/eager_flushes", "/fabric/frames_sent",
+      "/fabric/parcels_sent", "/fabric/bytes_sent",
+      "/monitor/ready_ewma_milli", "/monitor/samples", "/net/bytes_tx",
+      "/net/bytes_rx", "/net/msgs_tx", "/net/msgs_rx", "/net/reconnects"};
+
   for (std::size_t i = 0; i < localities_.size(); ++i) {
     const auto lid = static_cast<gas::locality_id>(i);
     locality* loc = localities_[i].get();
@@ -165,6 +290,11 @@ void runtime::register_counters() {
     introspect::monitor* mon = monitors_[i].get();
     const std::string p = "runtime/loc" + std::to_string(i);
     auto& reg = introspect_;
+
+    if (loc == nullptr) {  // remote rank: schema without samplers
+      for (const char* path : kLocalitySchema) reg.add_remote(lid, p + path);
+      continue;
+    }
 
     threads::scheduler& sched = loc->sched();
     reg.add(lid, p + "/sched/ready_depth",
@@ -197,23 +327,52 @@ void runtime::register_counters() {
     reg.add(lid, p + "/port/eager_flushes",
             [port] { return port->stats().eager_flushes; });
 
-    net::fabric* fab = fabric_.get();
+    net::transport* t = transport_;
     const auto ep = static_cast<net::endpoint_id>(i);
     reg.add(lid, p + "/fabric/frames_sent",
-            [fab, ep] { return fab->stats(ep).messages_sent; });
+            [t, ep] { return t->stats(ep).messages_sent; });
     reg.add(lid, p + "/fabric/parcels_sent",
-            [fab, ep] { return fab->stats(ep).parcels_sent; });
+            [t, ep] { return t->stats(ep).parcels_sent; });
     reg.add(lid, p + "/fabric/bytes_sent",
-            [fab, ep] { return fab->stats(ep).bytes_sent; });
+            [t, ep] { return t->stats(ep).bytes_sent; });
 
     reg.add(lid, p + "/monitor/ready_ewma_milli",
             [mon] { return mon->ready_ewma_milli(); });
     reg.add(lid, p + "/monitor/samples",
             [mon] { return mon->samples_taken(); });
+
+    // Per-locality wire totals (PR 4): what this endpoint's transport put
+    // on and took off the wire — the rebalancer's (and any dashboard's)
+    // view of real-network traffic, not just the modeled fabric's.
+    reg.add(lid, p + "/net/bytes_tx",
+            [t, ep] { return t->link(ep).bytes_tx; });
+    reg.add(lid, p + "/net/bytes_rx",
+            [t, ep] { return t->link(ep).bytes_rx; });
+    reg.add(lid, p + "/net/msgs_tx",
+            [t, ep] { return t->link(ep).msgs_tx; });
+    reg.add(lid, p + "/net/msgs_rx",
+            [t, ep] { return t->link(ep).msgs_rx; });
+    reg.add(lid, p + "/net/reconnects",
+            [t, ep] { return t->link(ep).reconnects; });
   }
 
-  // Machine-global services, homed where they conceptually live (loc 0).
+  // Machine-global services, homed where they conceptually live (loc 0 ==
+  // rank 0; other ranks replay the schema sampler-less).
   auto& reg = introspect_;
+  if (distributed_ && rank_ != 0) {
+    for (const char* path :
+         {"runtime/agas/binds", "runtime/agas/cache_hits",
+          "runtime/agas/cache_misses", "runtime/agas/migrations",
+          "runtime/agas/stale_refreshes", "runtime/lco/depleted_threads",
+          "runtime/lco/continuations", "runtime/lco/fires",
+          "runtime/fabric/in_flight", "runtime/rebalance/rounds",
+          "runtime/rebalance/triggers", "runtime/rebalance/migrations",
+          "runtime/rebalance/redirects",
+          "runtime/rebalance/imbalance_milli"}) {
+      reg.add_remote(0, path);
+    }
+    return;
+  }
   reg.add(0, "runtime/agas/binds", [this] { return agas_.stats().binds; });
   reg.add(0, "runtime/agas/cache_hits",
           [this] { return agas_.stats().cache_hits; });
@@ -231,7 +390,7 @@ void runtime::register_counters() {
   reg.add_raw(0, "runtime/lco/fires", lco::lco_counters::fires);
 
   reg.add(0, "runtime/fabric/in_flight",
-          [this] { return fabric_->in_flight(); });
+          [this] { return transport_->in_flight(); });
 
   rebalancer* bal = balancer_.get();
   reg.add(0, "runtime/rebalance/rounds",
@@ -253,22 +412,45 @@ runtime::~runtime() {
 
 void runtime::start() {
   PX_ASSERT_MSG(!started_, "runtime started twice");
-  for (auto& loc : localities_) loc->sched_.start();
+  for (auto& loc : localities_) {
+    if (loc != nullptr) loc->sched_.start();
+  }
   started_ = true;
-  PX_LOG_INFO("parallex runtime up: %zu localities x %u workers",
-              localities_.size(), params_.workers_per_locality);
+  PX_LOG_INFO("parallex runtime up: %zu localities x %u workers (%s)",
+              localities_.size(), params_.workers_per_locality,
+              transport_->backend_name());
 }
 
 void runtime::stop() {
   if (!started_) return;
   wait_quiescent();
-  for (auto& loc : localities_) loc->sched_.stop();
+  // Shutdown sequencing across processes: the quiescence verdict already
+  // synchronized everyone, but the barrier keeps a fast rank from tearing
+  // its sockets down while a slow one is still inside its final drain.
+  if (distributed_) {
+    // Flag the orderly shutdown *before* the barrier: once any rank is
+    // past it, every rank has already marked peer disconnects expected.
+    tcp_->expect_peer_disconnects();
+    bootstrap_->barrier();
+  }
+  for (auto& loc : localities_) {
+    if (loc != nullptr) loc->sched_.stop();
+  }
   started_ = false;
 }
 
 locality& runtime::at(gas::locality_id id) {
   PX_ASSERT(id < localities_.size());
+  PX_ASSERT_MSG(localities_[id] != nullptr,
+                "at(): locality lives in another process (distributed "
+                "mode); reach it with parcels, not pointers");
   return *localities_[id];
+}
+
+net::fabric& runtime::fabric() {
+  PX_ASSERT_MSG(fabric_ != nullptr,
+                "fabric(): no simulated fabric under the tcp backend");
+  return *fabric_;
 }
 
 gas::gid runtime::locality_gid(gas::locality_id id) const {
@@ -281,6 +463,12 @@ gas::locality_id runtime::owner_of(gas::locality_id from, gas::gid id) {
   // Data/process objects go through AGAS (cache, then home directory).
   if (id.kind() == gas::gid_kind::lco ||
       id.kind() == gas::gid_kind::hardware) {
+    return id.home();
+  }
+  if (distributed_ && id.home() != rank_) {
+    // Cross-process resolution is home-based: an object's directory shard
+    // lives in its home process and objects never migrate between
+    // processes, so the home is authoritative without any wire traffic.
     return id.home();
   }
   const auto owner = agas_.resolve(from, id);
@@ -339,24 +527,29 @@ void runtime::deliver_from_fabric(net::message& m) {
 }
 
 std::uint64_t runtime::activity_snapshot() const {
-  // Monotonic count of work-creation events across the machine: every
+  // Monotonic count of work-creation events across this process: every
   // thread spawn, every parcel enqueued on a port, and every parcel the
-  // fabric accepts bumps it before the work becomes visible.  Two equal
+  // transport accepts bumps it before the work becomes visible.  Two equal
   // snapshots bracketing a pass of zero-valued counter reads prove the
-  // pass observed a true fixed point.  (A parcel moving port -> fabric is
-  // counted by both monotonic counters; only equality matters.)
-  std::uint64_t n = fabric_->messages_sent_total();
-  for (const auto& port : ports_) n += port->enqueued_total();
-  for (const auto& loc : localities_) n += loc->sched_.spawn_count();
+  // pass observed a true fixed point.  (A parcel moving port -> transport
+  // is counted by both monotonic counters; only equality matters.)
+  std::uint64_t n = transport_->messages_sent_total();
+  for (const auto& port : ports_) {
+    if (port != nullptr) n += port->enqueued_total();
+  }
+  for (const auto& loc : localities_) {
+    if (loc != nullptr) n += loc->sched_.spawn_count();
+  }
   return n;
 }
 
-void runtime::wait_quiescent() {
+bool runtime::local_quiescent_pass() {
   // Fixed point: every scheduler idle AND no parcel coalescing in a port
-  // AND no parcel in flight.  A drained fabric can re-populate schedulers
-  // (handlers spawn threads), idle schedulers can re-populate the ports,
-  // and flushed ports re-populate the fabric, so loop until a pass
-  // observes all three conditions with no intervening activity.
+  // AND no parcel in flight.  A drained transport can re-populate
+  // schedulers (handlers spawn threads), idle schedulers can re-populate
+  // the ports, and flushed ports re-populate the transport, so the caller
+  // loops until a pass observes all three conditions with no intervening
+  // activity.
   //
   // The per-counter reads below are not atomic as a group, so a thread
   // that sends a parcel and terminates *between* the in_flight() read and
@@ -367,23 +560,57 @@ void runtime::wait_quiescent() {
   // during the pass, which changes the snapshot and forces another loop.
   // A parcel buffered in a port is visible as pending() from the moment
   // it is counted, so coalescing cannot fake quiescence either.
+  const std::uint64_t before = activity_snapshot();
+  for (auto& port : ports_) {
+    if (port != nullptr) port->flush_all();
+  }
+  for (auto& loc : localities_) {
+    if (loc != nullptr) loc->sched_.wait_quiescent();
+  }
+  transport_->drain();
+  bool stable = transport_->in_flight() == 0;
+  for (auto& port : ports_) {
+    if (port != nullptr) stable = stable && port->pending() == 0;
+  }
+  for (auto& loc : localities_) {
+    if (loc != nullptr) stable = stable && loc->sched_.live_threads() == 0;
+  }
+  return stable && activity_snapshot() == before;
+}
+
+void runtime::wait_quiescent() {
   for (;;) {
-    const std::uint64_t before = activity_snapshot();
-    for (auto& port : ports_) port->flush_all();
-    for (auto& loc : localities_) loc->sched_.wait_quiescent();
-    fabric_->drain();
-    bool stable = fabric_->in_flight() == 0;
-    for (auto& port : ports_) stable = stable && port->pending() == 0;
-    for (auto& loc : localities_) {
-      stable = stable && loc->sched_.live_threads() == 0;
+    const bool locally_stable = local_quiescent_pass();
+    if (!distributed_) {
+      if (locally_stable) return;
+      continue;
     }
-    if (stable && activity_snapshot() == before) return;
+    // Distributed: local stability is necessary, not sufficient — a peer
+    // may still have parcels for us on the wire (invisible to any local
+    // counter once its sender wrote them to the kernel).  Every rank
+    // reports its books each round; rank 0 declares global quiescence
+    // when all ranks were locally stable with machine-wide sent ==
+    // delivered across two identical consecutive rounds (counting
+    // termination detection — see net/bootstrap.hpp).  The round is
+    // paced naturally: local passes block while local work is live.
+    // Dropped parcels (dead links) leave the sent balance: they will
+    // never be delivered anywhere, and counting them would make the
+    // global sent == delivered test unsatisfiable forever.
+    if (bootstrap_->quiesce_round(locally_stable, activity_snapshot(),
+                                  tcp_->messages_sent_total() -
+                                      tcp_->parcels_dropped_total(),
+                                  tcp_->parcels_received_total())) {
+      return;
+    }
   }
 }
 
 void runtime::run(std::function<void()> root) {
   if (!started_) start();
-  at(0).spawn(std::move(root));
+  // Single-process: root runs once on locality 0.  Distributed: SPMD —
+  // every rank runs its own copy on its own locality (rank_ is 0 when
+  // single-process, so one expression serves both).
+  at(rank_).spawn(std::move(root));
   wait_quiescent();
 }
 
@@ -423,6 +650,11 @@ void run_stashed_closure(std::uint64_t key) {
 
 void runtime::remote_spawn(locality& from, gas::locality_id where,
                            std::function<void()> fn) {
+  // The closure body crosses localities by reference through the shared
+  // address space — an in-process shortcut by design, so it cannot cross
+  // a process boundary.  Typed actions (apply/async) serialize properly.
+  PX_ASSERT_MSG(!distributed_ || where == rank_,
+                "remote_spawn cannot cross processes; use typed actions");
   std::uint64_t key;
   {
     std::lock_guard lock(closures_lock_);
@@ -442,6 +674,56 @@ void runtime::run_stashed(std::uint64_t key) {
     closures_.erase(it);
   }
   fn();
+}
+
+namespace {
+
+// Action ids are positional (assigned in registration order), so every
+// process must hold the identical table before cross-process dispatch: a
+// parcel carries only the id, and rank A's id 7 must be rank B's id 7.
+// Static registrations (PX_REGISTER_ACTION) of one binary are
+// link-ordered and deterministic; this snapshot, traded at bootstrap,
+// catches mismatched binaries — or eager-vs-lazy registration drift —
+// before the first parcel instead of as a wrong-action dispatch.
+std::string action_table_snapshot() {
+  auto& reg = parcel::action_registry::global();
+  std::string out;
+  const auto n = static_cast<parcel::action_id>(reg.size());
+  for (parcel::action_id id = 1; id <= n; ++id) {
+    out += reg.name_of(id);
+    out += '\n';
+  }
+  return out;
+}
+
+using wire_tuple = std::tuple<std::uint64_t, std::uint32_t, std::uint8_t,
+                              std::uint8_t, std::string>;
+
+}  // namespace
+
+// Wire-relevant knobs every rank must agree on: ranks coalescing with
+// different flush thresholds or dropping at different forward bounds would
+// behave "the same program, different machine".  Rank 0's resolved values
+// (and its action table, for verification) ride the bootstrap table reply.
+std::vector<std::byte> runtime::encode_wire_params() const {
+  return util::to_bytes(wire_tuple(
+      static_cast<std::uint64_t>(params_.parcel_flush_bytes),
+      params_.parcel_flush_count,
+      static_cast<std::uint8_t>(params_.max_forwards),
+      static_cast<std::uint8_t>(eager_flush_ ? 1 : 0),
+      action_table_snapshot()));
+}
+
+void runtime::apply_wire_params(std::span<const std::byte> blob) {
+  const auto t = util::from_bytes<wire_tuple>(blob);
+  params_.parcel_flush_bytes = static_cast<std::size_t>(std::get<0>(t));
+  params_.parcel_flush_count = std::get<1>(t);
+  params_.max_forwards = std::get<2>(t);
+  eager_flush_ = std::get<3>(t) != 0;
+  PX_ASSERT_MSG(std::get<4>(t) == action_table_snapshot(),
+                "ranks disagree on the registered action table — all ranks "
+                "must run the same binary, and actions used cross-process "
+                "must be registered eagerly (PX_REGISTER_ACTION)");
 }
 
 }  // namespace px::core

@@ -1,10 +1,27 @@
-// The ParalleX runtime: localities + AGAS + parcel fabric + lifecycle.
+// The ParalleX runtime: localities + AGAS + parcel transport + lifecycle.
 //
 // One runtime models a whole machine: K localities (each a scheduler
-// domain) connected by a latency-modelled fabric.  The runtime owns the
-// global services — AGAS directory, symbolic name service, echo manager,
+// domain) connected by a parcel transport.  The runtime owns the global
+// services — AGAS directory, symbolic name service, echo manager,
 // percolation staging — and the system-wide quiescence protocol used for
 // clean shutdown.
+//
+// Two deployment shapes share this class (PX_NET_BACKEND / net_params):
+//
+//   * single-process (default): every locality lives here, connected by
+//     the latency-modelled net::fabric — the shape every pre-PR-4 test,
+//     bench, and example runs in, unchanged;
+//   * distributed ("tcp"): the machine spans N processes ("ranks"), one
+//     locality per process, connected by net::tcp_transport over real
+//     sockets with a net::bootstrap control plane.  localities_ is sparse
+//     (only this rank's slot is populated; at() on a remote id asserts),
+//     ownership resolution for remotely-homed gids is home-based (objects
+//     do not migrate across processes, so the rebalancer is forced off and
+//     remote_spawn/migrate_object/echo are local-only), and wait_quiescent
+//     extends the local fixed point with a counting termination-detection
+//     collective over the bootstrap.  Boot-time gid allocation (locality
+//     gids, counter gids) replays identically in every process, so those
+//     names are machine-wide valid without any directory traffic.
 #pragma once
 
 #include <atomic>
@@ -12,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -24,9 +42,15 @@
 #include "introspect/monitor.hpp"
 #include "introspect/registry.hpp"
 #include "net/fabric.hpp"
+#include "net/transport.hpp"
 #include "parcel/action_registry.hpp"
 #include "parcel/parcel.hpp"
 #include "util/config.hpp"
+
+namespace px::net {
+class tcp_transport;
+class bootstrap;
+}  // namespace px::net
 
 namespace px::core {
 
@@ -38,7 +62,12 @@ struct runtime_params {
   unsigned workers_per_locality = 1;
   std::size_t stack_bytes = 64 * 1024;
   unsigned staging_slots_per_locality = 16;  // percolation staging depth
-  // Fabric physics; `endpoints` is overwritten with `localities`.
+  // Transport backend + distributed identity (PX_NET_*); with the "tcp"
+  // backend `localities` is overwritten with the rank count and this
+  // process hosts exactly the locality numbered by its rank.
+  net::net_params net{};
+  // Fabric physics (sim backend only); `endpoints` is overwritten with
+  // `localities`.
   net::fabric_params fabric{};
   std::uint64_t seed = 7;
   // Outbound parcel coalescing thresholds.  0 means "resolve from the
@@ -84,12 +113,24 @@ class runtime {
   bool started() const noexcept { return started_; }
 
   std::size_t num_localities() const noexcept { return localities_.size(); }
+  // In distributed mode only this process's rank is addressable; asking
+  // for a remote locality asserts (reach it with parcels instead).
   locality& at(gas::locality_id id);
   const runtime_params& params() const noexcept { return params_; }
 
+  // Distributed identity: rank() == 0 and distributed() == false in the
+  // single-process shape, so callers can be written once for both.
+  bool distributed() const noexcept { return distributed_; }
+  gas::locality_id rank() const noexcept { return rank_; }
+  // The locality this process hosts (rank in distributed mode, 0 here).
+  locality& here() { return at(rank_); }
+
   gas::agas& gas() noexcept { return agas_; }
   gas::name_service& names() noexcept { return names_; }
-  net::fabric& fabric() noexcept { return *fabric_; }
+  // The wire, backend-agnostic; and the simulated fabric specifically
+  // (latency model, histogram — asserts under the tcp backend).
+  net::transport& transport() noexcept { return *transport_; }
+  net::fabric& fabric();
   parcel_port& port(gas::locality_id id) { return *ports_.at(id); }
   echo_manager& echo_mgr() noexcept { return *echo_; }
   percolation_manager& percolation_mgr() noexcept { return *percolation_; }
@@ -127,11 +168,15 @@ class runtime {
   // gids never migrate: owner == home).
   gas::locality_id owner_of(gas::locality_id from, gas::gid id);
 
-  // Blocks until every scheduler is quiescent and the fabric is drained —
-  // i.e. no thread, parcel, or pending wakeup exists anywhere.  Internally
-  // loops until a pass over all counters is bracketed by two identical
-  // activity snapshots (see activity_snapshot), which makes the check
-  // race-free against threads that hand off work and terminate mid-pass.
+  // Blocks until every scheduler is quiescent and the transport is drained
+  // — i.e. no thread, parcel, or pending wakeup exists anywhere.
+  // Internally loops until a pass over all counters is bracketed by two
+  // identical activity snapshots (see activity_snapshot), which makes the
+  // check race-free against threads that hand off work and terminate
+  // mid-pass.  Distributed mode extends the local fixed point with a
+  // counting termination-detection collective (bootstrap::quiesce_round):
+  // ALL ranks must call wait_quiescent (directly or via run()/stop()) the
+  // same number of times — it is a collective operation.
   void wait_quiescent();
 
   // Ships a closure to `where` as a parcel (paying fabric latency) and runs
@@ -146,8 +191,10 @@ class runtime {
   // Internal: executes a closure stashed by remote_spawn (built-in action).
   void run_stashed(std::uint64_t key);
 
-  // Convenience driver: start if needed, run `root` on locality 0, wait
-  // for global quiescence.
+  // Convenience driver: start if needed, run `root`, wait for global
+  // quiescence.  Single-process: `root` runs once, on locality 0.
+  // Distributed: every rank runs its own `root` on its own locality (SPMD
+  // — branch on rank() inside), and the quiescence wait is the collective.
   void run(std::function<void()> root);
 
   // ------------------------------------------------- global object API
@@ -180,20 +227,30 @@ class runtime {
   void deliver_from_fabric(net::message& m);
   void register_counters();
   std::uint64_t activity_snapshot() const;
+  // One pass of the local quiescence fixed point; true when stable.
+  bool local_quiescent_pass();
+  // Wire-relevant runtime knobs as a blob rank 0 broadcasts at bootstrap
+  // so every process runs identical parcel-pipeline behavior.
+  std::vector<std::byte> encode_wire_params() const;
+  void apply_wire_params(std::span<const std::byte> blob);
 
   runtime_params params_;
   gas::agas agas_;
   gas::name_service names_;
   introspect::registry introspect_;
-  // Declaration order is load-bearing for destruction: the fabric must die
-  // first (its progress thread's handlers and idle callback reference the
-  // localities, ports, monitors, and rebalancer), so it is declared last
-  // of this group.
-  std::vector<std::unique_ptr<locality>> localities_;
-  std::vector<std::unique_ptr<parcel_port>> ports_;  // one per locality
+  // Declaration order is load-bearing for destruction: the transport must
+  // die first (its progress thread's handlers and idle callback reference
+  // the localities, ports, monitors, and rebalancer), so fabric_/tcp_ are
+  // declared last of this group; the bootstrap (plain sockets, no
+  // callbacks) may outlive the transport.
+  std::vector<std::unique_ptr<locality>> localities_;  // sparse when distributed
+  std::vector<std::unique_ptr<parcel_port>> ports_;  // one per local locality
   std::vector<std::unique_ptr<introspect::monitor>> monitors_;
   std::unique_ptr<rebalancer> balancer_;
-  std::unique_ptr<net::fabric> fabric_;
+  std::unique_ptr<net::bootstrap> bootstrap_;  // distributed control plane
+  std::unique_ptr<net::fabric> fabric_;        // sim backend
+  std::unique_ptr<net::tcp_transport> tcp_;    // tcp backend
+  net::transport* transport_ = nullptr;        // whichever backend is live
   std::vector<gas::gid> locality_gids_;
   std::unique_ptr<echo_manager> echo_;
   std::unique_ptr<percolation_manager> percolation_;
@@ -210,6 +267,8 @@ class runtime {
   util::spinlock migrate_lock_;
 
   bool eager_flush_ = true;  // resolved from params/env in the ctor
+  bool distributed_ = false;
+  gas::locality_id rank_ = 0;  // this process's locality (0 when sim)
   bool started_ = false;
 };
 

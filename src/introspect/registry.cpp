@@ -9,11 +9,10 @@ namespace px::introspect {
 registry::registry(gas::agas& agas, gas::name_service& names)
     : agas_(agas), names_(names) {}
 
-gas::gid registry::add(gas::locality_id home, std::string path,
-                       sample_fn fn) {
+gas::gid registry::register_entry(gas::locality_id home, std::string path,
+                                  sample_fn fn) {
   PX_ASSERT_MSG(gas::name_service::valid_path(path),
                 "introspect: malformed counter path");
-  PX_ASSERT(fn != nullptr);
   const gas::gid id = agas_.allocate(gas::gid_kind::hardware, home);
   agas_.bind(id, home);
   const bool named = names_.register_name(path, id);
@@ -23,10 +22,23 @@ gas::gid registry::add(gas::locality_id home, std::string path,
   return id;
 }
 
+gas::gid registry::add(gas::locality_id home, std::string path,
+                       sample_fn fn) {
+  // Only the remote path (register_entry via add_remote) may omit the
+  // sampler; a null fn here is a caller bug that would otherwise surface
+  // as a counter that silently never reads.
+  PX_ASSERT(fn != nullptr);
+  return register_entry(home, std::move(path), std::move(fn));
+}
+
 gas::gid registry::add_raw(gas::locality_id home, std::string path,
                            const std::atomic<std::uint64_t>& raw) {
   return add(home, std::move(path),
              [&raw] { return raw.load(std::memory_order_relaxed); });
+}
+
+gas::gid registry::add_remote(gas::locality_id home, std::string path) {
+  return register_entry(home, std::move(path), nullptr);
 }
 
 std::optional<std::uint64_t> registry::read(gas::gid id) const {
@@ -36,6 +48,7 @@ std::optional<std::uint64_t> registry::read(gas::gid id) const {
   std::lock_guard lock(lock_);
   const auto it = counters_.find(id);
   if (it == counters_.end()) return std::nullopt;
+  if (it->second.sample == nullptr) return std::nullopt;  // remote counter
   return it->second.sample();
 }
 
@@ -67,6 +80,24 @@ std::vector<counter_info> registry::list(std::string_view prefix) const {
 std::size_t registry::size() const {
   std::lock_guard lock(lock_);
   return counters_.size();
+}
+
+std::uint64_t registry::schema_digest() const {
+  // Sum of per-entry FNV-1a hashes: commutative, so the unordered map's
+  // iteration order (which differs across processes) cannot matter.
+  std::lock_guard lock(lock_);
+  std::uint64_t digest = 0;
+  for (const auto& [id, e] : counters_) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : e.path) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((id.bits() >> (8 * i)) & 0xff)) * 1099511628211ull;
+    }
+    digest += h;
+  }
+  return digest;
 }
 
 }  // namespace px::introspect

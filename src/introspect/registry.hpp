@@ -67,6 +67,15 @@ class registry {
   gas::gid add_raw(gas::locality_id home, std::string path,
                    const std::atomic<std::uint64_t>& raw);
 
+  // Registers a counter that is *sampled elsewhere*: allocates and names
+  // the gid exactly like add(), but installs no sampler (read() here
+  // returns nullopt; query_counter routes to the home rank, whose registry
+  // has the live callback).  Distributed mode replays the full machine-wide
+  // counter schema through this in every process, which keeps boot-time
+  // gid allocation sequences identical across ranks — the reason a rank
+  // can name (and query) a remote counter without any directory traffic.
+  gas::gid add_remote(gas::locality_id home, std::string path);
+
   // Samples a counter; nullopt for gids/paths that name no counter.
   std::optional<std::uint64_t> read(gas::gid id) const;
   std::optional<std::uint64_t> read(std::string_view path) const;
@@ -81,11 +90,23 @@ class registry {
 
   std::size_t size() const;
 
+  // Order-independent digest over every registered (path, gid) pair.
+  // Distributed boot compares ranks' digests at the pre-traffic barrier:
+  // counter gids are positional (allocation order), so a rank whose
+  // schema drifted — an add() without the matching add_remote replay —
+  // would silently read *neighboring* counters cross-process.  The digest
+  // turns that into a loud bootstrap failure.
+  std::uint64_t schema_digest() const;
+
  private:
   struct entry {
     std::string path;
-    sample_fn sample;
+    sample_fn sample;  // null only for add_remote entries
   };
+
+  // Shared allocate/bind/name/insert path; `fn` may be null (remote).
+  gas::gid register_entry(gas::locality_id home, std::string path,
+                          sample_fn fn);
 
   gas::agas& agas_;
   gas::name_service& names_;

@@ -1,0 +1,239 @@
+#include "net/bootstrap.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "net/socket_util.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace px::net {
+
+namespace {
+
+// Control record tags.  Every record is [u32 len][u8 tag][payload]; len
+// covers tag + payload.  The control plane is tiny and latency-tolerant,
+// so records are blocking and unbatched.
+constexpr std::uint8_t kTagHello = 1;    // rank -> root: u32 rank + endpoint
+constexpr std::uint8_t kTagTable = 2;    // root -> rank: endpoints + blob
+constexpr std::uint8_t kTagBarrier = 3;  // both directions, empty payload
+constexpr std::uint8_t kTagQuiesce = 4;  // rank -> root: 4 x u64
+constexpr std::uint8_t kTagVerdict = 5;  // root -> rank: u8 quiescent
+
+// Thin std::byte-buffer wrappers over the shared little-endian codec in
+// socket_util.hpp (one byte-order authority for the whole net layer).
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  std::uint8_t tmp[4];
+  detail::put_u32(tmp, v);
+  for (const std::uint8_t b : tmp) out.push_back(static_cast<std::byte>(b));
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  std::uint8_t tmp[8];
+  detail::put_u64(tmp, v);
+  for (const std::uint8_t b : tmp) out.push_back(static_cast<std::byte>(b));
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  return detail::get_u32(reinterpret_cast<const std::uint8_t*>(p));
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  return detail::get_u64(reinterpret_cast<const std::uint8_t*>(p));
+}
+
+}  // namespace
+
+bootstrap::bootstrap(bootstrap_params params) : params_(params) {
+  PX_ASSERT(params_.nranks >= 1);
+  PX_ASSERT_MSG(params_.rank < params_.nranks, "bootstrap: rank out of range");
+  const auto [host, port] = detail::split_host_port_impl(params_.root);
+  if (params_.rank == 0) {
+    listen_fd_ = detail::make_listener(host, port);
+    rank_fds_.assign(params_.nranks, -1);
+  } else {
+    root_fd_ = detail::dial(host, port, params_.connect_timeout_ms);
+    PX_ASSERT_MSG(root_fd_ >= 0,
+                  "bootstrap: cannot reach rank 0 (PX_NET_ROOT)");
+  }
+}
+
+bootstrap::~bootstrap() {
+  for (const int fd : rank_fds_) {
+    if (fd >= 0) close(fd);
+  }
+  if (root_fd_ >= 0) close(root_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+void bootstrap::send_record(int fd, std::uint8_t tag,
+                            std::span<const std::byte> payload) {
+  std::vector<std::byte> rec;
+  rec.reserve(5 + payload.size());
+  append_u32(rec, static_cast<std::uint32_t>(1 + payload.size()));
+  rec.push_back(static_cast<std::byte>(tag));
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  PX_ASSERT_MSG(detail::send_all(fd, rec.data(), rec.size()),
+                "bootstrap: control send failed (peer died?)");
+}
+
+std::vector<std::byte> bootstrap::recv_record(int fd,
+                                              std::uint8_t expect_tag) {
+  std::byte header[4];
+  PX_ASSERT_MSG(detail::recv_all(fd, header, sizeof header),
+                "bootstrap: control recv failed (peer died?)");
+  const std::uint32_t len = read_u32(header);
+  PX_ASSERT_MSG(len >= 1 && len <= (1u << 20),
+                "bootstrap: corrupt control record length");
+  std::vector<std::byte> body(len);
+  PX_ASSERT_MSG(detail::recv_all(fd, body.data(), body.size()),
+                "bootstrap: control recv failed (peer died?)");
+  PX_ASSERT_MSG(std::to_integer<std::uint8_t>(body[0]) == expect_tag,
+                "bootstrap: unexpected control record tag (collective "
+                "calls out of order?)");
+  body.erase(body.begin());
+  return body;
+}
+
+bootstrap::exchange_result bootstrap::exchange(
+    const std::string& my_endpoint, std::span<const std::byte> root_blob) {
+  exchange_result out;
+  if (params_.rank == 0) {
+    // Collect every rank's hello; the launcher may start them in any
+    // order, so accept until all are in.
+    std::vector<std::string> endpoints(params_.nranks);
+    endpoints[0] = my_endpoint;
+    for (std::uint32_t seen = 1; seen < params_.nranks;) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      PX_ASSERT_MSG(fd >= 0, "bootstrap: accept() failed");
+      const auto hello = recv_record(fd, kTagHello);
+      PX_ASSERT_MSG(hello.size() > 4, "bootstrap: malformed hello");
+      const std::uint32_t r = read_u32(hello.data());
+      PX_ASSERT_MSG(r >= 1 && r < params_.nranks,
+                    "bootstrap: hello rank out of range");
+      PX_ASSERT_MSG(rank_fds_[r] < 0, "bootstrap: duplicate rank hello "
+                                      "(two processes share a rank?)");
+      rank_fds_[r] = fd;
+      endpoints[r].assign(
+          reinterpret_cast<const char*>(hello.data()) + 4,
+          hello.size() - 4);
+      seen += 1;
+    }
+    // Broadcast the table + the root param blob: endpoints are
+    // newline-joined (addresses never contain '\n').
+    std::vector<std::byte> reply;
+    std::string joined;
+    for (std::uint32_t r = 0; r < params_.nranks; ++r) {
+      joined += endpoints[r];
+      joined += '\n';
+    }
+    append_u32(reply, static_cast<std::uint32_t>(joined.size()));
+    for (const char c : joined) reply.push_back(static_cast<std::byte>(c));
+    reply.insert(reply.end(), root_blob.begin(), root_blob.end());
+    for (std::uint32_t r = 1; r < params_.nranks; ++r) {
+      send_record(rank_fds_[r], kTagTable, reply);
+    }
+    out.endpoints = std::move(endpoints);
+    out.params_blob.assign(root_blob.begin(), root_blob.end());
+    PX_LOG_INFO("bootstrap: %u ranks registered", params_.nranks);
+  } else {
+    std::vector<std::byte> hello;
+    append_u32(hello, params_.rank);
+    for (const char c : my_endpoint) {
+      hello.push_back(static_cast<std::byte>(c));
+    }
+    send_record(root_fd_, kTagHello, hello);
+    const auto reply = recv_record(root_fd_, kTagTable);
+    PX_ASSERT_MSG(reply.size() >= 4, "bootstrap: malformed table");
+    const std::uint32_t joined_len = read_u32(reply.data());
+    PX_ASSERT_MSG(4 + joined_len <= reply.size(),
+                  "bootstrap: malformed table");
+    std::string joined(reinterpret_cast<const char*>(reply.data()) + 4,
+                       joined_len);
+    std::size_t pos = 0;
+    for (std::uint32_t r = 0; r < params_.nranks; ++r) {
+      const std::size_t nl = joined.find('\n', pos);
+      PX_ASSERT_MSG(nl != std::string::npos, "bootstrap: short table");
+      out.endpoints.push_back(joined.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    out.params_blob.assign(reply.begin() + 4 + joined_len, reply.end());
+  }
+  return out;
+}
+
+void bootstrap::barrier(std::uint64_t digest) {
+  std::vector<std::byte> payload;
+  append_u64(payload, digest);
+  if (params_.rank == 0) {
+    for (std::uint32_t r = 1; r < params_.nranks; ++r) {
+      const auto rec = recv_record(rank_fds_[r], kTagBarrier);
+      PX_ASSERT(rec.size() == 8);
+      PX_ASSERT_MSG(digest == 0 || read_u64(rec.data()) == digest,
+                    "bootstrap: ranks disagree on the boot-time schema "
+                    "digest (counter registration drift between "
+                    "processes?)");
+    }
+    for (std::uint32_t r = 1; r < params_.nranks; ++r) {
+      send_record(rank_fds_[r], kTagBarrier, payload);
+    }
+  } else {
+    send_record(root_fd_, kTagBarrier, payload);
+    (void)recv_record(root_fd_, kTagBarrier);
+  }
+}
+
+bool bootstrap::quiesce_round(bool locally_stable, std::uint64_t activity,
+                              std::uint64_t parcels_sent_remote,
+                              std::uint64_t parcels_delivered_remote) {
+  constexpr std::size_t kFields = 4;  // per-rank report width
+  std::vector<std::byte> report;
+  append_u64(report, locally_stable ? 1 : 0);
+  append_u64(report, activity);
+  append_u64(report, parcels_sent_remote);
+  append_u64(report, parcels_delivered_remote);
+
+  if (params_.rank != 0) {
+    send_record(root_fd_, kTagQuiesce, report);
+    const auto verdict = recv_record(root_fd_, kTagVerdict);
+    PX_ASSERT(verdict.size() == 1);
+    return std::to_integer<std::uint8_t>(verdict[0]) != 0;
+  }
+
+  // Root: gather everyone (self included) into one rank-ordered vector.
+  std::vector<std::uint64_t> gather(params_.nranks * kFields);
+  gather[0] = locally_stable ? 1 : 0;
+  gather[1] = activity;
+  gather[2] = parcels_sent_remote;
+  gather[3] = parcels_delivered_remote;
+  for (std::uint32_t r = 1; r < params_.nranks; ++r) {
+    const auto rec = recv_record(rank_fds_[r], kTagQuiesce);
+    PX_ASSERT(rec.size() == kFields * 8);
+    for (std::size_t f = 0; f < kFields; ++f) {
+      gather[r * kFields + f] = read_u64(rec.data() + f * 8);
+    }
+  }
+
+  bool all_stable = true;
+  std::uint64_t sent_sum = 0, delivered_sum = 0;
+  for (std::uint32_t r = 0; r < params_.nranks; ++r) {
+    all_stable = all_stable && gather[r * kFields] == 1;
+    sent_sum += gather[r * kFields + 2];
+    delivered_sum += gather[r * kFields + 3];
+  }
+  // Two identical consecutive gathers make round N-1 a consistent cut: any
+  // parcel in flight (or delivered-then-reacting) between the gathers
+  // would have moved a sent/delivered/activity counter somewhere.
+  const bool quiescent =
+      all_stable && sent_sum == delivered_sum && gather == prev_gather_;
+  prev_gather_ = quiescent ? std::vector<std::uint64_t>{} : std::move(gather);
+
+  const std::byte verdict{static_cast<std::uint8_t>(quiescent ? 1 : 0)};
+  for (std::uint32_t r = 1; r < params_.nranks; ++r) {
+    send_record(rank_fds_[r], kTagVerdict, std::span(&verdict, 1));
+  }
+  return quiescent;
+}
+
+}  // namespace px::net

@@ -1,0 +1,90 @@
+// Bootstrap: the control plane that turns N processes into one machine.
+//
+// Rank 0 listens on a well-known address (PX_NET_ROOT); every other rank
+// dials in (with retries — the launcher starts processes in any order).
+// The handshake carries each rank's locality id and data-plane endpoint;
+// rank 0 replies with the full endpoint table plus its resolved runtime
+// parameter blob, so every process runs the wire-relevant knobs (flush
+// thresholds, forward bound, eager flush) with rank 0's values even if
+// their environments disagree.  A barrier gates the first parcel: nobody
+// sends until everybody's data listener is connected.
+//
+// The control connections stay open for the life of the runtime and carry
+// two more collectives:
+//   * barrier() — shutdown sequencing;
+//   * quiesce_round() — one round of counting termination detection
+//     (Mattern-style): each rank reports (locally-stable, activity
+//     snapshot, parcels sent to remote ranks, parcels delivered from
+//     remote ranks).  Rank 0 declares global quiescence when every rank is
+//     locally stable, the machine-wide sent and delivered totals balance,
+//     and the whole gathered vector is *identical to the previous round's*
+//     — two matching observations bracket any in-flight or racing parcel
+//     (its delivery would have moved a counter between the rounds).
+//
+// All calls are collective and blocking: every rank must make the same
+// sequence of bootstrap calls, in the same order (exchange, then any mix
+// of quiesce_round/barrier rounds, implicitly closed by destruction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace px::net {
+
+struct bootstrap_params {
+  std::uint32_t rank = 0;
+  std::uint32_t nranks = 2;
+  std::string root = "127.0.0.1:7733";  // rank 0's control listen address
+  std::uint64_t connect_timeout_ms = 20'000;
+};
+
+class bootstrap {
+ public:
+  explicit bootstrap(bootstrap_params params);
+  ~bootstrap();
+
+  bootstrap(const bootstrap&) = delete;
+  bootstrap& operator=(const bootstrap&) = delete;
+
+  struct exchange_result {
+    std::vector<std::string> endpoints;  // data-plane address per rank
+    std::vector<std::byte> params_blob;  // rank 0's runtime param blob
+  };
+
+  // The handshake collective.  `my_endpoint` is this rank's data-plane
+  // listen address; `root_blob` is consulted on rank 0 only and broadcast
+  // to everyone.
+  exchange_result exchange(const std::string& my_endpoint,
+                           std::span<const std::byte> root_blob);
+
+  // `digest`, when nonzero, is additionally verified equal across all
+  // ranks (root asserts otherwise) — used by the runtime's pre-traffic
+  // barrier to prove every process registered the identical boot-time
+  // schema (counter gids are positional; see registry::schema_digest).
+  void barrier(std::uint64_t digest = 0);
+
+  // One round of the termination protocol described above.  Returns true
+  // on every rank when the machine is globally quiescent.
+  bool quiesce_round(bool locally_stable, std::uint64_t activity,
+                     std::uint64_t parcels_sent_remote,
+                     std::uint64_t parcels_delivered_remote);
+
+  std::uint32_t rank() const noexcept { return params_.rank; }
+  std::uint32_t nranks() const noexcept { return params_.nranks; }
+
+ private:
+  // Blocking, length-prefixed control records: [u32 len][u8 tag][payload].
+  void send_record(int fd, std::uint8_t tag,
+                   std::span<const std::byte> payload);
+  std::vector<std::byte> recv_record(int fd, std::uint8_t expect_tag);
+
+  bootstrap_params params_;
+  int listen_fd_ = -1;            // rank 0 only
+  std::vector<int> rank_fds_;     // rank 0: control socket per rank (0 = self)
+  int root_fd_ = -1;              // other ranks: socket to rank 0
+  std::vector<std::uint64_t> prev_gather_;  // rank 0: last round's vector
+};
+
+}  // namespace px::net

@@ -232,6 +232,8 @@ void fabric::progress_loop() {
     }
     stats_[tm.msg.dest]->messages_received.fetch_add(
         1, std::memory_order_relaxed);
+    stats_[tm.msg.dest]->bytes_received.fetch_add(tm.msg.payload.size(),
+                                                  std::memory_order_relaxed);
     handler& h = handlers_[tm.msg.dest];
     PX_ASSERT_MSG(h != nullptr, "message to endpoint without handler");
     const std::uint32_t units = tm.msg.units;
@@ -263,6 +265,18 @@ endpoint_stats fabric::stats(endpoint_id ep) const {
   out.parcels_sent = st.parcels_sent.load(std::memory_order_relaxed);
   out.messages_received = st.messages_received.load(std::memory_order_relaxed);
   out.bytes_sent = st.bytes_sent.load(std::memory_order_relaxed);
+  out.bytes_received = st.bytes_received.load(std::memory_order_relaxed);
+  return out;
+}
+
+link_counters fabric::link(endpoint_id ep) const {
+  const endpoint_stats st = stats(ep);
+  link_counters out;
+  out.bytes_tx = st.bytes_sent;
+  out.bytes_rx = st.bytes_received;
+  out.msgs_tx = st.messages_sent;
+  out.msgs_rx = st.messages_received;
+  out.reconnects = 0;  // the simulated fabric never drops a link
   return out;
 }
 

@@ -33,22 +33,13 @@
 #include <thread>
 #include <vector>
 
+#include "net/transport.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
 namespace px::net {
-
-using endpoint_id = std::uint32_t;
-
-struct message {
-  endpoint_id source = 0;
-  endpoint_id dest = 0;
-  std::uint64_t tag = 0;  // channel discriminator for the CSP baseline
-  std::vector<std::byte> payload;
-  std::uint32_t units = 1;  // logical parcels carried (1 for plain traffic)
-};
 
 enum class topology_kind {
   crossbar,  // 1 hop between any pair
@@ -73,38 +64,27 @@ struct fabric_params {
   std::uint64_t seed = 42;
 };
 
-struct endpoint_stats {
-  std::uint64_t messages_sent = 0;   // frames put on the wire
-  std::uint64_t parcels_sent = 0;    // logical units (== messages unbatched)
-  std::uint64_t messages_received = 0;
-  std::uint64_t bytes_sent = 0;
-};
-
-class fabric {
+class fabric final : public transport {
  public:
-  // The payload is owned by the fabric: decode in place, or move it out
-  // (the fabric recycles whatever capacity is left after the call).
-  using handler = std::function<void(message&)>;
-
   explicit fabric(fabric_params params);
-  ~fabric();
+  ~fabric() override;
 
   fabric(const fabric&) = delete;
   fabric& operator=(const fabric&) = delete;
 
   // Registration is not thread-safe and must complete before the first
   // send(); both are asserted.
-  void set_handler(endpoint_id ep, handler h);
+  void set_handler(endpoint_id ep, handler h) override;
 
   // Optional backstop invoked by the progress thread whenever its queues
   // run dry (at most every ~200us): the runtime uses it to flush outbound
   // coalescing buffers even if every scheduler worker is pinned busy.
   // Must be set before traffic starts; runs on the progress thread.
-  void set_idle_callback(std::function<void()> cb);
+  void set_idle_callback(std::function<void()> cb) override;
 
   // Computes the delivery deadline from the latency model and enqueues.
   // Thread-safe; never blocks on the receiver.  Asserts source/dest range.
-  void send(message m);
+  void send(message m) override;
 
   // Model-predicted one-way latency for a payload of `bytes` between a and
   // b, excluding jitter.  Benches use this to report the modeled physics.
@@ -112,7 +92,7 @@ class fabric {
                                  std::size_t bytes) const noexcept;
 
   // Parcels (units) currently queued or in a handler.
-  std::uint64_t in_flight() const noexcept {
+  std::uint64_t in_flight() const noexcept override {
     return in_flight_.load(std::memory_order_acquire);
   }
 
@@ -120,21 +100,25 @@ class fabric {
   // incremented before the message is visible to the progress thread.
   // Paired with scheduler::spawn_count() in the runtime's quiescence
   // protocol to detect activity racing its counter reads.
-  std::uint64_t messages_sent_total() const noexcept {
+  std::uint64_t messages_sent_total() const noexcept override {
     return sent_total_.load(std::memory_order_acquire);
   }
 
   // Blocks until every message sent so far has been handed to its handler
   // and the handler returned.
-  void drain();
+  void drain() override;
 
   // Recycled payload buffers; senders acquire here so the steady state
   // allocates nothing per message.
-  util::buffer_pool& pool() noexcept { return pool_; }
+  util::buffer_pool& pool() noexcept override { return pool_; }
 
   const fabric_params& params() const noexcept { return params_; }
-  std::size_t endpoints() const noexcept { return params_.endpoints; }
-  endpoint_stats stats(endpoint_id ep) const;
+  std::size_t endpoints() const noexcept override {
+    return params_.endpoints;
+  }
+  endpoint_stats stats(endpoint_id ep) const override;
+  link_counters link(endpoint_id ep) const override;
+  const char* backend_name() const noexcept override { return "sim"; }
   // Distribution of modeled in-flight delays (ns), one sample per parcel.
   util::log_histogram latency_histogram() const;
 
@@ -163,6 +147,7 @@ class fabric {
     std::atomic<std::uint64_t> parcels_sent{0};
     std::atomic<std::uint64_t> messages_received{0};
     std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
   };
 
   void progress_loop();

@@ -1,0 +1,174 @@
+// Internal POSIX socket helpers shared by the TCP transport and the
+// bootstrap control plane.  IPv4 only (the launcher targets localhost and
+// cluster interconnects addressed numerically or via /etc/hosts); failures
+// of calls that cannot legitimately fail under correct usage assert, the
+// rest surface through return values the callers retry or report.
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace px::net::detail {
+
+// Little-endian scalar codec shared by the control plane (bootstrap
+// records) and the data-plane hello — one place to touch if the framing
+// ever changes, and byte-order-explicit like the parcel wire format.
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::pair<std::string, std::uint16_t> split_host_port_impl(
+    const std::string& s) {
+  const auto colon = s.rfind(':');
+  PX_ASSERT_MSG(colon != std::string::npos && colon + 1 < s.size(),
+                "net address must be host:port");
+  char* end = nullptr;
+  const long port = std::strtol(s.c_str() + colon + 1, &end, 10);
+  // A partially-numeric port ("77x3") must fail here, not dial the wrong
+  // port and time out 20 seconds later with a misleading diagnostic.
+  PX_ASSERT_MSG(end != nullptr && *end == '\0',
+                "net address port is not a number");
+  PX_ASSERT_MSG(port >= 0 && port <= 65535, "net address port out of range");
+  return {s.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+inline sockaddr_in resolve_ipv4(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    PX_ASSERT_MSG(rc == 0 && res != nullptr,
+                  "net: cannot resolve host address");
+    addr.sin_addr =
+        reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+  return addr;
+}
+
+inline void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  PX_ASSERT(flags >= 0);
+  PX_ASSERT(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+inline void set_nodelay(int fd) {
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Binds + listens on host:port (port 0 = ephemeral); returns the fd.
+inline int make_listener(const std::string& host, std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  PX_ASSERT_MSG(fd >= 0, "net: socket() failed");
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = resolve_ipv4(host, port);
+  PX_ASSERT_MSG(
+      bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0,
+      "net: bind() failed (address in use?)");
+  PX_ASSERT_MSG(listen(fd, SOMAXCONN) == 0, "net: listen() failed");
+  return fd;
+}
+
+inline std::string local_address(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  PX_ASSERT(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  char host[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &addr.sin_addr, host, sizeof host);
+  return std::string(host) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+// Blocking dial with retry until `timeout_ms`; returns the connected fd or
+// -1.  `attempts` (optional) reports how many dials it took — attempts
+// beyond the first are what the transport books as reconnects.
+inline int dial(const std::string& host, std::uint16_t port,
+                std::uint64_t timeout_ms, std::uint64_t* attempts = nullptr) {
+  const sockaddr_in addr = resolve_ipv4(host, port);
+  std::uint64_t tries = 0;
+  for (std::uint64_t waited_ms = 0;;) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    PX_ASSERT_MSG(fd >= 0, "net: socket() failed");
+    tries += 1;
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      if (attempts != nullptr) *attempts = tries;
+      return fd;
+    }
+    close(fd);
+    if (waited_ms >= timeout_ms) {
+      if (attempts != nullptr) *attempts = tries;
+      return -1;
+    }
+    usleep(50 * 1000);
+    waited_ms += 50;
+  }
+}
+
+// Blocking full-buffer send/recv (control plane and hellos only; the data
+// plane is nonblocking).  Return false on EOF or error.
+inline bool send_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline bool recv_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace px::net::detail

@@ -1,0 +1,14 @@
+#include "net/transport.hpp"
+
+#include "net/socket_util.hpp"
+
+namespace px::net {
+
+// Key function: anchors the transport vtable in one translation unit.
+transport::~transport() = default;
+
+std::pair<std::string, std::uint16_t> split_host_port(const std::string& s) {
+  return detail::split_host_port_impl(s);
+}
+
+}  // namespace px::net

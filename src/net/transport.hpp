@@ -1,0 +1,127 @@
+// Transport: the runtime's pluggable wire abstraction.
+//
+// PR 2 built the parcel pipeline against the simulated `net::fabric`; this
+// interface is the seam that lets the same pipeline run over a real network.
+// Everything above it — parcel ports, quiescence accounting, delivery into
+// localities — talks only to `transport`, and a backend is chosen at runtime
+// construction (PX_NET_BACKEND): the latency-modelled in-process fabric
+// (default; every test and bench keeps its physics) or the TCP backend in
+// net/tcp_transport.hpp, where each endpoint is a separate OS process.
+//
+// Contract every backend must honor (the quiescence protocol depends on it):
+//   * send() never blocks on the receiver and is thread-safe;
+//   * messages_sent_total() counts *units* (logical parcels) and is bumped
+//     before the message becomes visible to any progress machinery;
+//   * in_flight() covers every unit accepted by send() that this process
+//     still holds (queued or mid-delivery).  For the fabric that means
+//     until the receive handler returned; for TCP it means until the last
+//     byte reached the kernel — cross-process flight is tracked by the
+//     distributed quiescence counters instead (see runtime::wait_quiescent);
+//   * drain() blocks until in_flight() == 0;
+//   * handlers and the idle callback run on the backend's progress thread
+//     and must not block for long.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/buffer_pool.hpp"
+
+namespace px::net {
+
+using endpoint_id = std::uint32_t;
+
+// Backend selection and distributed identity.  Every field left at its
+// default resolves from the PX_NET_* environment in the runtime ctor (the
+// launcher's channel to its ranks); explicit values win.
+//
+//   backend  ""  -> PX_NET_BACKEND -> "sim"      "sim" | "tcp"
+//   rank     -1  -> PX_NET_RANK    -> 0          this process's locality id
+//   ranks    0   -> PX_NET_RANKS                 total processes (tcp only)
+//   listen   ""  -> PX_NET_LISTEN  -> "127.0.0.1:0"   data-plane bind
+//   root     ""  -> PX_NET_ROOT    -> "127.0.0.1:7733" rank 0 control addr
+struct net_params {
+  std::string backend;
+  std::int64_t rank = -1;
+  std::int64_t ranks = 0;
+  std::string listen;
+  std::string root;
+};
+
+struct message {
+  endpoint_id source = 0;
+  endpoint_id dest = 0;
+  std::uint64_t tag = 0;  // channel discriminator for the CSP baseline
+  std::vector<std::byte> payload;
+  std::uint32_t units = 1;  // logical parcels carried (1 for plain traffic)
+};
+
+struct endpoint_stats {
+  std::uint64_t messages_sent = 0;   // frames put on the wire
+  std::uint64_t parcels_sent = 0;    // logical units (== messages unbatched)
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+// Per-endpoint traffic totals in the shape the introspection registry
+// exposes them (runtime/loc<i>/net/*): what this endpoint put on and took
+// off the wire, plus link churn.  The fabric never reconnects; the TCP
+// backend counts every re-dialed data connection.
+struct link_counters {
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t msgs_tx = 0;
+  std::uint64_t msgs_rx = 0;
+  std::uint64_t reconnects = 0;
+};
+
+class transport {
+ public:
+  // The payload is owned by the transport after send(): the receive-side
+  // handler decodes in place or steals it, and whatever capacity is left is
+  // recycled through pool().
+  using handler = std::function<void(message&)>;
+
+  virtual ~transport();  // key function (transport.cpp)
+
+  // Registration is not thread-safe and must complete before the first
+  // send(); backends assert this.
+  virtual void set_handler(endpoint_id ep, handler h) = 0;
+
+  // Optional backstop invoked by the progress thread whenever its queues
+  // run dry (bounded staleness, ~200us-1ms): the runtime uses it to flush
+  // outbound coalescing buffers even if every scheduler worker is pinned
+  // busy.  Must be set before traffic starts; runs on the progress thread.
+  virtual void set_idle_callback(std::function<void()> cb) = 0;
+
+  // Thread-safe; never blocks on the receiver.  Asserts endpoint ranges.
+  virtual void send(message m) = 0;
+
+  // Blocks until in_flight() == 0 (see the class comment for what a
+  // backend counts as in flight).
+  virtual void drain() = 0;
+
+  virtual std::uint64_t in_flight() const noexcept = 0;
+
+  // Monotonic count of units accepted by send(); paired with
+  // scheduler::spawn_count() in the quiescence activity snapshot.
+  virtual std::uint64_t messages_sent_total() const noexcept = 0;
+
+  // Recycled payload buffers; senders acquire here so the steady state
+  // allocates nothing per message.
+  virtual util::buffer_pool& pool() noexcept = 0;
+
+  virtual std::size_t endpoints() const noexcept = 0;
+  virtual endpoint_stats stats(endpoint_id ep) const = 0;
+  virtual link_counters link(endpoint_id ep) const = 0;
+  virtual const char* backend_name() const noexcept = 0;
+};
+
+// Parses "host:port" (the PX_NET_LISTEN / PX_NET_ROOT syntax); asserts on
+// malformed input.
+std::pair<std::string, std::uint16_t> split_host_port(const std::string& s);
+
+}  // namespace px::net

@@ -1,5 +1,6 @@
 #include "parcel/parcel.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "util/assert.hpp"
@@ -19,8 +20,26 @@ constexpr std::size_t kOffSource = 24;
 constexpr std::size_t kOffForwards = 28;
 constexpr std::size_t kOffArgLen = 32;
 
+// Wire byte order is little-endian; normalize on big-endian hosts so the
+// same frame bytes mean the same parcel on every peer of a distributed
+// run.  (std::byteswap is C++23; spell it out for the C++20 build.)
+template <typename T>
+constexpr T to_wire_order(T value) noexcept {
+  static_assert(std::is_unsigned_v<T>);
+  if constexpr (std::endian::native == std::endian::little ||
+                sizeof(T) == 1) {
+    return value;
+  } else if constexpr (sizeof(T) == 4) {
+    return __builtin_bswap32(value);
+  } else {
+    static_assert(sizeof(T) == 8);
+    return __builtin_bswap64(value);
+  }
+}
+
 template <typename T>
 void store(std::byte* base, std::size_t off, T value) noexcept {
+  value = to_wire_order(value);
   std::memcpy(base + off, &value, sizeof value);
 }
 
@@ -28,11 +47,12 @@ template <typename T>
 T load(const std::byte* base, std::size_t off) noexcept {
   T value;
   std::memcpy(&value, base + off, sizeof value);
-  return value;
+  return to_wire_order(value);  // involution: wire -> host
 }
 
 void patch_u32(std::vector<std::byte>& buf, std::size_t off,
                std::uint32_t value) noexcept {
+  value = to_wire_order(value);
   std::memcpy(buf.data() + off, &value, sizeof value);
 }
 
@@ -40,7 +60,7 @@ std::uint32_t read_u32(std::span<const std::byte> buf,
                        std::size_t off) noexcept {
   std::uint32_t value;
   std::memcpy(&value, buf.data() + off, sizeof value);
-  return value;
+  return to_wire_order(value);
 }
 
 }  // namespace
@@ -158,6 +178,76 @@ frame_view::iterator& frame_view::iterator::operator++() noexcept {
   offset_ += sizeof(std::uint32_t) + len;
   index_ += 1;
   return *this;
+}
+
+// ------------------------------------------------------ stream reassembly
+
+bool frame_assembler::feed(std::span<const std::byte> bytes) {
+  if (poisoned_) return false;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  scan();
+  return !poisoned_;
+}
+
+void frame_assembler::scan() noexcept {
+  if (poisoned_ || frame_len_ != 0) return;  // head frame already delimited
+  if (buf_.size() < frame_header_bytes) return;
+  if (scan_pos_ == 0) {
+    if (read_u32(buf_, 0) != frame_magic) {
+      // Garbage prefix: reject outright rather than hunting for the next
+      // magic — resync would silently drop an unknowable number of parcels.
+      poisoned_ = true;
+      return;
+    }
+    const std::uint32_t count = read_u32(buf_, 4);
+    // Every record costs at least its length prefix plus a parcel header,
+    // so a corrupt count is detectable before buffering toward it.
+    const std::size_t floor =
+        frame_header_bytes +
+        static_cast<std::size_t>(count) *
+            (sizeof(std::uint32_t) + wire_header_bytes);
+    if (floor > max_frame_bytes_) {
+      poisoned_ = true;
+      return;
+    }
+    scan_pos_ = frame_header_bytes;
+  }
+  const std::uint32_t count = read_u32(buf_, 4);
+  while (records_seen_ < count) {
+    if (buf_.size() - scan_pos_ < sizeof(std::uint32_t)) return;
+    const std::uint32_t len = read_u32(buf_, scan_pos_);
+    const std::size_t record_end = scan_pos_ + sizeof(std::uint32_t) + len;
+    if (record_end > max_frame_bytes_) {
+      poisoned_ = true;  // corrupt length field
+      return;
+    }
+    if (buf_.size() < record_end) return;  // record still streaming in
+    scan_pos_ = record_end;
+    records_seen_ += 1;
+  }
+  frame_len_ = scan_pos_;
+}
+
+std::optional<std::vector<std::byte>> frame_assembler::next_frame() {
+  if (poisoned_) return std::nullopt;
+  if (frame_len_ == 0) scan();
+  if (frame_len_ == 0) return std::nullopt;
+  const std::span<const std::byte> head(buf_.data(), frame_len_);
+  // The boundary scan only delimited the frame; full validation (record
+  // headers, arg lengths) still runs once per frame, so a stream that is
+  // structurally delimitable but semantically corrupt also poisons here.
+  if (!frame_view::parse(head).has_value()) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  std::vector<std::byte> frame(head.begin(), head.end());
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(frame_len_));
+  scan_pos_ = 0;
+  records_seen_ = 0;
+  frame_len_ = 0;
+  scan();  // the next frame may already be complete in the buffer
+  return frame;
 }
 
 }  // namespace px::parcel

@@ -17,14 +17,21 @@
 //             [u32 cont.action] [u32 source] [u8 forwards] [u8*3 zero]
 //             [u32 arg_len] argument-bytes
 //
-// All integers are host-endian (the runtime is single-image x86-64; see the
-// porting note in README.md).  Encoding appends into a caller-supplied
-// buffer — typically one drawn from a px::util::buffer_pool — and decoding
-// is zero-copy: a `parcel_view` reads every field in place over a
-// std::span, so the receive path touches no heap until an action chooses to
-// materialize what it needs.
+// All integers are *little-endian on the wire* (normalized in encode/decode;
+// a no-op on x86-64).  Since PR 4 parcels cross real process boundaries over
+// TCP, so the format must be well-defined independent of the host: a frame
+// produced on any supported host parses identically on any other.  Encoding
+// appends into a caller-supplied buffer — typically one drawn from a
+// px::util::buffer_pool — and decoding is zero-copy: a `parcel_view` reads
+// every field in place over a std::span, so the receive path touches no heap
+// until an action chooses to materialize what it needs.
+//
+// Streaming: a batch frame is self-delimiting (count + per-record lengths),
+// so `frame_assembler` below can cut complete frames out of a TCP byte
+// stream incrementally, across arbitrary partial-read boundaries.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -73,6 +80,13 @@ struct parcel {
 };
 
 // ------------------------------------------------------------ wire layout
+
+// The wire format is defined little-endian.  Mixed-endian hosts (and
+// anything else where a byte-order flip is not a well-defined transform)
+// are out of scope; big-endian hosts byte-swap in the store/load shims.
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "parcel wire format requires a little- or big-endian host");
 
 inline constexpr std::size_t wire_header_bytes = 36;
 inline constexpr std::size_t frame_header_bytes = 8;
@@ -175,6 +189,56 @@ class frame_view {
       : frame_(frame), count_(count) {}
   std::span<const std::byte> frame_;
   std::uint32_t count_ = 0;
+};
+
+// ------------------------------------------------------ stream reassembly
+
+// Incremental frame reassembly over a byte stream (the TCP receive path).
+//
+// frame_view::parse needs the whole frame in one span, but a socket hands
+// out bytes at arbitrary boundaries — possibly one frame split across many
+// reads, possibly several frames (plus a partial) in one read.  The
+// assembler buffers fed bytes and cuts out complete frames as their
+// self-delimiting structure (magic, count, per-record lengths) resolves.
+//
+// A stream that desynchronizes is *rejected, never resynchronized*: scanning
+// for the next plausible magic would silently drop parcels and could lock
+// onto magic-valued argument bytes.  Garbage poisons the assembler (feed
+// returns false, next_frame never yields again) and the owner must tear the
+// connection down.  Every yielded frame has passed frame_view::parse, so
+// downstream iteration is bounds-safe.
+class frame_assembler {
+ public:
+  // `max_frame_bytes` bounds what a corrupt length/count field can make us
+  // buffer before the stream is declared garbage.
+  explicit frame_assembler(std::size_t max_frame_bytes = 64u << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  // Appends stream bytes.  Returns false iff the stream is (or already was)
+  // poisoned: bad magic, or a frame that cannot fit max_frame_bytes.
+  bool feed(std::span<const std::byte> bytes);
+
+  // Extracts the next complete, fully validated frame; nullopt when more
+  // bytes are needed (or the stream is poisoned).  The returned buffer
+  // holds exactly one frame.
+  std::optional<std::vector<std::byte>> next_frame();
+
+  bool poisoned() const noexcept { return poisoned_; }
+  // Bytes buffered but not yet yielded as a frame (0 at clean stream end).
+  std::size_t buffered_bytes() const noexcept { return buf_.size(); }
+
+ private:
+  // Advances the incremental boundary scan; sets frame_len_ when the frame
+  // at the head of buf_ is complete, poisons on structural garbage.
+  void scan() noexcept;
+
+  std::size_t max_frame_bytes_;
+  std::vector<std::byte> buf_;
+  // Scan state for the (single) frame at the head of buf_.
+  std::size_t scan_pos_ = 0;        // next unparsed record boundary
+  std::uint32_t records_seen_ = 0;  // records fully delimited so far
+  std::size_t frame_len_ = 0;       // complete-frame length; 0 = unknown
+  bool poisoned_ = false;
 };
 
 }  // namespace px::parcel

@@ -1,0 +1,93 @@
+#include "util/subproc.hpp"
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace px::util {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  PX_ASSERT_MSG(n > 0, "subproc: cannot read /proc/self/exe");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+int pick_free_tcp_port() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  PX_ASSERT(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  PX_ASSERT(bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof addr) == 0);
+  socklen_t len = sizeof addr;
+  PX_ASSERT(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  const int port = ntohs(addr.sin_port);
+  close(fd);
+  return port;
+}
+
+pid_t spawn_process(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& extra_env) {
+  PX_ASSERT(!argv.empty());
+  const pid_t pid = fork();
+  PX_ASSERT_MSG(pid >= 0, "subproc: fork() failed");
+  if (pid != 0) return pid;
+
+  // Child: apply the environment overrides, then exec.
+  for (const auto& [key, value] : extra_env) {
+    setenv(key.c_str(), value.c_str(), 1);
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  execv(cargv[0], cargv.data());
+  _exit(127);  // exec failed; the parent sees it as a plain nonzero exit
+}
+
+int wait_exit(pid_t pid, std::uint64_t timeout_ms) {
+  for (std::uint64_t waited_ms = 0;;) {
+    int status = 0;
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      if (WIFEXITED(status)) return WEXITSTATUS(status);
+      return -1;  // killed by a signal (assert/abort/segfault)
+    }
+    PX_ASSERT_MSG(r == 0 || errno == EINTR, "subproc: waitpid() failed");
+    if (waited_ms >= timeout_ms) {
+      // A wedged child must not wedge the parent (and with it CI): kill
+      // and report failure.
+      kill(pid, SIGKILL);
+      (void)waitpid(pid, &status, 0);
+      return -1;
+    }
+    usleep(20 * 1000);
+    waited_ms += 20;
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> net_rank_env(
+    int rank, int nranks, int root_port) {
+  return {
+      {"PX_NET_BACKEND", "tcp"},
+      {"PX_NET_RANK", std::to_string(rank)},
+      {"PX_NET_RANKS", std::to_string(nranks)},
+      {"PX_NET_ROOT", "127.0.0.1:" + std::to_string(root_port)},
+      {"PX_NET_LISTEN", "127.0.0.1:0"},
+  };
+}
+
+}  // namespace px::util

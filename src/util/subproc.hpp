@@ -1,0 +1,41 @@
+// Child-process helpers for the multi-process launcher path.
+//
+// Distributed tests, the px-launch style examples, and the TCP loopback
+// bench all follow the same pattern: the parent re-executes its own binary
+// once per rank with PX_NET_* set, then reaps the children.  These helpers
+// keep that fork/execve plumbing in one place.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace px::util {
+
+// Path of the currently running executable (/proc/self/exe).
+std::string self_exe_path();
+
+// A TCP port that was free a moment ago (bind :0, read, close).  Inherently
+// racy, but ample for launcher rendezvous on localhost — the bootstrap
+// retries its dial and rank 0's bind failure is loud, not silent.
+int pick_free_tcp_port();
+
+// fork + execv of `argv[0]` with `argv` and the current environment
+// extended/overridden by `extra_env`.  Returns the child pid (asserts on
+// fork failure; exec failure exits the child with 127).
+pid_t spawn_process(
+    const std::vector<std::string>& argv,
+    const std::vector<std::pair<std::string, std::string>>& extra_env);
+
+// Waits for `pid` up to `timeout_ms`, then SIGKILLs it.  Returns the exit
+// code, or -1 for signal death / timeout.
+int wait_exit(pid_t pid, std::uint64_t timeout_ms = 120'000);
+
+// Environment for rank `rank` of an `nranks`-process TCP machine whose
+// rank 0 control plane listens on 127.0.0.1:`root_port`.
+std::vector<std::pair<std::string, std::string>> net_rank_env(
+    int rank, int nranks, int root_port);
+
+}  // namespace px::util

@@ -1,0 +1,54 @@
+// Helpers for multi-process (distributed TCP) gtest cases.
+//
+// Pattern: a distributed test runs twice.  The *parent* invocation (no
+// PX_NET_RANK in the environment) re-executes this very test binary once
+// per rank, each child filtered to the same test with PX_NET_* set; the
+// *child* invocation takes the other branch and runs the rank body, its
+// gtest failures surfacing to the parent as a nonzero exit code.
+//
+//   TEST(Distributed, Pingpong2) {
+//     if (px::test::is_rank_child()) { /* rank body, EXPECTs ok */ return; }
+//     px::test::run_ranks(2, "Distributed.Pingpong2");
+//   }
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/subproc.hpp"
+
+namespace px::test {
+
+inline bool is_rank_child() {
+  return std::getenv("PX_NET_RANK") != nullptr;
+}
+
+// Spawns `nranks` copies of the current test binary filtered to
+// `test_name` and expects every one to exit 0.  Children get 100 seconds —
+// inside the parent's own 120s CTest timeout — so a wedged rank fails
+// *this* test instead of wedging the suite.
+inline void run_ranks(int nranks, const std::string& test_name) {
+  const int root_port = util::pick_free_tcp_port();
+  const std::vector<std::string> argv = {
+      util::self_exe_path(),
+      "--gtest_filter=" + test_name,
+      // A child must run even if the parent was invoked with a filter
+      // that it would not match (e.g. ctest's exact-name invocation).
+      "--gtest_also_run_disabled_tests",
+  };
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nranks; ++r) {
+    pids.push_back(
+        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+  }
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(util::wait_exit(pids[r], 100'000), 0)
+        << test_name << ": rank " << r << " of " << nranks
+        << " failed (nonzero exit, signal, or timeout)";
+  }
+}
+
+}  // namespace px::test

@@ -28,6 +28,10 @@ void spin_us(double us) {
   }
 }
 
+std::atomic<int> g_bumps{0};
+void bump_counter() { g_bumps.fetch_add(1); }
+PX_REGISTER_ACTION(bump_counter)
+
 // Polls `cond` for up to two seconds; the runtime gets no magic clocks.
 template <typename F>
 bool eventually(F&& cond) {
@@ -87,6 +91,44 @@ TEST(Introspect, ListEnumeratesCounterSubtrees) {
   EXPECT_GE(rt.introspection().list("runtime/rebalance").size(), 5u);
   // The locality hardware gids are *not* counters.
   EXPECT_FALSE(rt.introspection().read("hw/locality/0").has_value());
+  rt.stop();
+}
+
+TEST(Introspect, PerLocalityNetCountersExist) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  core::runtime rt(p);
+  rt.run([&] {
+    for (int i = 0; i < 8; ++i) core::apply<&bump_counter>(rt.locality_gid(1));
+  });
+  // The wire totals are registered per locality and reflect transport
+  // traffic (under the sim backend, the fabric's books).
+  EXPECT_EQ(rt.introspection().list("runtime/loc0/net").size(), 5u);
+  EXPECT_GT(rt.introspection().read("runtime/loc0/net/bytes_tx").value(), 0u);
+  EXPECT_GT(rt.introspection().read("runtime/loc1/net/bytes_rx").value(), 0u);
+  EXPECT_GT(rt.introspection().read("runtime/loc0/net/msgs_tx").value(), 0u);
+  EXPECT_EQ(rt.introspection().read("runtime/loc0/net/reconnects").value(),
+            0u);
+  rt.stop();
+}
+
+TEST(Introspect, RemoteCountersNameButDoNotSampleLocally) {
+  core::runtime_params p;
+  p.localities = 2;
+  p.workers_per_locality = 1;
+  core::runtime rt(p);
+  // A sampler-less (remote-homed) counter is findable and listable — its
+  // gid allocation is the point — but read() refuses locally instead of
+  // inventing a number for another process's books.
+  const gas::gid id =
+      rt.introspection().add_remote(1, "test/remote/only_named");
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.home(), 1u);
+  ASSERT_TRUE(rt.introspection().find("test/remote/only_named").has_value());
+  EXPECT_EQ(*rt.introspection().find("test/remote/only_named"), id);
+  EXPECT_FALSE(rt.introspection().read(id).has_value());
+  EXPECT_FALSE(rt.introspection().read("test/remote/only_named").has_value());
   rt.stop();
 }
 

@@ -211,6 +211,217 @@ TEST(ParcelFrame, CorruptCountAndLengthRejected) {
   EXPECT_FALSE(frame_view::parse(shortrec).has_value());
 }
 
+// ------------------------------------------------------- wire byte order
+
+// The wire format is defined little-endian (distributed peers must agree
+// on what the bytes mean).  Pin the exact on-wire layout of every header
+// field: if this golden test breaks, the wire format changed and every
+// peer must change with it.
+TEST(ParcelWire, HeaderEncodesLittleEndian) {
+  parcel::parcel p;
+  p.destination = gas::gid::from_bits(0x1122334455667788ull);
+  p.cont.target = gas::gid::from_bits(0x99aabbccddeeff00ull);
+  p.action = 0x01020304u;
+  p.cont.action = 0x05060708u;
+  p.source = 0x0a0b0c0du;
+  p.forwards = 0x7f;
+  p.arguments = {std::byte{0xde}, std::byte{0xad}};
+
+  std::vector<std::byte> buf;
+  encode_into(buf, p);
+  ASSERT_EQ(buf.size(), wire_header_bytes + 2);
+  const auto at = [&](std::size_t i) {
+    return std::to_integer<unsigned>(buf[i]);
+  };
+  // destination, least significant byte first
+  EXPECT_EQ(at(0), 0x88u);
+  EXPECT_EQ(at(7), 0x11u);
+  // continuation target
+  EXPECT_EQ(at(8), 0x00u);
+  EXPECT_EQ(at(15), 0x99u);
+  // action / cont.action / source
+  EXPECT_EQ(at(16), 0x04u);
+  EXPECT_EQ(at(19), 0x01u);
+  EXPECT_EQ(at(20), 0x08u);
+  EXPECT_EQ(at(23), 0x05u);
+  EXPECT_EQ(at(24), 0x0du);
+  EXPECT_EQ(at(27), 0x0au);
+  // forwards + reserved zero padding
+  EXPECT_EQ(at(28), 0x7fu);
+  EXPECT_EQ(at(29), 0x00u);
+  EXPECT_EQ(at(30), 0x00u);
+  EXPECT_EQ(at(31), 0x00u);
+  // arg length then raw argument bytes
+  EXPECT_EQ(at(32), 0x02u);
+  EXPECT_EQ(at(35), 0x00u);
+  EXPECT_EQ(at(36), 0xdeu);
+  EXPECT_EQ(at(37), 0xadu);
+}
+
+TEST(ParcelWire, FrameHeaderEncodesLittleEndian) {
+  std::vector<std::byte> buf;
+  frame_begin(buf);
+  frame_append(buf, sample_parcel());
+  // magic "PXBF" reads as the bytes P X B F in stream order...
+  EXPECT_EQ(std::to_integer<char>(buf[0]), 'P');
+  EXPECT_EQ(std::to_integer<char>(buf[1]), 'X');
+  EXPECT_EQ(std::to_integer<char>(buf[2]), 'B');
+  EXPECT_EQ(std::to_integer<char>(buf[3]), 'F');
+  // ...and count is a little-endian u32.
+  EXPECT_EQ(std::to_integer<unsigned>(buf[4]), 1u);
+  EXPECT_EQ(std::to_integer<unsigned>(buf[7]), 0u);
+}
+
+TEST(ParcelWire, GoldenBytesDecodeOnThisHost) {
+  // A frame captured from the (little-endian-defined) wire: one record,
+  // action 0x0102, no continuation, source 3, one argument byte 0x2a,
+  // destination gid 0x4000000000000007 (data kind, home 0, seq 7).
+  const unsigned char wire[] = {
+      'P', 'X', 'B', 'F', 1, 0, 0, 0,  // frame header
+      37, 0, 0, 0,                     // record length
+      0x07, 0, 0, 0, 0, 0, 0, 0x40,    // destination
+      0, 0, 0, 0, 0, 0, 0, 0,          // cont target (invalid)
+      0x02, 0x01, 0, 0,                // action
+      0, 0, 0, 0,                      // cont action
+      3, 0, 0, 0,                      // source
+      0, 0, 0, 0,                      // forwards + reserved
+      1, 0, 0, 0,                      // arg length
+      0x2a,                            // argument
+  };
+  std::vector<std::byte> buf(sizeof wire);
+  std::memcpy(buf.data(), wire, sizeof wire);
+  const auto frame = frame_view::parse(buf);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->count(), 1u);
+  const parcel_view v = *frame->begin();
+  EXPECT_EQ(v.destination().bits(), 0x4000000000000007ull);
+  EXPECT_EQ(v.action(), 0x0102u);
+  EXPECT_FALSE(v.cont().valid());
+  EXPECT_EQ(v.source(), 3u);
+  ASSERT_EQ(v.arguments().size(), 1u);
+  EXPECT_EQ(std::to_integer<unsigned>(v.arguments()[0]), 0x2au);
+}
+
+// ------------------------------------------------------ stream reassembly
+
+TEST(FrameAssembler, WholeFrameInOneFeed) {
+  std::vector<std::byte> buf;
+  frame_begin(buf);
+  frame_append(buf, sample_parcel(1));
+  frame_assembler as;
+  ASSERT_TRUE(as.feed(buf));
+  const auto frame = as.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, buf);
+  EXPECT_FALSE(as.next_frame().has_value());
+  EXPECT_EQ(as.buffered_bytes(), 0u);
+}
+
+// The satellite case: a multi-parcel frame split at *every* byte boundary
+// must reassemble identically — no header/record/argument boundary is
+// special to the stream.
+TEST(FrameAssembler, PartialReadsSplitAtEveryByteBoundary) {
+  std::vector<std::byte> buf;
+  frame_begin(buf);
+  for (int i = 0; i < 3; ++i) frame_append(buf, sample_parcel(i));
+  for (std::size_t split = 1; split < buf.size(); ++split) {
+    frame_assembler as;
+    ASSERT_TRUE(as.feed(std::span(buf.data(), split)));
+    EXPECT_FALSE(as.next_frame().has_value())
+        << "frame yielded before its last byte (split " << split << ")";
+    ASSERT_TRUE(as.feed(std::span(buf.data() + split, buf.size() - split)));
+    const auto frame = as.next_frame();
+    ASSERT_TRUE(frame.has_value()) << "split at byte " << split;
+    EXPECT_EQ(*frame, buf);
+    EXPECT_EQ(as.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameAssembler, DribbleOneByteAtATime) {
+  std::vector<std::byte> buf;
+  frame_begin(buf);
+  for (int i = 0; i < 2; ++i) frame_append(buf, sample_parcel(10 + i));
+  frame_assembler as;
+  for (std::size_t i = 0; i + 1 < buf.size(); ++i) {
+    ASSERT_TRUE(as.feed(std::span(buf.data() + i, 1)));
+    EXPECT_FALSE(as.next_frame().has_value());
+  }
+  ASSERT_TRUE(as.feed(std::span(buf.data() + buf.size() - 1, 1)));
+  const auto frame = as.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, buf);
+}
+
+TEST(FrameAssembler, BackToBackFramesInOneFeed) {
+  std::vector<std::byte> f1, f2, stream;
+  frame_begin(f1);
+  frame_append(f1, sample_parcel(1));
+  frame_begin(f2);
+  frame_append(f2, sample_parcel(2));
+  frame_append(f2, sample_parcel(3));
+  stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+  // Plus a partial third frame left dangling.
+  stream.insert(stream.end(), f1.begin(), f1.begin() + 5);
+
+  frame_assembler as;
+  ASSERT_TRUE(as.feed(stream));
+  auto a = as.next_frame();
+  auto b = as.next_frame();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, f1);
+  EXPECT_EQ(*b, f2);
+  EXPECT_FALSE(as.next_frame().has_value());
+  EXPECT_EQ(as.buffered_bytes(), 5u);
+}
+
+// Garbage prefix: rejected outright, never resynchronized — scanning for
+// the next magic would silently drop parcels.
+TEST(FrameAssembler, GarbagePrefixPoisonsInsteadOfResyncing) {
+  std::vector<std::byte> valid;
+  frame_begin(valid);
+  frame_append(valid, sample_parcel());
+  std::vector<std::byte> stream = {std::byte{0x00}, std::byte{0x01},
+                                   std::byte{0x02}, std::byte{0x03},
+                                   std::byte{0xff}, std::byte{0xff},
+                                   std::byte{0xff}, std::byte{0xff}};
+  stream.insert(stream.end(), valid.begin(), valid.end());
+
+  frame_assembler as;
+  EXPECT_FALSE(as.feed(stream));
+  EXPECT_TRUE(as.poisoned());
+  EXPECT_FALSE(as.next_frame().has_value());
+  // Still poisoned: later clean bytes must not revive the stream.
+  EXPECT_FALSE(as.feed(valid));
+  EXPECT_FALSE(as.next_frame().has_value());
+}
+
+TEST(FrameAssembler, OversizedFrameClaimPoisons) {
+  std::vector<std::byte> buf;
+  frame_begin(buf);
+  frame_append(buf, sample_parcel());
+  // Corrupt the record length to something enormous.
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(buf.data() + frame_header_bytes, &huge, sizeof huge);
+  frame_assembler as(1 << 16);
+  EXPECT_FALSE(as.feed(buf));
+  EXPECT_TRUE(as.poisoned());
+}
+
+TEST(FrameAssembler, CorruptRecordInsideCompleteFramePoisons) {
+  std::vector<std::byte> buf;
+  frame_begin(buf);
+  frame_append(buf, sample_parcel());
+  // Flip the parcel's arg-length field so the record is internally
+  // inconsistent while the frame stays structurally delimitable.
+  buf[frame_header_bytes + 4 + 32] ^= std::byte{0x01};
+  frame_assembler as;
+  as.feed(buf);
+  EXPECT_FALSE(as.next_frame().has_value());
+  EXPECT_TRUE(as.poisoned());
+}
+
 TEST(Parcel, ContinuationValidity) {
   continuation c;
   EXPECT_FALSE(c.valid());
