@@ -43,6 +43,22 @@ struct function_traits<R (*)(As...)> {
 // destination locality (future write-ends, gate openers, ...).
 parcel::action_id sink_action_id();
 
+// Sends an action result onward through a parcel's continuation specifier
+// (no-op when the parcel carried none).  The raw-registered control-plane
+// handlers (px.agas_update / px.agas_resolve / px.query_counter) reply
+// inline on the delivery thread through this instead of the typed-action
+// machinery.
+inline void send_continuation_reply(locality& from,
+                                    const parcel::continuation& cont,
+                                    std::vector<std::byte> args) {
+  if (!cont.valid()) return;
+  parcel::parcel done;
+  done.destination = cont.target;
+  done.action = cont.action;
+  done.arguments = std::move(args);
+  from.send(std::move(done));
+}
+
 template <auto Fn>
 struct action {
   using traits = detail::function_traits<decltype(Fn)>;

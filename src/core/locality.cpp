@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "core/runtime.hpp"
+#include "gas/resolve.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
@@ -106,11 +107,55 @@ bool locality::arriving_needs_forward(gas::gid dest) {
     return false;
   }
   if (has_object(dest)) return false;
+  if (rt_.distributed() && dest.home() != id_) {
+    // We are neither the owner (no object) nor the home: a stale
+    // forwarding hint sent this parcel here.  Drop our own hint for this
+    // gid — not because it is necessarily wrong (ours may be fresher than
+    // the sender's), but so the reroute below goes through the *home*,
+    // whose directory is authoritative.  Forwarding hint-to-hint could
+    // chase a cycle of mutually stale piggybacked hints and burn the
+    // whole hop budget without ever consulting an authority; paying at
+    // most one extra hop via home can never loop.
+    rt_.gas().invalidate_cache(id_, dest);
+    return true;
+  }
+  // Home rank (or single-process): the local directory shard is the
+  // authority.
   const auto owner = rt_.gas().resolve_authoritative(id_, dest);
   PX_ASSERT_MSG(owner.has_value(), "parcel for unbound object gid");
   // When the authoritative owner is us but the object is gone, creation is
   // racing delivery; dispatch and let the action handle or assert.
   return *owner != id_;
+}
+
+bool locality::hint_gate_allows(gas::gid dest, gas::locality_id source) {
+  const std::int64_t now = util::now_ns();
+  const std::uint64_t key =
+      dest.bits() ^
+      (static_cast<std::uint64_t>(source) * 0x9e3779b97f4a7c15ull);
+  std::lock_guard lock(hint_gate_lock_);
+  if (hint_gate_.size() >= kMaxHintGateEntries) hint_gate_.clear();
+  const auto [it, inserted] = hint_gate_.try_emplace(key, now);
+  if (inserted) return true;
+  if (now - it->second < kHintGateIntervalNs) return false;
+  it->second = now;
+  return true;
+}
+
+void locality::send_forward_feedback(const parcel::parcel& p) {
+  if (!rt_.distributed() || !rt_.migration_enabled()) return;
+  if (p.source == gas::invalid_locality || p.source == id_) return;
+  if (!hint_gate_allows(p.destination, p.source)) return;
+  if (p.destination.home() == id_) {
+    // resolve_authoritative just refreshed our cache with the directory's
+    // answer; piggyback it to the sender.
+    if (const auto owner = rt_.gas().cached(id_, p.destination)) {
+      gas::send_owner_hint(*this, p.source, p.destination, *owner);
+    }
+  } else {
+    gas::send_owner_hint(*this, p.source, p.destination,
+                         gas::invalid_locality);
+  }
 }
 
 void locality::note_heat(gas::gid dest) noexcept {
@@ -163,6 +208,7 @@ std::vector<std::pair<gas::gid, std::uint64_t>> locality::hottest_objects(
 void locality::deliver(parcel::parcel p) {
   parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
   if (arriving_needs_forward(p.destination)) {
+    send_forward_feedback(p);
     p.forwards += 1;
     parcels_forwarded_.fetch_add(1, std::memory_order_relaxed);
     rt_.route(id_, std::move(p));
@@ -178,6 +224,7 @@ void locality::deliver(const parcel::parcel_view& pv) {
     // Rare path: the view's frame is owned by the fabric, so the reroute
     // needs an owning copy.
     parcel::parcel p = pv.to_parcel();
+    send_forward_feedback(p);
     p.forwards += 1;
     parcels_forwarded_.fetch_add(1, std::memory_order_relaxed);
     rt_.route(id_, std::move(p));

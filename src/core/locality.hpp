@@ -116,6 +116,18 @@ class locality {
   // context as a side effect of the arrival.
   bool arriving_needs_forward(gas::gid dest);
 
+  // Distributed forwarding feedback (no-op otherwise): when this rank
+  // forwards a parcel, tell the original sender what we know — the home
+  // rank piggybacks the authoritative owner so senders converge on direct
+  // routing; a stale ex-owner sends an invalidation so the sender falls
+  // back to home routing and picks up a fresh hint there.  Rate-gated per
+  // (gid, sender): a sender with a storm in flight needs one corrective
+  // hint, not one per forwarded parcel — the forwarding rank is exactly
+  // the overloaded one, and doubling its outbound control traffic during
+  // a migration wave defeats the point.
+  void send_forward_feedback(const parcel::parcel& p);
+  bool hint_gate_allows(gas::gid dest, gas::locality_id source);
+
   // Delivery-path heat accounting (no-op unless heat tracking is enabled).
   void note_heat(gas::gid dest) noexcept;
 
@@ -141,6 +153,14 @@ class locality {
   mutable util::spinlock heat_lock_;
   std::unordered_map<gas::gid, std::uint64_t> heat_;
   std::int64_t heat_last_age_ns_ = 0;  // guarded by heat_lock_
+
+  // Forwarding-feedback rate gate (see send_forward_feedback).  Keyed by
+  // mixed (gid, sender); bounded by clearing — a false suppression only
+  // delays a hint by one interval, so precision is not worth memory.
+  static constexpr std::int64_t kHintGateIntervalNs = 200 * 1000;  // 200us
+  static constexpr std::size_t kMaxHintGateEntries = 256;
+  util::spinlock hint_gate_lock_;
+  std::unordered_map<std::uint64_t, std::int64_t> hint_gate_;
 
   std::atomic<std::uint64_t> parcels_sent_{0};
   std::atomic<std::uint64_t> parcels_delivered_{0};

@@ -33,4 +33,10 @@ percolation_stats percolation_manager::stats() const {
   return s;
 }
 
+void percolate_release_action(std::uint32_t target) {
+  locality* here = this_locality();
+  here->rt().percolation_mgr().release_slot(target);
+}
+PX_REGISTER_ACTION_AS(percolate_release_action, "px.percolate_release")
+
 }  // namespace px::core

@@ -16,6 +16,15 @@
 // target when the task retires.  The competing strategies measured by
 // PERC-1 (demand fetch; compute-element-issued prefetch) are built from the
 // ordinary apply/async API in the bench harness.
+//
+// Distributed mode: the slot table is per-process, so the semaphore a
+// source acquires for a remote target is its *own* window of
+// `staging_slots` credits toward that target (per-source back-pressure
+// rather than one globally shared staging area — the owner check the
+// single-address-space version never needed).  The retiring task therefore
+// returns the credit to the *source* rank with a px.percolate_release
+// parcel instead of releasing the count in its own process, which would
+// leak the source's window shut within `staging_slots` percolations.
 #pragma once
 
 #include <atomic>
@@ -59,10 +68,17 @@ class percolation_manager {
   std::atomic<std::uint64_t> slot_waits_{0};
 };
 
+// Returns a staging credit to the source's window (runs at the source
+// rank; the argument is the slot index, i.e. the target the credit was
+// acquired for).
+void percolate_release_action(std::uint32_t target);
+
 namespace detail {
 
-// Wraps the user task so the staging slot is released at the *target* when
-// the task retires, whatever Fn returns.
+// Wraps the user task so the staging slot is released when the task
+// retires, whatever Fn returns: in-process that is a direct semaphore
+// release (same object either way); cross-process the credit parcels back
+// to the source's window (see the header comment).
 template <auto Fn, typename ArgsTuple>
 struct percolate_wrapper;
 
@@ -70,14 +86,25 @@ template <auto Fn, typename... As>
 struct percolate_wrapper<Fn, std::tuple<As...>> {
   using result_type = std::invoke_result_t<decltype(Fn), As...>;
 
-  static result_type run(As... args) {
+  static void release(std::uint32_t src) {
     locality* here = this_locality();
+    runtime& rt = here->rt();
+    if (!rt.distributed() || src == here->id()) {
+      rt.percolation_mgr().release_slot(here->id());
+    } else {
+      apply_from<&percolate_release_action>(
+          *here, rt.locality_gid(src),
+          static_cast<std::uint32_t>(here->id()));
+    }
+  }
+
+  static result_type run(std::uint32_t src, As... args) {
     if constexpr (std::is_void_v<result_type>) {
       Fn(std::move(args)...);
-      here->rt().percolation_mgr().release_slot(here->id());
+      release(src);
     } else {
       result_type r = Fn(std::move(args)...);
-      here->rt().percolation_mgr().release_slot(here->id());
+      release(src);
       return r;
     }
   }
@@ -86,7 +113,17 @@ struct percolate_wrapper<Fn, std::tuple<As...>> {
 }  // namespace detail
 
 // Prestages Fn(args...) at `target`; returns the completion future.  Must
-// be called on a ParalleX thread (it may park for back-pressure).
+// be called on a ParalleX thread (it may park for back-pressure).  When
+// the target is a remote rank, register PX_REGISTER_PERCOLATABLE(Fn) at
+// namespace scope so the wrapper's action id is minted at boot in every
+// rank.
+//
+// GCC 12's -O2 inliner mis-tracks the source-rank prefix element ahead of
+// vector-typed operands in the argument tuple and reports a spurious
+// stringop-overflow out of the serialization copy; scoped off rather than
+// restructuring the tuple around a diagnostics bug.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
 template <auto Fn, typename... Args>
 auto percolate(gas::locality_id target, Args&&... args) {
   locality* here = this_locality();
@@ -97,7 +134,21 @@ auto percolate(gas::locality_id target, Args&&... args) {
   pm.note_percolated();
   using W = detail::percolate_wrapper<Fn, typename action<Fn>::args_tuple>;
   return async_from<&W::run>(*here, rt.locality_gid(target),
+                             static_cast<std::uint32_t>(here->id()),
                              std::forward<Args>(args)...);
 }
+#pragma GCC diagnostic pop
+
+// Eager registration of Fn's percolation wrapper (cross-process spans).
+#define PX_REGISTER_PERCOLATABLE_AS(fn, name)                               \
+  namespace {                                                               \
+  [[maybe_unused]] const ::px::parcel::action_id PX_DETAIL_CONCAT(          \
+      px_percolatable_registration_, __COUNTER__) =                         \
+      ::px::core::action<&::px::core::detail::percolate_wrapper<           \
+          &fn, typename ::px::core::action<&fn>::args_tuple>::run>::       \
+          ensure_registered(name);                                          \
+  }
+#define PX_REGISTER_PERCOLATABLE(fn) \
+  PX_REGISTER_PERCOLATABLE_AS(fn, "px.percolate." #fn)
 
 }  // namespace px::core

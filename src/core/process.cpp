@@ -33,8 +33,28 @@ void process::spawn_any(std::function<void()> fn) {
   // moment work is created, not just after it has piled up.
   const std::uint64_t slot =
       next_placement_.fetch_add(1, std::memory_order_relaxed);
+  if (rt_.distributed()) {
+    // The closure cannot cross a process boundary, so the only legal
+    // placement is this rank; spawn_any<Fn> steers across the whole span.
+    PX_ASSERT_MSG(
+        std::find(span_.begin(), span_.end(), rt_.rank()) != span_.end(),
+        "spawn_any(closure): this rank is not in the span");
+    spawn(rt_.rank(), std::move(fn));
+    return;
+  }
   spawn(rt_.balancer().place(span_, slot), std::move(fn));
 }
+
+// The credit parcel's landing site is the process gid itself, which AGAS
+// resolves to the primary locality — where the token counter lives.
+void process_credit_action(std::uint64_t proc_bits) {
+  locality* here = this_locality();
+  auto obj = here->get_object(gas::gid::from_bits(proc_bits));
+  PX_ASSERT_MSG(obj != nullptr,
+                "process credit parcel landed off the primary");
+  std::static_pointer_cast<process>(obj)->complete_one();
+}
+PX_REGISTER_ACTION_AS(process_credit_action, "px.process_credit")
 
 void process::seal() { complete_one(); }
 

@@ -7,14 +7,27 @@
 // object whose child threads may run on any locality in its span; its
 // termination event is an LCO detected by activity counting (the creator
 // holds a token until seal(), children hold one each, the event fires when
-// the count drains — sound because counts live in one address space; a
-// distributed build would use Dijkstra–Scholten credits over parcels).
+// the count drains).
+//
+// Distributed mode: the span may name remote ranks.  Closure children
+// (spawn/spawn_any with a std::function) stay local-only — closures cannot
+// cross a process boundary — but the *typed* children spawn_on<Fn>/
+// spawn_any<Fn> place work on any rank of the span: the token is taken at
+// the primary before the parcel ships and a px.process_credit parcel
+// returns it when the child retires (the Dijkstra–Scholten credit scheme
+// over parcels).  Typed spawns must be issued from the primary rank (the
+// token counter lives in the process object there), and — as with every
+// cross-process action — Fn's wrapper must be registered eagerly in every
+// rank with PX_REGISTER_PROCESS_CHILD(Fn) so action tables match at
+// bootstrap.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "core/action.hpp"
@@ -23,6 +36,28 @@
 #include "lco/lco.hpp"
 
 namespace px::core {
+
+// Returns the creditor's token for a typed remote child: runs at the
+// process's primary rank (the parcel's destination is the process gid).
+void process_credit_action(std::uint64_t proc_bits);
+
+namespace detail {
+
+// Wraps a typed child so the activity token flows back to the primary when
+// the child retires, wherever it ran.
+template <auto Fn, typename ArgsTuple>
+struct process_child;
+
+template <auto Fn, typename... As>
+struct process_child<Fn, std::tuple<As...>> {
+  static void run(std::uint64_t proc_bits, As... args) {
+    Fn(std::move(args)...);
+    core::apply<&process_credit_action>(gas::gid::from_bits(proc_bits),
+                                        proc_bits);
+  }
+};
+
+}  // namespace detail
 
 class process : public std::enable_shared_from_this<process> {
  public:
@@ -38,7 +73,49 @@ class process : public std::enable_shared_from_this<process> {
 
   // Placement over the span: least-loaded locality when the runtime's
   // rebalancer is enabled, round-robin otherwise (rebalancer::place).
+  // Closure-carrying, so in distributed mode candidates are restricted to
+  // this rank; use spawn_any<Fn> to place across ranks.
   void spawn_any(std::function<void()> fn);
+
+  // Typed tracked child at `where` (any rank of the span).  Local targets
+  // run like spawn(); remote targets ship Fn(args...) as a parcel whose
+  // completion returns the activity token with a px.process_credit parcel.
+  // Must be issued at the primary.  Register PX_REGISTER_PROCESS_CHILD(Fn)
+  // at namespace scope when the span crosses processes.
+  template <auto Fn, typename... Args>
+  void spawn_on(gas::locality_id where, Args&&... args) {
+    PX_ASSERT_MSG(
+        std::find(span_.begin(), span_.end(), where) != span_.end(),
+        "spawn outside the process span");
+    if (!rt_.distributed() || where == rt_.rank()) {
+      auto args_tup = typename action<Fn>::args_tuple(
+          std::forward<Args>(args)...);
+      spawn(where, [args_tup = std::move(args_tup)]() mutable {
+        std::apply(Fn, std::move(args_tup));
+      });
+      return;
+    }
+    PX_ASSERT_MSG(rt_.rank() == primary(),
+                  "typed cross-rank spawns must be issued at the primary "
+                  "(the activity counter lives there)");
+    const std::int64_t prev =
+        outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    PX_ASSERT_MSG(prev > 0, "spawn on a terminated process");
+    spawned_.fetch_add(1, std::memory_order_relaxed);
+    using W = detail::process_child<Fn, typename action<Fn>::args_tuple>;
+    apply_from<&W::run>(rt_.here(), rt_.locality_gid(where), id_.bits(),
+                        std::forward<Args>(args)...);
+  }
+
+  // spawn_on through rebalancer placement over the whole span (remote
+  // depths come from the distributed sampling rounds).
+  template <auto Fn, typename... Args>
+  void spawn_any(Args&&... args) {
+    const std::uint64_t slot =
+        next_placement_.fetch_add(1, std::memory_order_relaxed);
+    spawn_on<Fn>(rt_.balancer().place(span_, slot),
+                 std::forward<Args>(args)...);
+  }
 
   // Invokes action Fn(args...) on every locality of the span (untracked
   // fire-and-forget parcels; use spawn for tracked work).
@@ -61,6 +138,8 @@ class process : public std::enable_shared_from_this<process> {
   }
 
  private:
+  friend void process_credit_action(std::uint64_t proc_bits);
+
   void complete_one();
 
   runtime& rt_;
@@ -73,8 +152,24 @@ class process : public std::enable_shared_from_this<process> {
 };
 
 // Creates a process spanning `span` (primary = span.front()), binds its gid
-// and registers the instance at the primary locality.
+// and registers the instance at the primary locality.  Distributed: the
+// primary must be this rank; remote span members are parcel targets only.
 std::shared_ptr<process> create_process(runtime& rt,
                                         std::vector<gas::locality_id> span);
+
+// Eagerly registers Fn's tracked-child wrapper action at static-init time.
+// Required for any Fn given to spawn_on<Fn>/spawn_any<Fn> over a span that
+// crosses processes: action ids are positional, so every rank must mint
+// the wrapper's id at boot, not at first use on one rank.
+#define PX_REGISTER_PROCESS_CHILD_AS(fn, name)                              \
+  namespace {                                                               \
+  [[maybe_unused]] const ::px::parcel::action_id PX_DETAIL_CONCAT(          \
+      px_pchild_registration_, __COUNTER__) =                               \
+      ::px::core::action<&::px::core::detail::process_child<               \
+          &fn, typename ::px::core::action<&fn>::args_tuple>::run>::       \
+          ensure_registered(name);                                          \
+  }
+#define PX_REGISTER_PROCESS_CHILD(fn) \
+  PX_REGISTER_PROCESS_CHILD_AS(fn, "px.pchild." #fn)
 
 }  // namespace px::core

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "core/locality.hpp"
 #include "core/runtime.hpp"
+#include "introspect/query.hpp"
+#include "lco/lco.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -15,22 +18,184 @@ namespace px::core {
 using util::now_ns;
 
 rebalancer::rebalancer(runtime& rt, rebalancer_params params)
-    : rt_(rt), params_(params) {}
+    : rt_(rt), params_(params) {
+  if (rt_.distributed() && params_.enabled) {
+    rank_depths_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(rt_.num_localities());
+    for (std::size_t i = 0; i < rt_.num_localities(); ++i) {
+      rank_depths_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
 
 void rebalancer::poll() noexcept {
   if (!params_.enabled) return;
   const std::int64_t now = now_ns();
   std::int64_t last = last_poll_ns_.load(std::memory_order_relaxed);
-  const auto interval_ns =
-      static_cast<std::int64_t>(params_.interval_us) * 1000;
+  auto interval_ns = static_cast<std::int64_t>(params_.interval_us) * 1000;
+  if (rt_.distributed()) interval_ns *= params_.dist_interval_mult;
   if (now - last < interval_ns) return;
   if (!last_poll_ns_.compare_exchange_strong(last, now,
                                              std::memory_order_relaxed)) {
     return;  // a concurrent poller took this slot
   }
+  if (rt_.distributed()) {
+    poll_distributed();
+    return;
+  }
   if (!round_lock_.try_lock()) return;  // a round is still running
   rebalance_once();
   round_lock_.unlock();
+}
+
+void rebalancer::poll_distributed() {
+  // A one-rank machine has nowhere to push — and with zero probes to
+  // send, a claimed round latch would never be released by a reply.
+  if (rt_.num_localities() < 2) return;
+  // Fire only while this rank has a real backlog: an idle rank owns
+  // nothing worth pushing (decisions are push-only), and the gate is what
+  // lets the machine quiesce — once the backlog drains, no new round
+  // fires and the termination collective can settle.
+  if (rt_.here().sched().ready_estimate() < params_.min_depth) return;
+  bool expected = false;
+  if (!round_active_.compare_exchange_strong(expected, true)) return;
+  start_round();
+}
+
+void rebalancer::release_round_slot() {
+  if (round_slots_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    round_active_.store(false, std::memory_order_release);
+  }
+}
+
+void rebalancer::start_round() {
+  const std::size_t n = rt_.num_localities();
+  const auto rank = rt_.rank();
+  if (depth_counter_gids_.empty()) {
+    // Counter gids replay identically in every process at boot, so the
+    // path -> gid resolution is purely local even for remote ranks.
+    depth_counter_gids_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = rt_.introspection().find(
+          "runtime/loc" + std::to_string(i) + "/sched/ready_depth");
+      PX_ASSERT_MSG(id.has_value(), "ready_depth counter missing");
+      depth_counter_gids_.push_back(*id);
+    }
+  }
+
+  // Observe: our own depth is a local read; every remote rank's is a
+  // px.query_counter round trip whose reply lands in note_depth.  The
+  // probes overlap; the last reply advances the round.
+  rank_depths_[rank].store(rt_.here().sched().ready_estimate(),
+                           std::memory_order_relaxed);
+  probes_pending_.store(static_cast<std::uint32_t>(n - 1),
+                        std::memory_order_release);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<gas::locality_id>(i) == rank) continue;
+    introspect::query_counter_cb(
+        rt_.here(), depth_counter_gids_[i],
+        [this, i](std::uint64_t d) { note_depth(i, d); });
+  }
+}
+
+void rebalancer::note_depth(std::size_t idx, std::uint64_t depth) {
+  rank_depths_[idx].store(
+      depth == introspect::no_such_counter ? 0 : depth,
+      std::memory_order_relaxed);
+  if (probes_pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finish_round();
+  }
+}
+
+// Decide + act: runs inline in the last probe reply's delivery, so
+// everything here must stay non-blocking.
+void rebalancer::finish_round() {
+  const std::size_t n = rt_.num_localities();
+  const auto rank = rt_.rank();
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  have_samples_.store(true, std::memory_order_release);
+
+  std::uint64_t total = 0, max_depth = 0;
+  gas::locality_id deepest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t d = rank_depths_[i].load(std::memory_order_relaxed);
+    total += d;
+    if (d > max_depth) {
+      max_depth = d;
+      deepest = static_cast<gas::locality_id>(i);
+    }
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(n);
+  const double imbalance =
+      mean > 0.0 ? static_cast<double>(max_depth) / mean : 0.0;
+  last_imbalance_milli_.store(static_cast<std::uint64_t>(imbalance * 1000.0),
+                              std::memory_order_relaxed);
+
+  // Push-only: act only when *we* are the overloaded rank (we own the hot
+  // objects; every rank runs this same policy).
+  if (deepest != rank || max_depth < params_.min_depth ||
+      imbalance < params_.threshold) {
+    round_active_.store(false, std::memory_order_release);
+    return;
+  }
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<std::pair<std::uint64_t, gas::locality_id>> dests;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lid = static_cast<gas::locality_id>(i);
+    if (lid == rank) continue;
+    const std::uint64_t d = rank_depths_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(d) <= mean) dests.emplace_back(d, lid);
+  }
+  if (dests.empty()) {
+    round_active_.store(false, std::memory_order_release);
+    return;
+  }
+  std::sort(dests.begin(), dests.end());
+
+  // Act: ship the hottest migratable objects away through the async
+  // px.migrate_object handoff.  The sync-reject path (untagged, missing,
+  // already mid-flight) burns a heat-list slot, not migration budget —
+  // the list is oversampled for exactly that.  When heat names fewer
+  // candidates than the budget (a latency-bound backlog delivers too
+  // rarely for the 1-in-8 sampler to chart it), fall back to shedding any
+  // migratable resident: on a rank this imbalanced, moving something
+  // beats moving nothing.  Each issued handoff holds one round slot; its
+  // ack (or the sentinel drop below, if nothing issued) re-arms the latch.
+  round_slots_.store(1, std::memory_order_release);  // sentinel
+  std::vector<gas::gid> candidates;
+  for (const auto& [id, heat] :
+       rt_.here().hottest_objects(4u * params_.max_migrations)) {
+    (void)heat;
+    candidates.push_back(id);
+  }
+  for (const auto id : rt_.migratable_residents(4u * params_.max_migrations)) {
+    candidates.push_back(id);  // dup retries sync-reject on the claim; cheap
+  }
+  std::uint32_t issued = 0;
+  std::size_t next_dest = 0;
+  for (const auto id : candidates) {
+    if (issued >= params_.max_migrations) break;
+    const gas::locality_id to = dests[next_dest % dests.size()].second;
+    round_slots_.fetch_add(1, std::memory_order_relaxed);
+    const bool accepted = rt_.migrate_gid_async(id, to, [this](bool ok) {
+      if (ok) migrated_.fetch_add(1, std::memory_order_relaxed);
+      release_round_slot();
+    });
+    if (accepted) {
+      ++issued;
+      ++next_dest;
+    } else {
+      round_slots_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (issued > 0) {
+    PX_LOG_DEBUG("rebalancer: shipping %u hot objects off rank %u "
+                 "(imbalance %.2f, depth %llu)",
+                 issued, rank, imbalance,
+                 static_cast<unsigned long long>(max_depth));
+  }
+  release_round_slot();  // drop the sentinel
 }
 
 void rebalancer::rebalance_once() {
@@ -107,6 +272,11 @@ gas::locality_id rebalancer::place(
     const std::vector<gas::locality_id>& span, std::uint64_t rr) {
   const gas::locality_id fallback = span[rr % span.size()];
   if (!params_.enabled || span.size() < 2) return fallback;
+  // Distributed: remote depths come from the round fibers' last samples
+  // (a live read would cost a parcel round trip per spawn); until a first
+  // round has run there is nothing to steer by, so stay round-robin.
+  const bool dist = rt_.distributed();
+  if (dist && !have_samples_.load(std::memory_order_acquire)) return fallback;
   // Least-loaded placement over the span; round-robin breaks ties so a
   // balanced span degenerates to exactly the old static behaviour.  One
   // pass, one depth read per locality: re-reading the (constantly moving)
@@ -125,7 +295,9 @@ gas::locality_id rebalancer::place(
   std::uint64_t best = ~0ull;
   std::size_t ties = 0;
   for (std::size_t i = 0; i < span.size(); ++i) {
-    depths[i] = rt_.at(span[i]).sched().ready_estimate();
+    depths[i] = dist && span[i] != rt_.rank()
+                    ? rank_depths_[span[i]].load(std::memory_order_relaxed)
+                    : rt_.at(span[i]).sched().ready_estimate();
     if (depths[i] < best) {
       best = depths[i];
       ties = 1;

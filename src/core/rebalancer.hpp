@@ -26,10 +26,29 @@
 // locality lobbies for work on its own idle cycles) and the fabric
 // progress thread's idle callback (so a machine whose workers are all
 // pinned busy is still rebalanced from outside).
+//
+// Distributed mode (PR 5): the observe/decide/act loop crosses process
+// boundaries.  Sampling a remote rank's ready depth is a px.query_counter
+// parcel round trip and acting is a px.migrate_object handoff, so a round
+// is a *continuation chain*, never a blocking thread: poll() fires the
+// probes (query_counter_cb), each reply lands on the delivery thread and
+// counts down, the last one runs decide+act inline, and each issued
+// migration's ack releases its slot of the round latch.  Nothing in the
+// chain needs a fiber on the overloaded rank — critical, because that
+// rank's workers are exactly the ones monopolized by the backlog the
+// round exists to shed (a round fiber would starve behind it).
+// Decisions are *push-only and symmetric*: every rank runs the same
+// policy, but only the rank that observes itself deepest migrates — it
+// owns the hot objects, so no cross-rank coordination (or conflict) is
+// possible.  A round only fires while this rank has a real backlog
+// (ready depth >= min_depth); that gate is what lets the machine quiesce
+// — once the backlog drains no new round fires, so wait_quiescent's
+// fixed point stays reachable.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gas/gid.hpp"
@@ -49,8 +68,10 @@ struct rebalancer_params {
   // Object migrations per rebalance round (the next round re-evaluates,
   // so correction is incremental rather than oscillatory).
   std::uint32_t max_migrations = 4;
-  // Minimum spacing between rebalance rounds.
+  // Minimum spacing between rebalance rounds.  Distributed rounds cost
+  // parcel round trips, so they run at interval_us * dist_interval_mult.
   std::uint64_t interval_us = 200;
+  std::uint32_t dist_interval_mult = 16;
 };
 
 struct rebalancer_stats {
@@ -85,12 +106,31 @@ class rebalancer {
 
  private:
   void rebalance_once();
+  // Distributed round stages (see the class comment): gate + fire probes,
+  // per-reply countdown, decide + act, latch slot release.
+  void poll_distributed();
+  void start_round();
+  void note_depth(std::size_t idx, std::uint64_t depth);
+  void finish_round();
+  void release_round_slot();
 
   runtime& rt_;
   rebalancer_params params_;
 
   std::atomic<std::int64_t> last_poll_ns_{0};
   util::spinlock round_lock_;  // one rebalance round at a time
+
+  // Distributed state: last sampled ready depth per rank (place() reads
+  // them; probe replies write), the round-in-flight latch, and the two
+  // countdowns pacing a round's stages.  The depth-counter gids are
+  // resolved lazily inside the first round and touched only under the
+  // latch, so they need no lock.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> rank_depths_;
+  std::atomic<bool> have_samples_{false};
+  std::atomic<bool> round_active_{false};
+  std::atomic<std::uint32_t> probes_pending_{0};
+  std::atomic<std::uint32_t> round_slots_{0};  // issued migrations + sentinel
+  std::vector<gas::gid> depth_counter_gids_;
 
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> triggers_{0};

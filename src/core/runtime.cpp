@@ -53,6 +53,9 @@ runtime_params resolve_net(runtime_params p) {
   if (p.net.root.empty()) {
     p.net.root = cfg.get_string("net.root", "127.0.0.1:7733");
   }
+  if (p.net.migration < 0) {
+    p.net.migration = cfg.get_bool("migration", true) ? 1 : 0;
+  }
   PX_ASSERT_MSG(p.net.backend == "sim" || p.net.backend == "tcp",
                 "PX_NET_BACKEND must be \"sim\" or \"tcp\"");
   if (p.net.backend == "tcp") {
@@ -123,13 +126,11 @@ runtime::runtime(runtime_params params)
                   "rebalance.interval_us",
                   static_cast<std::int64_t>(rp.interval_us)));
   }
-  if (distributed_ && rp.enabled) {
-    // Objects never migrate across process boundaries (AGAS directories
-    // are home-partitioned per process), so adaptive migration is a
-    // single-process feature for now.
-    PX_LOG_WARN("rebalancer disabled: not supported on the tcp backend");
-    rp.enabled = false;
-  }
+  // Normalize the resolved toggles into params_ so rank 0's wire blob
+  // carries them (apply_wire_params overwrites them on other ranks — the
+  // whole machine must agree on routing/forwarding/rebalance behavior).
+  params_.rebalance = rp.enabled ? 1 : 0;
+  migration_enabled_ = distributed_ && params_.net.migration != 0;
 
   threads::scheduler_params sp;
   sp.workers = params_.workers_per_locality;
@@ -192,6 +193,19 @@ runtime::runtime(runtime_params params)
     transport_ = fabric_.get();
   }
 
+  // Re-read the toggles the exchange may have overwritten (rank 0's values
+  // win machine-wide).  Cross-process rebalancing *is* cross-process
+  // migration, so it cannot run with the protocol off.
+  rp.enabled = params_.rebalance != 0;
+  if (distributed_) {
+    migration_enabled_ = params_.net.migration != 0;
+    if (rp.enabled && !migration_enabled_) {
+      PX_LOG_WARN("rebalancer disabled: PX_MIGRATION=0 pins objects to "
+                  "their home ranks");
+      rp.enabled = false;
+    }
+  }
+
   pp.flush_bytes = params_.parcel_flush_bytes;
   pp.flush_count = std::max<std::uint32_t>(1, params_.parcel_flush_count);
 
@@ -211,7 +225,9 @@ runtime::runtime(runtime_params params)
   }
   balancer_ = std::make_unique<rebalancer>(*this, rp);
   if (rp.enabled) {
-    for (auto& loc : localities_) loc->enable_heat_tracking();
+    for (auto& loc : localities_) {
+      if (loc != nullptr) loc->enable_heat_tracking();
+    }
   }
 
   for (std::size_t i = 0; i < params_.localities; ++i) {
@@ -466,9 +482,15 @@ gas::locality_id runtime::owner_of(gas::locality_id from, gas::gid id) {
     return id.home();
   }
   if (distributed_ && id.home() != rank_) {
-    // Cross-process resolution is home-based: an object's directory shard
-    // lives in its home process and objects never migrate between
-    // processes, so the home is authoritative without any wire traffic.
+    // The authoritative directory shard lives in the home rank's process.
+    // With migration off the home *is* the owner by construction; with it
+    // on, a forwarding-cache hint (learned from a home forward's piggyback
+    // or an explicit px.agas_resolve) short-circuits the extra hop, and
+    // absent a hint the parcel routes to the home, whose directory
+    // forwards it onward — always correct, at most one hop stale.
+    if (migration_enabled_) {
+      if (const auto hint = agas_.cached(rank_, id)) return *hint;
+    }
     return id.home();
   }
   const auto owner = agas_.resolve(from, id);
@@ -635,6 +657,220 @@ bool runtime::rebalance_migrate(gas::gid id, gas::locality_id from,
   return true;
 }
 
+// ------------------------------------------------ cross-process migration
+
+namespace {
+
+// Receiving side of px.migrate_object: reconstruct, implant, flip the home
+// directory; the return value rides the continuation back to the source as
+// the acknowledgment that gates retiring its copy.  A typed action (the
+// handoff blocks on the home round trip, so it needs a fiber) — the
+// destination of a migration is a below-mean rank with worker headroom.
+std::uint8_t migrate_implant_action(parcel::migration_record rec);
+PX_REGISTER_ACTION_AS(migrate_implant_action, "px.migrate_object")
+
+std::uint8_t migrate_implant_action(parcel::migration_record rec) {
+  return this_locality()->rt().migrate_implant(rec);
+}
+
+// Home side of the directory flip.  Raw-registered (non-spawning, like
+// px.sink): a directory write is control plane and must not queue behind
+// user fibers — the home of a hot object is often exactly the monopolized
+// rank the migration is shedding load from, and a spawned handler there
+// would stall every handoff until the backlog drained.
+parcel::action_id agas_update_action_id() {
+  static const parcel::action_id id =
+      parcel::action_registry::global().register_action(
+          "px.agas_update", +[](void* ctx, const parcel::parcel_view& pv) {
+            auto* loc = static_cast<locality*>(ctx);
+            const auto args =
+                util::from_bytes<std::tuple<std::uint64_t, gas::locality_id>>(
+                    pv.arguments());
+            const std::uint8_t ok = loc->rt().apply_agas_update(
+                gas::gid::from_bits(std::get<0>(args)), std::get<1>(args));
+            send_continuation_reply(*loc, pv.cont(), util::to_bytes(ok));
+          });
+  return id;
+}
+
+// Eager: action ids are positional; every rank must mint this at boot.
+[[maybe_unused]] const parcel::action_id k_agas_update_registration =
+    agas_update_action_id();
+
+}  // namespace
+
+void runtime::tag_migratable_object(gas::gid id, std::string type_name) {
+  std::lock_guard lock(mig_types_lock_);
+  mig_types_[id] = std::move(type_name);
+}
+
+std::optional<std::string> runtime::migration_type_of(gas::gid id) const {
+  std::lock_guard lock(mig_types_lock_);
+  const auto it = mig_types_.find(id);
+  if (it == mig_types_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<gas::gid> runtime::migratable_residents(std::size_t max) const {
+  std::vector<gas::gid> tagged;
+  {
+    std::lock_guard lock(mig_types_lock_);
+    tagged.reserve(mig_types_.size());
+    for (const auto& [id, type] : mig_types_) {
+      (void)type;
+      tagged.push_back(id);
+    }
+  }
+  // Residency check outside the types lock (has_object takes the object
+  // table lock; never hold both).
+  std::vector<gas::gid> out;
+  const locality& here = *localities_[rank_];
+  for (const auto id : tagged) {
+    if (out.size() >= max) break;
+    if (here.has_object(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::uint8_t runtime::apply_agas_update(gas::gid id,
+                                        gas::locality_id new_owner) {
+  PX_ASSERT_MSG(!distributed_ || id.home() == rank_,
+                "px.agas_update landed off the home rank");
+  agas_.migrate(id, new_owner);
+  // Refresh this rank's own forwarding view too: routing from the home
+  // should go straight to the new owner, not through a stale cache entry
+  // that would bounce the parcel off the previous one.
+  agas_.note_owner(rank_, id, new_owner);
+  return 1;
+}
+
+std::uint8_t runtime::migrate_implant(const parcel::migration_record& rec) {
+  const gas::gid id = gas::gid::from_bits(rec.gid_bits);
+  const auto* vt = parcel::migratable_registry::global().find(rec.type_name);
+  PX_ASSERT_MSG(vt != nullptr,
+                "migration record names an unregistered type — ranks must "
+                "run the same binary with PX_REGISTER_MIGRATABLE in effect");
+  auto obj = vt->decode(rec.payload);
+  PX_ASSERT(obj != nullptr);
+  // Claim the gid for the whole implant, *including* the home round trip:
+  // the object must not be eligible for an onward migration until the
+  // home has acknowledged ours.  Without this, a chained A->B->C handoff
+  // could put B's and C's px.agas_update parcels on different connections
+  // and the home could apply them out of order, leaving the directory
+  // pointing at a rank that already retired its copy — a permanently
+  // stranded object.  Serializing handoff N+1 behind handoff N's home ack
+  // makes directory-update application order follow real time.
+  {
+    std::lock_guard lock(migrating_lock_);
+    const bool claimed = migrating_.insert(id).second;
+    PX_ASSERT_MSG(claimed,
+                  "migration implant for a gid already mid-handoff here");
+  }
+  tag_migratable_object(id, rec.type_name);
+  // Implant before the directory flips: from this moment a parcel landing
+  // here (raced ahead on a fresh hint) dispatches instead of bouncing.
+  here().put_object(id, std::move(obj));
+  if (id.home() == rank_) {
+    apply_agas_update(id, rank_);
+  } else {
+    lco::promise<std::uint8_t> prom;
+    auto fut = prom.get_future();
+    const parcel::continuation cont =
+        make_promise_sink<std::uint8_t>(here(), std::move(prom));
+    parcel::parcel p;
+    p.destination = locality_gid(id.home());
+    p.action = agas_update_action_id();
+    p.cont = cont;
+    p.arguments = util::to_bytes(
+        std::tuple<std::uint64_t, gas::locality_id>(id.bits(), rank_));
+    here().send(std::move(p));
+    const std::uint8_t ok = fut.get();
+    PX_ASSERT_MSG(ok == 1, "home rank refused the directory update");
+  }
+  agas_.note_owner(rank_, id, rank_);
+  {
+    std::lock_guard lock(migrating_lock_);
+    migrating_.erase(id);
+  }
+  return 1;
+}
+
+bool runtime::migrate_gid(gas::gid id, gas::locality_id to) {
+  if (id.kind() != gas::gid_kind::data) return false;
+  PX_ASSERT(to < params_.localities);
+  if (!distributed_) {
+    // Single-process: the untyped shared_ptr handoff already has the
+    // required ordering; reuse it (asking slot 0 exists in every shape).
+    const auto owner = agas_.resolve_authoritative(0, id);
+    if (!owner.has_value()) return false;
+    if (*owner == to) return true;
+    return rebalance_migrate(id, *owner, to);
+  }
+  if (to == rank_) return here().has_object(id);
+  PX_ASSERT_MSG(this_locality() != nullptr,
+                "migrate_gid must run on a ParalleX thread in distributed "
+                "mode (it blocks on the handoff acknowledgment)");
+  // The blocking form is the async handoff plus a future on the ack.
+  lco::promise<std::uint8_t> prom;
+  auto fut = prom.get_future();
+  const bool issued = migrate_gid_async(
+      id, to, [prom](bool ok) mutable { prom.set_value(ok ? 1 : 0); });
+  if (!issued) return false;
+  return fut.get() == 1;
+}
+
+bool runtime::migrate_gid_async(gas::gid id, gas::locality_id to,
+                                std::function<void(bool)> done) {
+  PX_ASSERT(distributed_);
+  if (id.kind() != gas::gid_kind::data || !migration_enabled_ ||
+      to == rank_ || to >= params_.localities) {
+    return false;
+  }
+  {
+    std::lock_guard lock(migrating_lock_);
+    if (!migrating_.insert(id).second) return false;
+  }
+  const auto obj = here().get_object(id);
+  const auto type = migration_type_of(id);
+  const parcel::migratable_registry::vtable* vt =
+      type.has_value() ? parcel::migratable_registry::global().find(*type)
+                       : nullptr;
+  if (obj == nullptr || vt == nullptr) {
+    std::lock_guard lock(migrating_lock_);
+    migrating_.erase(id);
+    return false;
+  }
+  parcel::migration_record rec;
+  rec.gid_bits = id.bits();
+  rec.type_name = *type;
+  rec.payload = vt->encode(obj);
+  // The ack continuation is a plain sink: its fire closure runs on the
+  // delivery thread and does only non-blocking work (same retire sequence
+  // as the blocking path).
+  const gas::gid sink = here().register_sink(
+      [this, id, to, done = std::move(done)](parcel::parcel) {
+        here().erase_object(id);
+        {
+          // Retire the type tag with the copy: the destination re-tagged
+          // on implant, and keeping ours would grow mig_types_ (and the
+          // rebalancer's residency scans) with every object that ever
+          // passed through this rank.
+          std::lock_guard lock(mig_types_lock_);
+          mig_types_.erase(id);
+        }
+        agas_.note_owner(rank_, id, to);
+        {
+          std::lock_guard lock(migrating_lock_);
+          migrating_.erase(id);
+        }
+        if (done) done(true);
+      });
+  apply_cont_from<&migrate_implant_action>(
+      here(), locality_gid(to),
+      parcel::continuation{sink, sink_action_id()}, rec);
+  return true;
+}
+
 namespace {
 
 // Built-in action: pop a stashed closure and run it as a thread here.
@@ -652,9 +888,11 @@ void runtime::remote_spawn(locality& from, gas::locality_id where,
                            std::function<void()> fn) {
   // The closure body crosses localities by reference through the shared
   // address space — an in-process shortcut by design, so it cannot cross
-  // a process boundary.  Typed actions (apply/async) serialize properly.
+  // a process boundary.  Typed actions (apply/async) and the tracked
+  // process::spawn_on<Fn> serialize properly and place work on any rank.
   PX_ASSERT_MSG(!distributed_ || where == rank_,
-                "remote_spawn cannot cross processes; use typed actions");
+                "remote_spawn cannot cross processes; use typed actions or "
+                "process::spawn_on<Fn>");
   std::uint64_t key;
   {
     std::lock_guard lock(closures_lock_);
@@ -696,21 +934,25 @@ std::string action_table_snapshot() {
   return out;
 }
 
-using wire_tuple = std::tuple<std::uint64_t, std::uint32_t, std::uint8_t,
-                              std::uint8_t, std::string>;
+using wire_tuple =
+    std::tuple<std::uint64_t, std::uint32_t, std::uint8_t, std::uint8_t,
+               std::uint8_t, std::uint8_t, std::string>;
 
 }  // namespace
 
 // Wire-relevant knobs every rank must agree on: ranks coalescing with
-// different flush thresholds or dropping at different forward bounds would
-// behave "the same program, different machine".  Rank 0's resolved values
-// (and its action table, for verification) ride the bootstrap table reply.
+// different flush thresholds, dropping at different forward bounds, or
+// disagreeing on whether objects may leave their home rank would behave
+// "the same program, different machine".  Rank 0's resolved values (and
+// its action table, for verification) ride the bootstrap table reply.
 std::vector<std::byte> runtime::encode_wire_params() const {
   return util::to_bytes(wire_tuple(
       static_cast<std::uint64_t>(params_.parcel_flush_bytes),
       params_.parcel_flush_count,
       static_cast<std::uint8_t>(params_.max_forwards),
       static_cast<std::uint8_t>(eager_flush_ ? 1 : 0),
+      static_cast<std::uint8_t>(params_.net.migration != 0 ? 1 : 0),
+      static_cast<std::uint8_t>(params_.rebalance != 0 ? 1 : 0),
       action_table_snapshot()));
 }
 
@@ -720,7 +962,9 @@ void runtime::apply_wire_params(std::span<const std::byte> blob) {
   params_.parcel_flush_count = std::get<1>(t);
   params_.max_forwards = std::get<2>(t);
   eager_flush_ = std::get<3>(t) != 0;
-  PX_ASSERT_MSG(std::get<4>(t) == action_table_snapshot(),
+  params_.net.migration = std::get<4>(t);
+  params_.rebalance = std::get<5>(t);
+  PX_ASSERT_MSG(std::get<6>(t) == action_table_snapshot(),
                 "ranks disagree on the registered action table — all ranks "
                 "must run the same binary, and actions used cross-process "
                 "must be registered eagerly (PX_REGISTER_ACTION)");

@@ -15,13 +15,22 @@
 //     locality per process, connected by net::tcp_transport over real
 //     sockets with a net::bootstrap control plane.  localities_ is sparse
 //     (only this rank's slot is populated; at() on a remote id asserts),
-//     ownership resolution for remotely-homed gids is home-based (objects
-//     do not migrate across processes, so the rebalancer is forced off and
-//     remote_spawn/migrate_object/echo are local-only), and wait_quiescent
-//     extends the local fixed point with a counting termination-detection
-//     collective over the bootstrap.  Boot-time gid allocation (locality
-//     gids, counter gids) replays identically in every process, so those
-//     names are machine-wide valid without any directory traffic.
+//     the AGAS directory shard for a gid lives in its *home rank's*
+//     process, and — since PR 5 — objects genuinely migrate between
+//     processes: migrate_gid() ships a registered-migratable object's
+//     state (parcel::migration_record) to the destination, which implants
+//     it, flips the home directory, and acks before the source retires its
+//     copy; parcels routed on stale knowledge heal through bounded home
+//     forwarding with piggybacked owner hints (gas/resolve.hpp), and the
+//     rebalancer issues cross-process migrations fed by cross-rank
+//     query_counter samples.  Closure-carrying calls (remote_spawn, echo,
+//     untyped process::spawn) remain local-only — closures cannot cross a
+//     process boundary; typed actions (and process::spawn_on<Fn>) are the
+//     cross-process vocabulary.  wait_quiescent extends the local fixed
+//     point with a counting termination-detection collective over the
+//     bootstrap.  Boot-time gid allocation (locality gids, counter gids)
+//     replays identically in every process, so those names are
+//     machine-wide valid without any directory traffic.
 #pragma once
 
 #include <atomic>
@@ -29,9 +38,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/locality.hpp"
@@ -44,6 +56,7 @@
 #include "net/fabric.hpp"
 #include "net/transport.hpp"
 #include "parcel/action_registry.hpp"
+#include "parcel/migration.hpp"
 #include "parcel/parcel.hpp"
 #include "util/config.hpp"
 
@@ -124,6 +137,11 @@ class runtime {
   gas::locality_id rank() const noexcept { return rank_; }
   // The locality this process hosts (rank in distributed mode, 0 here).
   locality& here() { return at(rank_); }
+  // Whether cross-process object migration (and the owner-hint forwarding
+  // protocol that serves it) is live.  Always false single-process —
+  // in-process migration needs no wire protocol; PX_MIGRATION=0 restores
+  // PR 4's static home-owned behavior on the tcp backend.
+  bool migration_enabled() const noexcept { return migration_enabled_; }
 
   gas::agas& gas() noexcept { return agas_; }
   gas::name_service& names() noexcept { return names_; }
@@ -221,6 +239,66 @@ class runtime {
   template <typename T>
   void migrate_object(gas::gid id, gas::locality_id to);
 
+  // Like new_object, but tags the gid with T's registered migratable type
+  // (PX_REGISTER_MIGRATABLE), making it eligible for *cross-process*
+  // migration (migrate_gid / the distributed rebalancer).  Untagged
+  // objects still migrate freely in-process.
+  template <typename T, typename... Args>
+  gas::gid new_migratable(gas::locality_id where, Args&&... args) {
+    const gas::gid id = new_object<T>(where, std::forward<Args>(args)...);
+    tag_migratable_object(id, parcel::migratable_type<T>::name());
+    return id;
+  }
+
+  // Moves object `id` to rank/locality `to`, by gid alone.  Single-process
+  // this is the untyped control-plane move (shared_ptr handoff).
+  // Distributed it is the px.migrate_object two-phase handoff: serialize
+  // the payload, implant at `to`, flip the home directory (home-mediated
+  // when home != to), then — only after the acknowledgment LCO fires —
+  // retire the source copy, so a racing parcel always finds the object
+  // wherever its resolution lands it.  Must run on a ParalleX thread of
+  // the owning rank in distributed mode (it blocks on the ack).  Returns
+  // false when the object is missing here, not data-kind, not tagged
+  // migratable (cross-process), or already mid-migration.
+  //
+  // Coherence caveat (documented, not checked): between implant and
+  // retire both ranks hold a copy and each dispatches the parcels that
+  // land on it, so an object whose *state* is mutated by actions should be
+  // quiescent while it migrates.  Delivery stays exactly-once per parcel
+  // throughout.
+  bool migrate_gid(gas::gid id, gas::locality_id to);
+
+  // Non-blocking form of the distributed handoff, for callers that cannot
+  // suspend (the rebalancer acts from the transport progress thread, where
+  // a fiber could starve behind the very backlog it is trying to shed).
+  // Returns true when the handoff was *issued* — the synchronous checks
+  // (data-kind, tagged migratable, present here, not already mid-flight)
+  // passed and the px.migrate_object parcel is on its way; `done(true)`
+  // then fires exactly once on the delivery thread after the ack retires
+  // the source copy.  Returns false (and never calls `done`) when the
+  // synchronous checks fail.
+  bool migrate_gid_async(gas::gid id, gas::locality_id to,
+                         std::function<void(bool)> done);
+
+  // Records/queries the migratable type name a gid was created under
+  // (new_migratable tags at creation; cross-process implants re-tag at the
+  // destination so onward migrations keep working).
+  void tag_migratable_object(gas::gid id, std::string type_name);
+  std::optional<std::string> migration_type_of(gas::gid id) const;
+
+  // Up to `max` migratable-tagged gids currently resident at this rank's
+  // locality.  The rebalancer's fallback candidate source: a latency-bound
+  // backlog delivers too rarely for the 1-in-8 heat sampler to name the
+  // hot objects, and on a deeply imbalanced rank shedding *any* resident
+  // beats shedding nothing.
+  std::vector<gas::gid> migratable_residents(std::size_t max) const;
+
+  // Internal: the receiving side of px.migrate_object (implant + directory
+  // flip), and the home side of the directory update.  Both run as typed
+  // actions (runtime.cpp).
+  std::uint8_t migrate_implant(const parcel::migration_record& rec);
+  std::uint8_t apply_agas_update(gas::gid id, gas::locality_id new_owner);
+
  private:
   friend class locality;
 
@@ -266,7 +344,17 @@ class runtime {
   // one lock for all of them is fine.
   util::spinlock migrate_lock_;
 
+  // Cross-process migration bookkeeping: which gids carry a registered
+  // migratable type (gid -> type name), and which are mid-handoff (the
+  // blocking migrate_gid protocol cannot hold a spinlock across its
+  // suspension points, so in-flight gids are claimed in a set instead).
+  mutable util::spinlock mig_types_lock_;
+  std::unordered_map<gas::gid, std::string> mig_types_;
+  util::spinlock migrating_lock_;
+  std::unordered_set<gas::gid> migrating_;
+
   bool eager_flush_ = true;  // resolved from params/env in the ctor
+  bool migration_enabled_ = false;  // cross-process protocol (tcp only)
   bool distributed_ = false;
   gas::locality_id rank_ = 0;  // this process's locality (0 when sim)
   bool started_ = false;

@@ -115,6 +115,27 @@ void agas::invalidate_cache(locality_id asking, gid id) {
   c.entries.erase(id);
 }
 
+std::optional<locality_id> agas::cached(locality_id asking, gid id) {
+  PX_ASSERT(asking < caches_.size());
+  cache& c = *caches_[asking];
+  std::lock_guard lock(c.lock);
+  const auto it = c.entries.find(id);
+  if (it == c.entries.end()) return std::nullopt;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void agas::note_owner(locality_id asking, gid id, locality_id owner) {
+  PX_ASSERT(asking < caches_.size());
+  PX_ASSERT(id.valid());
+  cache& c = *caches_[asking];
+  std::lock_guard lock(c.lock);
+  const auto [it, inserted] = c.entries.try_emplace(id, owner);
+  if (inserted || it->second == owner) return;  // fresh or already right
+  it->second = owner;
+  stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 agas_stats agas::stats() const {
   agas_stats st;
   st.binds = binds_.load(std::memory_order_relaxed);

@@ -9,6 +9,19 @@
 // re-resolution and cache refresh).  This is the paper's "efficient address
 // translation ... in the presence of dynamic object distribution" without
 // requiring global coherence.
+//
+// Distributed mode (PR 5): every process constructs the same shard/cache
+// geometry, but only the shard of its *own rank* is populated — the home
+// directory for a gid physically lives in the home rank's process, and it
+// is the single authority for that gid machine-wide.  The local cache slot
+// of the process's rank doubles as its *forwarding cache* for
+// remotely-homed gids: entries arrive as owner hints piggybacked by home
+// ranks when they forward a parcel (gas/resolve.hpp), or from an explicit
+// px.agas_resolve round trip, and are only ever hints — a parcel routed on
+// a stale one lands at the old owner and heals through home forwarding.
+// cached()/note_owner() are that hint surface; the directory methods
+// (bind/unbind/migrate/resolve_authoritative) must only be called for gids
+// homed at this process's rank.
 #pragma once
 
 #include <atomic>
@@ -62,6 +75,17 @@ class agas {
 
   // Drops a cached translation (e.g. after the runtime observed it stale).
   void invalidate_cache(locality_id asking, gid id);
+
+  // Cache-only lookup: the hint `asking` holds for `id`, without touching
+  // the home directory (which may live in another process).  Counts as a
+  // cache hit when present; absence is not counted as a miss — the caller
+  // falls back to home routing, not to an authoritative lookup here.
+  std::optional<locality_id> cached(locality_id asking, gid id);
+
+  // Installs/overwrites a forwarding hint in `asking`'s cache (an owner
+  // hint learned from the wire).  Overwrites count as stale_refreshes —
+  // the cache held a translation that just got corrected.
+  void note_owner(locality_id asking, gid id, locality_id owner);
 
   agas_stats stats() const;
 

@@ -10,18 +10,58 @@ namespace {
 // Runs at the counter's home locality: sample the registry and return the
 // value through the continuation.  The destination gid doubles as the
 // argument so the handler knows which counter was addressed.
-std::uint64_t read_counter_action(std::uint64_t gid_bits) {
-  core::locality* here = core::this_locality();
-  const auto value =
-      here->rt().introspection().read(gas::gid::from_bits(gid_bits));
-  return value.value_or(no_such_counter);
+//
+// Raw-registered (non-spawning, like px.sink): a counter read is a
+// spinlocked map lookup plus a relaxed-atomic sample, and the rank being
+// interrogated is typically the *overloaded* one — a spawned handler
+// would queue the measurement behind the very backlog it is measuring.
+parcel::action_id query_counter_action_id() {
+  static const parcel::action_id id =
+      parcel::action_registry::global().register_action(
+          "px.query_counter", +[](void* ctx, const parcel::parcel_view& pv) {
+            auto* loc = static_cast<core::locality*>(ctx);
+            const auto bits =
+                util::from_bytes<std::uint64_t>(pv.arguments());
+            const auto value =
+                loc->rt().introspection().read(gas::gid::from_bits(bits));
+            core::send_continuation_reply(
+                *loc, pv.cont(),
+                util::to_bytes(value.value_or(no_such_counter)));
+          });
+  return id;
 }
-PX_REGISTER_ACTION_AS(read_counter_action, "px.query_counter")
+
+// Eager: action ids are positional; every rank mints this at boot.
+[[maybe_unused]] const parcel::action_id k_query_counter_registration =
+    query_counter_action_id();
+
+void send_query(core::locality& from, gas::gid id,
+                parcel::continuation cont) {
+  parcel::parcel p;
+  p.destination = id;
+  p.action = query_counter_action_id();
+  p.cont = cont;
+  p.arguments = util::to_bytes(id.bits());
+  from.send(std::move(p));
+}
 
 }  // namespace
 
 lco::future<std::uint64_t> query_counter(core::locality& from, gas::gid id) {
-  return core::async_from<&read_counter_action>(from, id, id.bits());
+  lco::promise<std::uint64_t> prom;
+  auto fut = prom.get_future();
+  send_query(from, id,
+             core::make_promise_sink<std::uint64_t>(from, std::move(prom)));
+  return fut;
+}
+
+void query_counter_cb(core::locality& from, gas::gid id,
+                      std::function<void(std::uint64_t)> cb) {
+  const gas::gid sink = from.register_sink(
+      [cb = std::move(cb)](parcel::parcel p) {
+        cb(util::from_bytes<std::uint64_t>(p.arguments));
+      });
+  send_query(from, id, parcel::continuation{sink, core::sink_action_id()});
 }
 
 std::optional<lco::future<std::uint64_t>> query_counter(

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 
@@ -27,6 +28,13 @@ inline constexpr std::uint64_t no_such_counter = ~0ull;
 // Reads counter `id` at its home locality.  `from` is the asking locality;
 // the returned future is satisfied by the reply parcel.
 lco::future<std::uint64_t> query_counter(core::locality& from, gas::gid id);
+
+// Callback form: same px.query_counter round trip, but the reply fires
+// `cb(value)` on the delivery thread instead of satisfying a future — for
+// callers that must not block (the distributed rebalancer samples from
+// the transport progress thread).  `cb` must be cheap and non-blocking.
+void query_counter_cb(core::locality& from, gas::gid id,
+                      std::function<void(std::uint64_t)> cb);
 
 // Path-addressed form: resolves the hierarchical path in the (shared)
 // symbolic name space first; nullopt when the path names no counter.

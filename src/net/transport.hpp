@@ -37,17 +37,24 @@ using endpoint_id = std::uint32_t;
 // default resolves from the PX_NET_* environment in the runtime ctor (the
 // launcher's channel to its ranks); explicit values win.
 //
-//   backend  ""  -> PX_NET_BACKEND -> "sim"      "sim" | "tcp"
-//   rank     -1  -> PX_NET_RANK    -> 0          this process's locality id
-//   ranks    0   -> PX_NET_RANKS                 total processes (tcp only)
-//   listen   ""  -> PX_NET_LISTEN  -> "127.0.0.1:0"   data-plane bind
-//   root     ""  -> PX_NET_ROOT    -> "127.0.0.1:7733" rank 0 control addr
+//   backend   ""  -> PX_NET_BACKEND -> "sim"      "sim" | "tcp"
+//   rank      -1  -> PX_NET_RANK    -> 0          this process's locality id
+//   ranks     0   -> PX_NET_RANKS                 total processes (tcp only)
+//   listen    ""  -> PX_NET_LISTEN  -> "127.0.0.1:0"   data-plane bind
+//   root      ""  -> PX_NET_ROOT    -> "127.0.0.1:7733" rank 0 control addr
+//   migration -1  -> PX_MIGRATION   -> 1 (on)     cross-process AGAS moves
 struct net_params {
   std::string backend;
   std::int64_t rank = -1;
   std::int64_t ranks = 0;
   std::string listen;
   std::string root;
+  // Cross-process object migration (tcp backend): tri-state so "unset"
+  // resolves from the environment.  Rank 0's resolved value rides the
+  // bootstrap wire-params blob — migration changes how *every* rank routes
+  // and forwards, so the machine must agree.  0 restores PR 4's static
+  // home-owned PGAS behavior.
+  std::int64_t migration = -1;
 };
 
 struct message {

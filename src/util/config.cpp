@@ -109,4 +109,29 @@ std::string config::env_name_for(const std::string& key) {
   return name;
 }
 
+std::vector<knob_info> config::known_knobs() {
+  auto knob = [](const char* key, const char* summary) {
+    return knob_info{key, env_name_for(key), summary};
+  };
+  return {
+      knob("net.backend", "transport backend: \"sim\" or \"tcp\""),
+      knob("net.rank", "this process's locality id (tcp)"),
+      knob("net.ranks", "total rank count (tcp, required)"),
+      knob("net.listen", "data-plane bind address (tcp)"),
+      knob("net.root", "rank 0 bootstrap listen address (tcp)"),
+      knob("migration", "cross-process object migration on/off (tcp)"),
+      knob("parcel.flush_bytes", "coalesced-frame byte threshold"),
+      knob("parcel.flush_count", "coalesced-frame parcel-count threshold"),
+      knob("parcel.eager_flush", "first-parcel eager flush on/off"),
+      knob("rebalance", "adaptive rebalancer on/off"),
+      knob("rebalance.threshold", "max/mean ready-depth trigger ratio"),
+      knob("rebalance.min_depth", "minimum deepest-queue depth to act"),
+      knob("rebalance.max_migrations", "object migrations per round"),
+      knob("rebalance.interval_us", "minimum spacing between rounds"),
+      // util/log resolves this one directly (not through config), but it
+      // is part of the supported environment surface all the same.
+      knob("log.level", "log verbosity: debug|info|warn|error|off"),
+  };
+}
+
 }  // namespace px::util

@@ -10,8 +10,16 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace px::util {
+
+// One entry of the runtime's supported-knob table (see config::known_knobs).
+struct knob_info {
+  std::string key;       // dotted config key, e.g. "parcel.flush_bytes"
+  std::string env;       // matching environment variable, e.g. PX_PARCEL_...
+  std::string summary;   // one-line meaning (docs/counters.md is the prose)
+};
 
 class config {
  public:
@@ -37,6 +45,15 @@ class config {
   bool get_bool(const std::string& key, bool fallback) const;
 
   static std::string env_name_for(const std::string& key);
+
+  // The authoritative list of PX_* knobs the runtime resolves through this
+  // class (plus PX_LOG_LEVEL, which util/log reads directly).  Kept here —
+  // next to the lookup machinery — so there is exactly one place to extend
+  // when a knob is added; the doc-consistency test (tests/test_docs.cpp)
+  // asserts every entry is documented in docs/counters.md, accepted by the
+  // environment-loading path, and that no undocumented PX_* appears in the
+  // docs, so the reference cannot rot in either direction.
+  static std::vector<knob_info> known_knobs();
 
  private:
   std::optional<std::string> raw(const std::string& key) const;

@@ -13,14 +13,21 @@
 // bootstrap control plane).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <thread>
 
 #include "core/action.hpp"
+#include "core/percolation.hpp"
+#include "core/process.hpp"
 #include "core/runtime.hpp"
 #include "distributed_helpers.hpp"
 #include "introspect/query.hpp"
+#include "parcel/migration.hpp"
 
 namespace {
 
@@ -201,6 +208,447 @@ TEST(Distributed, LinkCountersSeeRealTraffic) {
     return;
   }
   px::test::run_ranks(2, "Distributed.LinkCountersSeeRealTraffic");
+}
+
+// ===================================================================
+// Cross-process AGAS migration (PR 5).
+//
+// Phase discipline: every rt.run() below is a collective — each phase ends
+// at *global* quiescence, so a phase's parcels (including owner hints and
+// handoff acks) are fully drained before the next phase's assertions read
+// local state.
+
+// A migratable payload every rank can reconstruct (same binary).
+struct mig_payload {
+  std::uint64_t value = 0;
+
+  template <typename Ar>
+  friend void serialize(Ar& ar, mig_payload& p) {
+    ar& p.value;
+  }
+};
+PX_REGISTER_MIGRATABLE(mig_payload)
+
+constexpr std::size_t kMaxObjs = 16;
+std::array<std::atomic<std::uint64_t>, kMaxObjs> g_objs{};
+void announce_obj(std::uint64_t slot, std::uint64_t bits) {
+  g_objs[slot].store(bits);
+}
+PX_REGISTER_ACTION(announce_obj)
+
+// Dispatch counter: bumps wherever the destination object currently lives,
+// so per-process sums measure exactly-once delivery under migration.
+std::atomic<std::uint64_t> g_pokes{0};
+void poke() { g_pokes.fetch_add(1); }
+PX_REGISTER_ACTION(poke)
+
+// Book-keeping report each rank sends to rank 0 from a snapshot taken at a
+// globally quiescent point: the machine-wide parcel conservation law is
+//   sum(sent) == sum(delivered - forwarded) + sum(dropped)
+// (delivered counts every landing, forwarded subtracts the re-routed ones,
+// dropped accounts parcels retired by the hop bound).
+struct books {
+  std::atomic<std::uint64_t> reports{0};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> forwarded{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> pokes_dispatched{0};
+  std::atomic<std::uint64_t> pokes_sent{0};
+};
+books g_books;
+
+void report_books(std::uint64_t sent, std::uint64_t delivered,
+                  std::uint64_t forwarded, std::uint64_t dropped,
+                  std::uint64_t pokes_dispatched, std::uint64_t pokes_sent) {
+  g_books.sent.fetch_add(sent);
+  g_books.delivered.fetch_add(delivered);
+  g_books.forwarded.fetch_add(forwarded);
+  g_books.dropped.fetch_add(dropped);
+  g_books.pokes_dispatched.fetch_add(pokes_dispatched);
+  g_books.pokes_sent.fetch_add(pokes_sent);
+  g_books.reports.fetch_add(1);
+}
+PX_REGISTER_ACTION(report_books)
+
+// Snapshot local books (call only between collective runs) and ship them
+// to rank 0 inside one more collective run; returns after it completes.
+void gather_books(runtime& rt, std::uint64_t pokes_sent_here) {
+  const auto st = rt.here().stats();
+  const std::uint64_t pokes_here = g_pokes.load();
+  // Barrier before reporting: the quiescence verdict reaches the non-root
+  // ranks slightly before rank 0 returns from the collective, so without
+  // this a fast rank's report parcel can land on rank 0 *before* rank 0
+  // snapshots — inflating its delivered count with a post-snapshot send.
+  // An empty collective cannot complete until every rank (and so every
+  // snapshot above) has entered it.
+  rt.run([] {});
+  rt.run([&] {
+    core::apply<&report_books>(rt.locality_gid(0), st.parcels_sent,
+                               st.parcels_delivered, st.parcels_forwarded,
+                               st.parcels_dropped, pokes_here,
+                               pokes_sent_here);
+  });
+}
+
+void expect_conservation() {
+  EXPECT_EQ(g_books.sent.load(),
+            g_books.delivered.load() - g_books.forwarded.load() +
+                g_books.dropped.load());
+  EXPECT_EQ(g_books.pokes_dispatched.load(), g_books.pokes_sent.load());
+}
+
+// An object migrates home -> rank 1 -> rank 2 while every rank keeps
+// poking it; dispatches land wherever the object is, senders converge via
+// piggybacked owner hints, stale hints self-correct, and the machine-wide
+// books reconcile exactly-once delivery.
+TEST(Distributed, MigrationMovesObjectAndParcelsFollow4) {
+  constexpr std::uint64_t kPokes = 40;
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    ASSERT_TRUE(rt.migration_enabled());
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+    std::uint64_t pokes_sent_here = 0;
+
+    // Phase 1: rank 0 creates the migratable object and announces its gid.
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      const gas::gid o = rt.new_migratable<mig_payload>(0, 7ull);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        core::apply<&announce_obj>(rt.locality_gid(r), 0ull, o.bits());
+      }
+    });
+    const gas::gid o = gas::gid::from_bits(g_objs[0].load());
+    ASSERT_TRUE(o.valid());
+
+    // Phase 2: everyone pokes the object at its home.
+    rt.run([&] {
+      for (std::uint64_t i = 0; i < kPokes; ++i) core::apply<&poke>(o);
+    });
+    pokes_sent_here += kPokes;
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_pokes.load(), n * kPokes);
+    }
+
+    // Phase 3: migrate off the home rank.
+    rt.run([&] {
+      if (rt.rank() == 0) {
+        EXPECT_TRUE(rt.migrate_gid(o, 1));
+      }
+    });
+    if (rt.rank() == 0) {
+      EXPECT_FALSE(rt.here().has_object(o));
+      const auto owner = rt.gas().resolve_authoritative(0, o);
+      ASSERT_TRUE(owner.has_value());
+      EXPECT_EQ(*owner, 1u);
+    }
+    if (rt.rank() == 1) {
+      EXPECT_TRUE(rt.here().has_object(o));
+    }
+
+    // Phase 4: everyone pokes again — senders route via home forwarding
+    // and converge on direct routing through the piggybacked hints.
+    rt.run([&] {
+      for (std::uint64_t i = 0; i < kPokes; ++i) core::apply<&poke>(o);
+    });
+    pokes_sent_here += kPokes;
+    if (rt.rank() == 1) {
+      EXPECT_EQ(g_pokes.load(), n * kPokes);
+    }
+    if (rt.rank() >= 2) {
+      const auto hint = rt.gas().cached(rt.rank(), o);
+      ASSERT_TRUE(hint.has_value());
+      EXPECT_EQ(*hint, 1u);
+    }
+
+    // Barrier: the hint assertions above must finish on every rank before
+    // any rank starts phase 5 (its implant would legitimately rewrite
+    // rank 2's hint mid-assertion).
+    rt.run([] {});
+
+    // Phase 5: migrate again (initiated by the *current* owner, not the
+    // home), leaving rank 2+'s hints stale.
+    rt.run([&] {
+      if (rt.rank() == 1) {
+        EXPECT_TRUE(rt.migrate_gid(o, 2));
+      }
+    });
+
+    // Phase 6: rank 3 pokes on its stale hint — the parcel lands at the
+    // ex-owner, gets invalidated+rerouted via home, and still dispatches
+    // exactly once at rank 2.
+    rt.run([&] {
+      if (rt.rank() != 3) return;
+      for (std::uint64_t i = 0; i < kPokes; ++i) core::apply<&poke>(o);
+    });
+    if (rt.rank() == 3) pokes_sent_here += kPokes;
+    if (rt.rank() == 2) {
+      EXPECT_EQ(g_pokes.load(), kPokes);
+    }
+
+    gather_books(rt, pokes_sent_here);
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_books.reports.load(), n);
+      EXPECT_EQ(g_books.dropped.load(), 0u);
+      expect_conservation();
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.MigrationMovesObjectAndParcelsFollow4");
+}
+
+// With the forward budget at zero, a parcel that needs even one home
+// forward is dropped with a diagnostic and the conservation books still
+// reconcile; the piggybacked hint (sent before the drop) lets the next
+// poke route directly and land.
+TEST(Distributed, ForwardBoundExhaustedDropsWithDiagnostic) {
+  if (px::test::is_rank_child()) {
+    runtime_params p;
+    p.max_forwards = 0;
+    runtime rt(p);
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      const gas::gid o = rt.new_migratable<mig_payload>(0, 1ull);
+      for (std::uint32_t r = 0; r < 3; ++r) {
+        core::apply<&announce_obj>(rt.locality_gid(r), 0ull, o.bits());
+      }
+    });
+    const gas::gid o = gas::gid::from_bits(g_objs[0].load());
+
+    rt.run([&] {
+      if (rt.rank() == 0) {
+        EXPECT_TRUE(rt.migrate_gid(o, 1));
+      }
+    });
+
+    // One poke from rank 2: home-routed, needs a forward, budget is 0.
+    rt.run([&] {
+      if (rt.rank() == 2) core::apply<&poke>(o);
+    });
+    if (rt.rank() == 0) {
+      EXPECT_EQ(rt.here().stats().parcels_dropped, 1u);
+    }
+    if (rt.rank() == 1) {
+      EXPECT_EQ(g_pokes.load(), 0u);
+    }
+    if (rt.rank() == 2) {
+      // The hint still arrived (feedback precedes the drop)...
+      const auto hint = rt.gas().cached(rt.rank(), o);
+      ASSERT_TRUE(hint.has_value());
+      EXPECT_EQ(*hint, 1u);
+    }
+
+    // Barrier: rank 1's zero-dispatch assertion must land before rank 2's
+    // retry can reach it.
+    rt.run([] {});
+
+    // ...so the retry routes directly and dispatches.
+    rt.run([&] {
+      if (rt.rank() == 2) core::apply<&poke>(o);
+    });
+    if (rt.rank() == 1) {
+      EXPECT_EQ(g_pokes.load(), 1u);
+    }
+
+    gather_books(rt, rt.rank() == 2 ? 2u : 0u);
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_books.dropped.load(), 1u);
+      EXPECT_EQ(g_books.sent.load(),
+                g_books.delivered.load() - g_books.forwarded.load() +
+                    g_books.dropped.load());
+      // One of the two pokes was dropped, one dispatched.
+      EXPECT_EQ(g_books.pokes_dispatched.load(), 1u);
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(3, "Distributed.ForwardBoundExhaustedDropsWithDiagnostic");
+}
+
+// Migration storm: rank 0 migrates a whole population of hot objects while
+// every rank keeps a parcel storm pointed at them.  Every poke dispatches
+// exactly once somewhere, nothing drops, and the books reconcile.
+TEST(Distributed, MigrationStorm4) {
+  constexpr std::size_t kObjs = 6;
+  constexpr std::uint64_t kPokes = 25;  // per rank per object
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      for (std::size_t i = 0; i < kObjs; ++i) {
+        const gas::gid o = rt.new_migratable<mig_payload>(0, i);
+        for (std::uint32_t r = 0; r < n; ++r) {
+          core::apply<&announce_obj>(rt.locality_gid(r), i, o.bits());
+        }
+      }
+    });
+
+    // One collective run: the storm races the migrations.
+    rt.run([&] {
+      if (rt.rank() == 0) {
+        // Interleave: migrate each object away mid-storm.
+        for (std::size_t i = 0; i < kObjs; ++i) {
+          for (std::uint64_t k = 0; k < kPokes; ++k) {
+            core::apply<&poke>(gas::gid::from_bits(g_objs[i].load()));
+          }
+          EXPECT_TRUE(rt.migrate_gid(gas::gid::from_bits(g_objs[i].load()),
+                                     1 + static_cast<gas::locality_id>(
+                                             i % (n - 1))));
+        }
+      } else {
+        for (std::size_t i = 0; i < kObjs; ++i) {
+          for (std::uint64_t k = 0; k < kPokes; ++k) {
+            core::apply<&poke>(gas::gid::from_bits(g_objs[i].load()));
+          }
+        }
+      }
+    });
+
+    gather_books(rt, kObjs * kPokes);
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_books.reports.load(), n);
+      EXPECT_EQ(g_books.dropped.load(), 0u);
+      EXPECT_EQ(g_books.pokes_dispatched.load(),
+                static_cast<std::uint64_t>(n) * kObjs * kPokes);
+      expect_conservation();
+      // The population really left home.
+      EXPECT_EQ(rt.here().object_count(), 0u);
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.MigrationStorm4");
+}
+
+// End-to-end adaptive loop over real sockets: a skewed message-driven
+// workload pinned to rank 0, the distributed rebalancer sampling remote
+// ready depths via query_counter and shipping hot objects away through
+// px.migrate_object — chains follow their objects, every hop dispatches
+// exactly once, and rank 0 ends the run lighter than it started.
+std::atomic<std::uint64_t> g_hops_done{0};
+void dist_chain_hop(std::uint64_t gid_bits, std::uint32_t remaining) {
+  // A short blocking service hold: queued hops behind it wait, which is
+  // what builds the ready-depth skew the rebalancer feeds on.
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+  g_hops_done.fetch_add(1);
+  if (remaining > 0) {
+    core::apply<&dist_chain_hop>(gas::gid::from_bits(gid_bits), gid_bits,
+                                 remaining - 1);
+  }
+}
+PX_REGISTER_ACTION(dist_chain_hop)
+
+std::uint64_t hops_report() { return g_hops_done.load(); }
+PX_REGISTER_ACTION(hops_report)
+
+TEST(Distributed, RebalancerMigratesAcrossRanks4) {
+  constexpr std::size_t kObjs = 10;
+  constexpr std::uint32_t kHops = 50;
+  if (px::test::is_rank_child()) {
+    runtime_params p;
+    p.rebalance = 1;
+    p.rebalance_min_depth = 4;
+    p.rebalance_interval_us = 50;  // x dist_interval_mult between rounds
+    runtime rt(p);
+    ASSERT_TRUE(rt.balancer().enabled());
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      for (std::size_t i = 0; i < kObjs; ++i) {
+        const gas::gid o = rt.new_migratable<mig_payload>(0, i);
+        for (std::uint32_t r = 0; r < n; ++r) {
+          core::apply<&announce_obj>(rt.locality_gid(r), i, o.bits());
+        }
+      }
+    });
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      for (std::size_t i = 0; i < kObjs; ++i) {
+        core::apply<&dist_chain_hop>(gas::gid::from_bits(g_objs[i].load()),
+                                     g_objs[i].load(), kHops - 1);
+      }
+    });
+
+    // Exactly-once across the machine: gather per-rank hop counts.
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      std::uint64_t total = 0;
+      for (std::uint32_t r = 0; r < n; ++r) {
+        total += core::async<&hops_report>(rt.locality_gid(r)).get();
+      }
+      EXPECT_EQ(total, static_cast<std::uint64_t>(kObjs) * kHops);
+    });
+    if (rt.rank() == 0) {
+      EXPECT_GE(rt.balancer().stats().objects_migrated, 1u);
+      EXPECT_LT(rt.here().object_count(), kObjs);
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.RebalancerMigratesAcrossRanks4");
+}
+
+// Typed tracked children place work on any rank of a process span: the
+// activity token is taken at the primary before the parcel ships and a
+// px.process_credit parcel returns it when the child retires, so
+// terminated() observes genuinely remote work.
+std::atomic<std::uint64_t> g_child_runs{0};
+void child_work(std::uint64_t x) { g_child_runs.fetch_add(x); }
+PX_REGISTER_PROCESS_CHILD(child_work)
+
+TEST(Distributed, ProcessSpawnsTypedChildrenAcrossRanks) {
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      std::vector<gas::locality_id> span;
+      for (std::uint32_t r = 0; r < n; ++r) span.push_back(r);
+      auto proc = core::create_process(rt, span);
+      // Rebalancer off => spawn_any degenerates to round-robin: exactly
+      // three children per rank.
+      for (int i = 0; i < 12; ++i) proc->spawn_any<&child_work>(1ull);
+      proc->seal();
+      proc->terminated().get();
+    });
+    EXPECT_EQ(g_child_runs.load(), 3u);
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.ProcessSpawnsTypedChildrenAcrossRanks");
+}
+
+// Percolation across a process boundary: the staging credit a source
+// acquires for a remote target must flow back to the *source's* window
+// when the task retires (px.percolate_release), or the window wedges shut
+// after staging_slots tasks.  40 sequential percolations through a
+// 16-slot window prove the credits recycle.
+std::uint64_t perc_task(std::uint64_t x) { return x * 2; }
+PX_REGISTER_PERCOLATABLE(perc_task)
+
+TEST(Distributed, PercolateAcrossRanksRecyclesSlots) {
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      for (std::uint64_t i = 0; i < 40; ++i) {
+        auto fut = core::percolate<&perc_task>(1, i);
+        EXPECT_EQ(fut.get(), 2 * i);
+      }
+    });
+    if (rt.rank() == 0) {
+      EXPECT_EQ(rt.percolation_mgr().stats().tasks_percolated, 40u);
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(2, "Distributed.PercolateAcrossRanksRecyclesSlots");
 }
 
 }  // namespace

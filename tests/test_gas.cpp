@@ -342,4 +342,46 @@ TEST(NameService, RejectsMalformedPaths) {
   EXPECT_EQ(ns.size(), 0u);
 }
 
+// Forwarding-cache hint surface (distributed AGAS, PR 5): cache-only
+// lookups never touch the directory, note_owner installs/corrects hints,
+// and invalidation clears them.
+TEST(Agas, CachedAndNoteOwnerManageForwardingHints) {
+  agas g(4);
+  const gid id = g.allocate(gid_kind::data, 0);
+  // No directory entry needed: hints live purely in the asking cache.
+  EXPECT_FALSE(g.cached(2, id).has_value());
+  g.note_owner(2, id, 1);
+  auto hint = g.cached(2, id);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 1u);
+  // Re-installing the identical value is convergence, not a correction:
+  // the stale_refreshes counter must not move.
+  const auto before = g.stats().stale_refreshes;
+  g.note_owner(2, id, 1);
+  EXPECT_EQ(g.stats().stale_refreshes, before);
+  // Overwriting with a *different* owner counts as a stale refresh.
+  g.note_owner(2, id, 3);
+  EXPECT_EQ(g.stats().stale_refreshes, before + 1);
+  hint = g.cached(2, id);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 3u);
+  // Hints are per asking locality.
+  EXPECT_FALSE(g.cached(1, id).has_value());
+  g.invalidate_cache(2, id);
+  EXPECT_FALSE(g.cached(2, id).has_value());
+}
+
+TEST(Agas, CachedLookupCountsAsHit) {
+  agas g(2);
+  const gid id = g.allocate(gid_kind::data, 0);
+  g.note_owner(1, id, 0);
+  const auto hits = g.stats().cache_hits;
+  ASSERT_TRUE(g.cached(1, id).has_value());
+  EXPECT_EQ(g.stats().cache_hits, hits + 1);
+  // A miss is not an authoritative lookup: the miss counter must not move.
+  const auto misses = g.stats().cache_misses;
+  EXPECT_FALSE(g.cached(0, id).has_value());
+  EXPECT_EQ(g.stats().cache_misses, misses);
+}
+
 }  // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker.
+
+Walks README.md and docs/*.md, extracts [text](target) links, and fails
+on any relative target that does not resolve to a file in the repository
+(anchors are checked against the target file's headings).  External
+links (scheme://) are ignored — CI must not depend on the network.
+
+Usage: python3 tools/check_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.M)
+# Inline code/fences can contain pseudo-links; strip them first.
+CODE_RE = re.compile(r"```.*?```|`[^`]*`", re.S)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (close enough for ASCII headings)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path: str) -> set[str]:
+    with open(path, encoding="utf-8") as f:
+        text = CODE_RE.sub("", f.read())
+    return {slugify(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(md_path: str, root: str) -> list[str]:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        text = CODE_RE.sub("", f.read())
+    base = os.path.dirname(md_path)
+    for target in LINK_RE.findall(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{os.path.relpath(md_path, root)}: broken "
+                              f"link target '{target}'")
+                continue
+        else:
+            resolved = md_path  # pure-anchor link into this file
+        if anchor and resolved.endswith(".md"):
+            if anchor not in headings_of(resolved):
+                errors.append(f"{os.path.relpath(md_path, root)}: anchor "
+                              f"'#{anchor}' not found in "
+                              f"{os.path.relpath(resolved, root)}")
+    return errors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = [os.path.join(root, "README.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files += sorted(
+            os.path.join(docs, f) for f in os.listdir(docs)
+            if f.endswith(".md"))
+    errors = []
+    checked = 0
+    for md in files:
+        if not os.path.exists(md):
+            errors.append(f"missing expected file: {os.path.relpath(md, root)}")
+            continue
+        errors += check_file(md, root)
+        checked += 1
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
