@@ -1,0 +1,416 @@
+// PATTERNS-1: the composable pattern library on a real kernel — image
+// grayscale + 3x3 convolution expressed as pipeline(stage_gray ->
+// stage_sum(nested map_reduce)) — against a plain std::thread baseline
+// doing the identical arithmetic.
+//
+// Two measured modes, one output file (BENCH_patterns.json):
+//
+//   * sim: 4 localities in this process, ParalleX patterns vs a threaded
+//     band-pool with the same worker count;
+//   * tcp: the binary forks itself into 4 ranks (distributed_pingpong
+//     idiom) and runs the *same pattern code* over real sockets — the
+//     point being that the pattern expression did not change, only the
+//     environment did.  Rank 0 reports its wall time through a temp file
+//     named on the child's command line.
+//
+// All arithmetic is integer, so every mode must land the same checksum.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+#include "patterns/patterns.hpp"
+#include "util/subproc.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace px;
+
+struct dims {
+  std::uint32_t w, h, band;
+};
+
+dims pick_dims() {
+  return bench::smoke_mode() ? dims{128, 96, 8} : dims{512, 384, 16};
+}
+
+// Deterministic synthetic source; identical in every process and mode.
+inline std::uint8_t src_r(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>((x * 3 + y * 5) & 0xff);
+}
+inline std::uint8_t src_g(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>((x * 7 + y * 11) & 0xff);
+}
+inline std::uint8_t src_b(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>((x * 13 + y * 17) & 0xff);
+}
+inline std::uint8_t gray_at(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>(
+      (77u * src_r(x, y) + 150u * src_g(x, y) + 29u * src_b(x, y)) >> 8);
+}
+
+constexpr int kKernel[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};  // /16
+
+inline std::uint32_t clamp_u(int v, int hi) {
+  return static_cast<std::uint32_t>(v < 0 ? 0 : (v > hi ? hi : v));
+}
+
+// ------------------------------------------------------------ wire types
+
+struct band_desc {
+  std::uint32_t y0 = 0, y1 = 0, w = 0, h = 0;
+};
+template <typename Ar>
+void serialize(Ar& ar, band_desc& b) {
+  ar & b.y0 & b.y1 & b.w & b.h;
+}
+
+struct gray_band {
+  std::uint32_t y0 = 0, y1 = 0, w = 0, h = 0, gy0 = 0;
+  std::vector<std::uint8_t> gray;
+};
+template <typename Ar>
+void serialize(Ar& ar, gray_band& b) {
+  ar & b.y0 & b.y1 & b.w & b.h & b.gy0 & b.gray;
+}
+
+// --------------------------------------------------------------- stages
+
+gray_band stage_gray(band_desc d) {
+  gray_band gb;
+  gb.y0 = d.y0;
+  gb.y1 = d.y1;
+  gb.w = d.w;
+  gb.h = d.h;
+  gb.gy0 = d.y0 == 0 ? 0 : d.y0 - 1;
+  const std::uint32_t gy1 = d.y1 + 1 > d.h ? d.h : d.y1 + 1;
+  gb.gray.resize(static_cast<std::size_t>(gy1 - gb.gy0) * d.w);
+  for (std::uint32_t y = gb.gy0; y < gy1; ++y) {
+    for (std::uint32_t x = 0; x < d.w; ++x) {
+      gb.gray[static_cast<std::size_t>(y - gb.gy0) * d.w + x] = gray_at(x, y);
+    }
+  }
+  return gb;
+}
+
+std::mutex g_bands_lock;
+std::unordered_map<std::uint64_t, std::shared_ptr<const gray_band>> g_bands;
+
+std::uint64_t sum_rows(std::uint64_t band_key, std::uint64_t begin,
+                       std::uint64_t end) {
+  std::shared_ptr<const gray_band> band;
+  {
+    std::lock_guard g(g_bands_lock);
+    band = g_bands.at(band_key);
+  }
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const std::uint32_t y = band->y0 + static_cast<std::uint32_t>(i);
+    for (std::uint32_t x = 0; x < band->w; ++x) {
+      unsigned acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::uint32_t yy = clamp_u(static_cast<int>(y) + dy,
+                                           static_cast<int>(band->h) - 1);
+          const std::uint32_t xx = clamp_u(static_cast<int>(x) + dx,
+                                           static_cast<int>(band->w) - 1);
+          acc += static_cast<unsigned>(kKernel[dy + 1][dx + 1]) *
+                 band->gray[static_cast<std::size_t>(yy - band->gy0) *
+                                band->w +
+                            xx];
+        }
+      }
+      sum += acc / 16;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t add_u64(std::uint64_t a, std::uint64_t b) { return a + b; }
+
+// Rank-0 accumulator for per-band results (untracked parcels; the driver
+// waits on the semaphore, which only exists while a run is in flight).
+std::atomic<std::uint64_t> g_sum{0};
+lco::counting_semaphore* g_bands_done = nullptr;
+
+void band_done(std::uint64_t band_sum) {
+  g_sum.fetch_add(band_sum, std::memory_order_relaxed);
+  g_bands_done->release(1);
+}
+PX_REGISTER_ACTION(band_done)
+
+void stage_sum(gray_band gb) {
+  const std::uint64_t key = gb.y0;
+  const std::uint64_t rows = gb.y1 - gb.y0;
+  core::runtime& rt = core::this_locality()->rt();
+  {
+    std::lock_guard g(g_bands_lock);
+    g_bands.emplace(key, std::make_shared<const gray_band>(std::move(gb)));
+  }
+  std::vector<gas::locality_id> nested_span;
+  if (rt.distributed()) {
+    nested_span.push_back(rt.rank());
+  } else {
+    for (std::size_t i = 0; i < rt.num_localities(); ++i) {
+      nested_span.push_back(static_cast<gas::locality_id>(i));
+    }
+  }
+  const std::uint64_t band_sum = patterns::map_reduce<&sum_rows, &add_u64>(
+      rt, std::move(nested_span), rows, /*chunk=*/2, /*ctx=*/key,
+      /*nested=*/true);
+  {
+    std::lock_guard g(g_bands_lock);
+    g_bands.erase(key);
+  }
+  core::apply<&band_done>(rt.locality_gid(0), band_sum);
+}
+
+PX_REGISTER_PIPELINE("bsum", &stage_gray, &stage_sum)
+PX_REGISTER_MAP_REDUCE(sum_rows, add_u64)
+
+// ------------------------------------------------------------- baselines
+
+std::uint64_t serial_checksum(dims d) {
+  std::uint64_t sum = 0;
+  for (std::uint32_t y = 0; y < d.h; ++y) {
+    for (std::uint32_t x = 0; x < d.w; ++x) {
+      unsigned acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          acc += static_cast<unsigned>(kKernel[dy + 1][dx + 1]) *
+                 gray_at(clamp_u(static_cast<int>(x) + dx,
+                                 static_cast<int>(d.w) - 1),
+                         clamp_u(static_cast<int>(y) + dy,
+                                 static_cast<int>(d.h) - 1));
+        }
+      }
+      sum += acc / 16;
+    }
+  }
+  return sum;
+}
+
+// Plain threads, same arithmetic, same band decomposition: a band pool
+// with work stealing via an atomic band cursor.
+std::uint64_t g_baseline_sum;
+double baseline_threaded_ms(dims d, unsigned nthreads) {
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint32_t> next{0};
+  const std::uint32_t bands = (d.h + d.band - 1) / d.band;
+  const double ms = bench::time_ms([&] {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < nthreads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t b = next.fetch_add(1);
+          if (b >= bands) return;
+          const std::uint32_t y0 = b * d.band;
+          const std::uint32_t y1 = y0 + d.band > d.h ? d.h : y0 + d.band;
+          // Grayscale the band (with halo) into a buffer, then convolve —
+          // the same two passes the pipeline stages perform.
+          gray_band gb = stage_gray(band_desc{y0, y1, d.w, d.h});
+          std::uint64_t band_sum = 0;
+          for (std::uint32_t y = y0; y < y1; ++y) {
+            for (std::uint32_t x = 0; x < d.w; ++x) {
+              unsigned acc = 0;
+              for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                  const std::uint32_t yy = clamp_u(
+                      static_cast<int>(y) + dy, static_cast<int>(d.h) - 1);
+                  const std::uint32_t xx = clamp_u(
+                      static_cast<int>(x) + dx, static_cast<int>(d.w) - 1);
+                  acc += static_cast<unsigned>(kKernel[dy + 1][dx + 1]) *
+                         gb.gray[static_cast<std::size_t>(yy - gb.gy0) *
+                                     d.w +
+                                 xx];
+                }
+              }
+              band_sum += acc / 16;
+            }
+          }
+          sum.fetch_add(band_sum, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  });
+  g_baseline_sum = sum.load();
+  return ms;
+}
+
+// ------------------------------------------------------- pattern driver
+
+// Runs the pipeline(map_reduce) composition on `rt` — identical for the
+// sim and tcp shapes.  Returns wall ms on the driving rank; fills *sum.
+double run_patterns_ms(core::runtime& rt, dims d, std::uint64_t* sum) {
+  double ms = 0;
+  rt.run([&] {
+    if (rt.distributed() && rt.rank() != 0) return;
+    lco::counting_semaphore done{0};
+    g_sum.store(0);
+    g_bands_done = &done;
+    std::uint32_t bands = 0;
+    ms = bench::time_ms([&] {
+      std::vector<gas::locality_id> span;
+      for (std::size_t i = 0; i < rt.num_localities(); ++i) {
+        span.push_back(static_cast<gas::locality_id>(i));
+      }
+      patterns::pipeline<&stage_gray, &stage_sum> pipe(rt, span,
+                                                       /*window=*/4);
+      for (std::uint32_t y0 = 0; y0 < d.h; y0 += d.band) {
+        pipe.push(band_desc{y0, y0 + d.band > d.h ? d.h : y0 + d.band, d.w,
+                            d.h});
+        bands += 1;
+      }
+      pipe.close();
+      for (std::uint32_t b = 0; b < bands; ++b) done.acquire();
+    });
+    *sum = g_sum.load();
+    g_bands_done = nullptr;
+  });
+  return ms;
+}
+
+// ----------------------------------------------------------- tcp shape
+
+int dist_rank_main(dims d, const char* out_path) {
+  core::runtime rt;  // tcp backend resolved from the launcher's PX_NET_* env
+  std::uint64_t sum = 0;
+  const double ms = run_patterns_ms(rt, d, &sum);
+  int rc = 0;
+  if (rt.rank() == 0) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_patterns: cannot write %s\n", out_path);
+      rc = 1;
+    } else {
+      std::fprintf(f, "%.3f %llu\n", ms,
+                   static_cast<unsigned long long>(sum));
+      std::fclose(f);
+    }
+  }
+  rt.stop();
+  return rc;
+}
+
+// Launches 4 TCP ranks of this binary; returns {ms, sum} via *ms/*sum and
+// true on success.
+bool run_dist(double* ms, std::uint64_t* sum) {
+  const int nranks = 4;
+  const int root_port = util::pick_free_tcp_port();
+  const std::string out_path = "BENCH_patterns_dist.tmp";
+  std::remove(out_path.c_str());
+  const std::vector<std::string> argv = {util::self_exe_path(), "--dist-out",
+                                         out_path};
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nranks; ++r) {
+    pids.push_back(
+        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+  }
+  int failures = 0;
+  for (int r = 0; r < nranks; ++r) {
+    if (util::wait_exit(pids[r]) != 0) failures += 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_patterns: %d tcp rank(s) failed\n", failures);
+    return false;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "r");
+  if (f == nullptr) return false;
+  unsigned long long s = 0;
+  const bool ok = std::fscanf(f, "%lf %llu", ms, &s) == 2;
+  std::fclose(f);
+  std::remove(out_path.c_str());
+  *sum = s;
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace px;
+  const dims d = pick_dims();
+
+  const char* dist_out = nullptr;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--dist-out") == 0) dist_out = argv[i + 1];
+  }
+  if (std::getenv("PX_NET_RANK") != nullptr && dist_out != nullptr) {
+    return dist_rank_main(d, dist_out);
+  }
+
+  bench::banner(
+      "PATTERNS-1 / composable patterns on a convolution kernel",
+      "\"a process may have many parts ... running concurrently and "
+      "distributed across many execution sites\" — the same "
+      "pipeline(map_reduce) expression runs unchanged over the modeled "
+      "fabric and real sockets.");
+
+  const std::uint64_t expect = serial_checksum(d);
+  const std::uint32_t bands = (d.h + d.band - 1) / d.band;
+
+  // Sim shape: 4 localities x 2 workers, vs 8 plain threads.
+  const double base_ms = baseline_threaded_ms(d, 8);
+  const bool base_ok = g_baseline_sum == expect;
+
+  core::runtime_params p;
+  p.localities = 4;
+  p.workers_per_locality = 2;
+  core::runtime rt(p);
+  std::uint64_t sim_sum = 0;
+  const double sim_ms = run_patterns_ms(rt, d, &sim_sum);
+  rt.stop();
+  const bool sim_ok = sim_sum == expect;
+
+  // TCP shape: same pattern code, 4 real processes on loopback.
+  double dist_ms = 0;
+  std::uint64_t dist_sum = 0;
+  const bool dist_ran = run_dist(&dist_ms, &dist_sum);
+  const bool dist_ok = dist_ran && dist_sum == expect;
+
+  util::text_table table(
+      {"mode", "workers", "wall (ms)", "checksum ok"});
+  table.add_row("threads", 8, base_ms, static_cast<std::int64_t>(base_ok));
+  table.add_row("patterns/sim", 8, sim_ms,
+                static_cast<std::int64_t>(sim_ok));
+  table.add_row("patterns/tcp x4", 8, dist_ms,
+                static_cast<std::int64_t>(dist_ok));
+  char caption[128];
+  std::snprintf(caption, sizeof caption,
+                "%ux%u image, %u bands, 3x3 convolution, checksum %llu",
+                d.w, d.h, bands, static_cast<unsigned long long>(expect));
+  table.print(caption);
+  std::printf("%s", table.render_csv().c_str());
+
+  bench::json_writer json;
+  json.add("bench", std::string("patterns"));
+  json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
+  json.add("width", static_cast<std::int64_t>(d.w));
+  json.add("height", static_cast<std::int64_t>(d.h));
+  json.add("bands", static_cast<std::int64_t>(bands));
+  json.add("checksum", static_cast<std::int64_t>(expect));
+  json.add("baseline_threads", static_cast<std::int64_t>(8));
+  json.add("baseline_ms", base_ms);
+  json.add("baseline_ok", static_cast<std::int64_t>(base_ok ? 1 : 0));
+  json.add("sim_ms", sim_ms);
+  json.add("sim_ok", static_cast<std::int64_t>(sim_ok ? 1 : 0));
+  json.add("tcp_ranks", static_cast<std::int64_t>(4));
+  json.add("tcp_ms", dist_ms);
+  json.add("tcp_ok", static_cast<std::int64_t>(dist_ok ? 1 : 0));
+  json.write("BENCH_patterns.json");
+
+  return base_ok && sim_ok && dist_ok ? 0 : 1;
+}

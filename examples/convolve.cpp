@@ -1,0 +1,309 @@
+// Image grayscale + 3x3 convolution as a nested pattern composition:
+//
+//   pipeline( stage_gray -> stage_conv( map_reduce over band rows ) )
+//
+// Row bands flow through a two-stage pipeline whose stages are tracked
+// process children placed by spawn_any over the whole span; stage B runs a
+// *nested* map_reduce over its band's rows (the pattern-in-pattern proof),
+// then ships the convolved rows to a rank-0 collector.  All arithmetic is
+// integer, so the result is pixel-exact against the serial reference.
+//
+// Like distributed_pingpong, this binary is its own launcher:
+//
+//   ./example_convolve                 # sim: 4 localities, one process
+//   ./example_convolve --ranks 4      # forks itself into 4 TCP ranks
+//
+// The rank body is identical in both modes — only the environment differs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/action.hpp"
+#include "patterns/patterns.hpp"
+#include "util/subproc.hpp"
+
+namespace {
+
+using namespace px;
+
+constexpr std::uint32_t kW = 96;
+constexpr std::uint32_t kH = 64;
+constexpr std::uint32_t kBandRows = 8;
+
+// Deterministic synthetic RGB source (any rank can regenerate any pixel).
+inline std::uint8_t src_r(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>((x * 3 + y * 5) & 0xff);
+}
+inline std::uint8_t src_g(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>((x * 7 + y * 11) & 0xff);
+}
+inline std::uint8_t src_b(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>((x * 13 + y * 17) & 0xff);
+}
+
+// Integer ITU-ish grayscale: exact on every platform.
+inline std::uint8_t gray_at(std::uint32_t x, std::uint32_t y) {
+  return static_cast<std::uint8_t>(
+      (77u * src_r(x, y) + 150u * src_g(x, y) + 29u * src_b(x, y)) >> 8);
+}
+
+constexpr int kKernel[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};  // /16
+
+// ------------------------------------------------------------ wire types
+
+struct band_desc {
+  std::uint64_t collector_bits = 0;
+  std::uint32_t y0 = 0, y1 = 0, w = 0, h = 0;
+};
+template <typename Ar>
+void serialize(Ar& ar, band_desc& b) {
+  ar & b.collector_bits & b.y0 & b.y1 & b.w & b.h;
+}
+
+// Grayscale band rows [gy0, gy0 + rows), including one halo row beyond
+// each edge of [y0, y1) where the image provides one.
+struct gray_band {
+  std::uint64_t collector_bits = 0;
+  std::uint32_t y0 = 0, y1 = 0, w = 0, h = 0, gy0 = 0;
+  std::vector<std::uint8_t> gray;
+};
+template <typename Ar>
+void serialize(Ar& ar, gray_band& b) {
+  ar & b.collector_bits & b.y0 & b.y1 & b.w & b.h & b.gy0 & b.gray;
+}
+
+using row_list =
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>>;
+
+// ------------------------------------------------- rank-0 result collector
+
+struct collector {
+  collector(std::uint32_t w, std::uint32_t h)
+      : width(w), out(static_cast<std::size_t>(w) * h) {}
+  std::uint32_t width;
+  std::vector<std::uint8_t> out;
+  util::spinlock lock;
+  lco::counting_semaphore bands_done{0};
+};
+
+void collect_rows(std::uint64_t collector_bits, row_list rows) {
+  core::locality* here = core::this_locality();
+  auto obj = here->get_object(gas::gid::from_bits(collector_bits));
+  PX_ASSERT_MSG(obj != nullptr, "collect_rows landed off rank 0");
+  auto coll = std::static_pointer_cast<collector>(obj);
+  {
+    std::lock_guard g(coll->lock);
+    for (auto& [y, row] : rows) {
+      std::memcpy(coll->out.data() + y * coll->width, row.data(),
+                  row.size());
+    }
+  }
+  coll->bands_done.release(1);
+}
+PX_REGISTER_ACTION(collect_rows)
+
+// -------------------------------------------------------- pipeline stages
+
+// Stage A: grayscale the band (with halo) from the deterministic source.
+gray_band stage_gray(band_desc d) {
+  gray_band gb;
+  gb.collector_bits = d.collector_bits;
+  gb.y0 = d.y0;
+  gb.y1 = d.y1;
+  gb.w = d.w;
+  gb.h = d.h;
+  gb.gy0 = d.y0 == 0 ? 0 : d.y0 - 1;
+  const std::uint32_t gy1 = std::min(d.h, d.y1 + 1);
+  gb.gray.resize(static_cast<std::size_t>(gy1 - gb.gy0) * d.w);
+  for (std::uint32_t y = gb.gy0; y < gy1; ++y) {
+    for (std::uint32_t x = 0; x < d.w; ++x) {
+      gb.gray[static_cast<std::size_t>(y - gb.gy0) * d.w + x] = gray_at(x, y);
+    }
+  }
+  return gb;
+}
+
+// Stage B stages its band here so the nested map tasks (which receive only
+// an opaque ctx word) can reach it; erased once the band is reduced.
+std::mutex g_bands_lock;
+std::unordered_map<std::uint64_t, std::shared_ptr<const gray_band>> g_bands;
+
+row_list conv_rows(std::uint64_t band_key, std::uint64_t begin,
+                   std::uint64_t end) {
+  std::shared_ptr<const gray_band> band;
+  {
+    std::lock_guard g(g_bands_lock);
+    band = g_bands.at(band_key);
+  }
+  row_list out;
+  out.reserve(end - begin);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const std::uint32_t y = band->y0 + static_cast<std::uint32_t>(i);
+    std::vector<std::uint8_t> row(band->w);
+    for (std::uint32_t x = 0; x < band->w; ++x) {
+      unsigned acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const auto yy = static_cast<std::uint32_t>(std::clamp<int>(
+              static_cast<int>(y) + dy, 0, static_cast<int>(band->h) - 1));
+          const auto xx = static_cast<std::uint32_t>(std::clamp<int>(
+              static_cast<int>(x) + dx, 0, static_cast<int>(band->w) - 1));
+          acc += static_cast<unsigned>(kKernel[dy + 1][dx + 1]) *
+                 band->gray[static_cast<std::size_t>(yy - band->gy0) *
+                                band->w +
+                            xx];
+        }
+      }
+      row[x] = static_cast<std::uint8_t>(acc / 16);
+    }
+    out.emplace_back(y, std::move(row));
+  }
+  return out;
+}
+
+row_list concat_rows(row_list a, row_list b) {
+  a.insert(a.end(), std::make_move_iterator(b.begin()),
+           std::make_move_iterator(b.end()));
+  return a;
+}
+
+// Stage B: nested map_reduce over the band's rows, then ship the result.
+void stage_conv(gray_band gb) {
+  const std::uint64_t cbits = gb.collector_bits;
+  const std::uint64_t key = gb.y0;
+  const std::uint64_t rows = gb.y1 - gb.y0;
+  core::runtime& rt = core::this_locality()->rt();
+  {
+    std::lock_guard g(g_bands_lock);
+    g_bands.emplace(key, std::make_shared<const gray_band>(std::move(gb)));
+  }
+  // Nested pattern: the band's data is rank-local, so the nested span is
+  // this rank alone in distributed mode (and every locality in sim).
+  std::vector<gas::locality_id> nested_span;
+  if (rt.distributed()) {
+    nested_span.push_back(rt.rank());
+  } else {
+    for (std::size_t i = 0; i < rt.num_localities(); ++i) {
+      nested_span.push_back(static_cast<gas::locality_id>(i));
+    }
+  }
+  row_list result = patterns::map_reduce<&conv_rows, &concat_rows>(
+      rt, std::move(nested_span), rows, /*chunk=*/2, /*ctx=*/key,
+      /*nested=*/true);
+  {
+    std::lock_guard g(g_bands_lock);
+    g_bands.erase(key);
+  }
+  core::apply<&collect_rows>(gas::gid::from_bits(cbits), cbits,
+                             std::move(result));
+}
+
+PX_REGISTER_PIPELINE("conv", &stage_gray, &stage_conv)
+PX_REGISTER_MAP_REDUCE(conv_rows, concat_rows)
+
+// ------------------------------------------------------------ the driver
+
+std::vector<std::uint8_t> serial_reference() {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(kW) * kH);
+  for (std::uint32_t y = 0; y < kH; ++y) {
+    for (std::uint32_t x = 0; x < kW; ++x) {
+      unsigned acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const auto yy = static_cast<std::uint32_t>(
+              std::clamp<int>(static_cast<int>(y) + dy, 0, kH - 1));
+          const auto xx = static_cast<std::uint32_t>(
+              std::clamp<int>(static_cast<int>(x) + dx, 0, kW - 1));
+          acc += static_cast<unsigned>(kKernel[dy + 1][dx + 1]) *
+                 gray_at(xx, yy);
+        }
+      }
+      out[static_cast<std::size_t>(y) * kW + x] =
+          static_cast<std::uint8_t>(acc / 16);
+    }
+  }
+  return out;
+}
+
+int run_body() {
+  core::runtime_params p;
+  p.localities = 4;
+  p.workers_per_locality = 2;
+  core::runtime rt(p);  // tcp backend + rank resolved from PX_NET_* if set
+  int result = 0;
+  rt.run([&] {
+    if (rt.distributed() && rt.rank() != 0) return;  // SPMD peers serve
+    const gas::gid cid = rt.new_object<collector>(0, kW, kH);
+    auto coll = rt.get_local<collector>(0, cid);
+
+    std::vector<gas::locality_id> span;
+    for (std::size_t i = 0; i < rt.num_localities(); ++i) {
+      span.push_back(static_cast<gas::locality_id>(i));
+    }
+    patterns::pipeline<&stage_gray, &stage_conv> pipe(rt, span,
+                                                      /*window=*/4);
+    std::uint32_t bands = 0;
+    for (std::uint32_t y0 = 0; y0 < kH; y0 += kBandRows) {
+      pipe.push(band_desc{cid.bits(), y0, std::min(kH, y0 + kBandRows), kW,
+                          kH});
+      bands += 1;
+    }
+    pipe.close();  // every band has left every stage
+    for (std::uint32_t b = 0; b < bands; ++b) coll->bands_done.acquire();
+
+    const auto ref = serial_reference();
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (coll->out[i] != ref[i]) mismatches += 1;
+    }
+    std::printf("convolve: %ux%u image, %u bands over %zu localities%s: %s "
+                "(%zu mismatching pixels)\n",
+                kW, kH, bands, rt.num_localities(),
+                rt.distributed() ? " [tcp]" : " [sim]",
+                mismatches == 0 ? "OK" : "FAIL", mismatches);
+    result = mismatches == 0 ? 0 : 1;
+  });
+  rt.stop();
+  return result;
+}
+
+int run_launcher(int nranks) {
+  const int root_port = util::pick_free_tcp_port();
+  std::printf("launching %d ranks (root 127.0.0.1:%d)...\n", nranks,
+              root_port);
+  const std::vector<std::string> argv = {util::self_exe_path(), "--ranks",
+                                         std::to_string(nranks)};
+  std::vector<pid_t> pids;
+  for (int r = 0; r < nranks; ++r) {
+    pids.push_back(
+        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+  }
+  int failures = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const int code = util::wait_exit(pids[r]);
+    if (code != 0) {
+      std::fprintf(stderr, "rank %d failed (exit %d)\n", r, code);
+      failures += 1;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int ranks = 0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--ranks") == 0) ranks = std::atoi(argv[i + 1]);
+  }
+  if (std::getenv("PX_NET_RANK") != nullptr) return run_body();
+  if (ranks > 1) return run_launcher(ranks);
+  return run_body();
+}

@@ -32,6 +32,13 @@ double transform_block(std::vector<double> block) {
 }
 PX_REGISTER_ACTION(transform_block)
 
+// Stage C's atomic-section bodies (typed actions since PR 6).
+void add_to_total(double& total, double r) { total += r; }
+PX_REGISTER_ATOMIC_SECTION(double, add_to_total)
+
+double read_total(double& total) { return total; }
+PX_REGISTER_ATOMIC_SECTION(double, read_total)
+
 }  // namespace
 
 int main() {
@@ -73,16 +80,14 @@ int main() {
               const double r = fut.get();
               dv.write(r);  // single-assignment dataflow variable
               // Stage C: atomic section at the accumulator's location.
-              accumulator.atomically([r](double& total) { total += r; })
-                  .wait();
+              accumulator.atomically<&add_to_total>(r).wait();
               wave.signal();
             });
           });
     }
     wave.wait();
 
-    grand_total =
-        accumulator.atomically([](double& total) { return total; }).get();
+    grand_total = accumulator.atomically<&read_total>().get();
 
     // Cross-check against the dataflow variables.
     double check = 0;

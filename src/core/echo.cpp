@@ -53,11 +53,19 @@ echo_manager::table& echo_manager::table_at(gas::locality_id at) {
 
 gas::gid echo_manager::create(gas::locality_id home,
                               std::vector<std::byte> initial) {
+  // Distributed: the home rank's AGAS shard (and its sequence counter) is
+  // the single authority for gids homed there, so creation must run in the
+  // home rank's process; other ranks attach by gid (echo<T>(gid)) and pull
+  // their first replica through the fetch-on-first-read path.
+  PX_ASSERT_MSG(!rt_.distributed() || home == rt_.rank(),
+                "distributed echo objects must be created at their home "
+                "rank; attach elsewhere with echo<T>(gid)");
   const gas::gid id = rt_.gas().allocate(gas::gid_kind::data, home);
   rt_.gas().bind(id, home);
   // Control-plane setup: implant the replica tree (paper: "the tree of
-  // equivalent locations") at every locality.
+  // equivalent locations") at every locality this process hosts.
   for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (rt_.distributed() && i != rt_.rank()) continue;
     table& t = *tables_[i];
     std::lock_guard lock(t.lock);
     t.entries.emplace(id, replica{initial, 1});
@@ -77,8 +85,19 @@ echo_manager::replica echo_manager::read_replica(gas::locality_id at,
 std::pair<std::vector<std::byte>, std::uint64_t> echo_manager::read(
     gas::locality_id at, gas::gid id) {
   reads_.fetch_add(1, std::memory_order_relaxed);
-  replica r = read_replica(at, id);
-  return {std::move(r.value), r.version};
+  {
+    table& t = table_at(at);
+    std::lock_guard lock(t.lock);
+    const auto it = t.entries.find(id);
+    if (it != t.entries.end()) return {it->second.value, it->second.version};
+  }
+  // First touch of an object created in another process (gid attach): pull
+  // the authoritative copy once and implant it — subsequent reads are the
+  // usual zero-latency optimistic replica hits.  Blocks the calling fiber
+  // on the round trip, like any split-phase wait.
+  auto fetched = fetch(rt_.at(at), id).get();
+  replica_update(at, id, fetched.second, fetched.first);
+  return fetched;
 }
 
 lco::future<bool> echo_manager::commit(locality& from, gas::gid id,
@@ -133,9 +152,10 @@ void echo_manager::replica_update(gas::locality_id at, gas::gid id,
                                   std::vector<std::byte> value) {
   table& t = table_at(at);
   std::lock_guard lock(t.lock);
-  const auto it = t.entries.find(id);
-  PX_ASSERT_MSG(it != t.entries.end(), "echo update for unknown object");
-  if (version > it->second.version) {
+  // Insert-if-absent: an update broadcast (or a fetch-on-first-read) may be
+  // this rank's first sight of an object created in another process.
+  const auto [it, inserted] = t.entries.try_emplace(id);
+  if (inserted || version > it->second.version) {
     it->second.version = version;
     it->second.value = std::move(value);
   }

@@ -109,6 +109,9 @@ class echo {
  public:
   echo() = default;
   echo(runtime& rt, gas::locality_id home, const T& initial);
+  // Attaches to an echo object created in another process (gid learned out
+  // of band); the first read pulls the replica from the home.
+  explicit echo(gas::gid id) : id_(id) {}
 
   gas::gid id() const noexcept { return id_; }
   bool valid() const noexcept { return id_.valid(); }

@@ -47,22 +47,100 @@ void process::spawn_any(std::function<void()> fn) {
 
 // The credit parcel's landing site is the process gid itself, which AGAS
 // resolves to the primary locality — where the token counter lives.
-void process_credit_action(std::uint64_t proc_bits) {
+void process_credit_action(std::uint64_t proc_bits, std::uint64_t n) {
   locality* here = this_locality();
   auto obj = here->get_object(gas::gid::from_bits(proc_bits));
   PX_ASSERT_MSG(obj != nullptr,
                 "process credit parcel landed off the primary");
-  std::static_pointer_cast<process>(obj)->complete_one();
+  std::static_pointer_cast<process>(obj)->complete_n(n);
 }
 PX_REGISTER_ACTION_AS(process_credit_action, "px.process_credit")
 
+namespace {
+
+// Drains one edge ledger whose last local child / split credit just
+// retired: returns its owed credits upstream in a single batched parcel.
+// Racing re-entries are benign — a new child arriving on this edge after
+// the drain simply reopens the owed count, and the upstream counter it
+// draws on cannot have drained (its issuer still holds the credit that
+// covers the child in flight).
+void process_site_return(std::uint64_t proc_bits, std::uint64_t edge) {
+  locality* here = this_locality();
+  runtime& rt = here->rt();
+  process_site& site = rt.process_sites().site(proc_bits);
+  std::uint32_t parent_rank = kProcessParentPrimary;
+  std::uint64_t parent_edge = kProcessNoEdge;
+  std::uint64_t owed = 0;
+  {
+    std::lock_guard g(site.lock);
+    edge_ledger& led = site.edges[edge];
+    if (led.active != 0 || led.owed == 0) return;
+    parent_rank = led.parent_rank;
+    parent_edge = led.parent_edge;
+    owed = led.owed;
+    led.owed = 0;
+  }
+  if (parent_rank == kProcessParentPrimary) {
+    apply<&process_credit_action>(gas::gid::from_bits(proc_bits), proc_bits,
+                                  owed);
+  } else {
+    apply<&process_site_credit_action>(rt.locality_gid(parent_rank),
+                                       proc_bits, parent_edge, owed);
+  }
+}
+
+}  // namespace
+
+// A split credit coming home: the grandchild's rank finished the work this
+// rank's ledger lent out.
+void process_site_credit_action(std::uint64_t proc_bits, std::uint64_t edge,
+                                std::uint64_t n) {
+  locality* here = this_locality();
+  process_site& site = here->rt().process_sites().site(proc_bits);
+  {
+    std::lock_guard g(site.lock);
+    PX_ASSERT_MSG(edge < site.edges.size(),
+                  "process site credit for an unknown edge");
+    edge_ledger& led = site.edges[edge];
+    led.active -= static_cast<std::int64_t>(n);
+    PX_ASSERT_MSG(led.active >= 0, "process site credit underflow");
+  }
+  process_site_return(proc_bits, edge);
+}
+PX_REGISTER_ACTION_AS(process_site_credit_action, "px.process_site_credit")
+
+std::uint64_t process_site_enter(const child_ctx& ctx) {
+  locality* here = this_locality();
+  process_site& site = here->rt().process_sites().site(ctx.proc_bits);
+  std::lock_guard g(site.lock);
+  const std::uint64_t edge =
+      site.edge_for(ctx.parent_rank, ctx.parent_edge);
+  edge_ledger& led = site.edges[edge];
+  led.active += 1;
+  led.owed += 1;
+  if (site.span.empty()) site.span = ctx.span;
+  return edge;
+}
+
+void process_site_leave(std::uint64_t proc_bits, std::uint64_t edge) {
+  locality* here = this_locality();
+  process_site& site = here->rt().process_sites().site(proc_bits);
+  {
+    std::lock_guard g(site.lock);
+    edge_ledger& led = site.edges[edge];
+    led.active -= 1;
+    PX_ASSERT_MSG(led.active >= 0, "process site leave underflow");
+  }
+  process_site_return(proc_bits, edge);
+}
+
 void process::seal() { complete_one(); }
 
-void process::complete_one() {
-  const std::int64_t prev =
-      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
-  PX_ASSERT(prev >= 1);
-  if (prev == 1) done_.set_value();
+void process::complete_n(std::uint64_t n) {
+  const std::int64_t prev = outstanding_.fetch_sub(
+      static_cast<std::int64_t>(n), std::memory_order_acq_rel);
+  PX_ASSERT(prev >= static_cast<std::int64_t>(n));
+  if (prev == static_cast<std::int64_t>(n)) done_.set_value();
 }
 
 std::shared_ptr<process> create_process(runtime& rt,

@@ -15,9 +15,13 @@
 // spawn_any<Fn> place work on any rank of the span: the token is taken at
 // the primary before the parcel ships and a px.process_credit parcel
 // returns it when the child retires (the Dijkstra–Scholten credit scheme
-// over parcels).  Typed spawns must be issued from the primary rank (the
-// token counter lives in the process object there), and — as with every
-// cross-process action — Fn's wrapper must be registered eagerly in every
+// over parcels).  Since PR 6 credits split per spawn edge
+// (core/process_site.hpp): a typed child lands in its rank's
+// process_site edge ledger, and may itself spawn tracked grandchildren
+// through process_ref — splitting the credit covering itself instead of
+// asking the primary — so the whole tree retires leaf-first and the
+// primary's counter drains exactly once the last descendant does.  As with every
+// cross-process action, Fn's wrapper must be registered eagerly in every
 // rank with PX_REGISTER_PROCESS_CHILD(Fn) so action tables match at
 // bootstrap.
 #pragma once
@@ -32,28 +36,75 @@
 
 #include "core/action.hpp"
 #include "core/locality.hpp"
+#include "core/process_site.hpp"
 #include "core/runtime.hpp"
 #include "lco/lco.hpp"
+#include "threads/scheduler.hpp"
+#include "threads/thread.hpp"
 
 namespace px::core {
 
-// Returns the creditor's token for a typed remote child: runs at the
-// process's primary rank (the parcel's destination is the process gid).
-void process_credit_action(std::uint64_t proc_bits);
+// Returns `n` credits to the process's activity counter: runs at the
+// primary rank (the parcel's destination is the process gid).
+void process_credit_action(std::uint64_t proc_bits, std::uint64_t n);
+
+// Returns `n` split credits to ledger `edge` of the rank that lent them
+// (the parcel's destination is that rank's locality gid).
+void process_site_credit_action(std::uint64_t proc_bits, std::uint64_t edge,
+                                std::uint64_t n);
+
+// Edge-ledger bookkeeping for a typed child running on this rank: enter
+// before the body (records the credit owed upstream, returns the ledger
+// id), leave after it (drains the ledger once its last local child and
+// split credit retire, returning the owed credits up the Dijkstra–Scholten
+// tree).
+std::uint64_t process_site_enter(const child_ctx& ctx);
+void process_site_leave(std::uint64_t proc_bits, std::uint64_t edge);
 
 namespace detail {
 
-// Wraps a typed child so the activity token flows back to the primary when
+// Publishes the tracked-child identity (process bits + credit-ledger edge)
+// in the running fiber's descriptor, so process_ref can split this child's
+// credit from anywhere in its call tree; restores the previous identity on
+// exit.  Descriptor storage, not thread_local: a suspended fiber may
+// resume on a different worker.
+struct child_scope {
+  explicit child_scope(std::uint64_t bits, std::uint64_t edge)
+      : td_(threads::scheduler::self()) {
+    PX_ASSERT_MSG(td_ != nullptr, "tracked child outside a ParalleX thread");
+    saved_bits_ = td_->child_proc_bits;
+    saved_edge_ = td_->child_edge;
+    td_->child_proc_bits = bits;
+    td_->child_edge = edge;
+  }
+  ~child_scope() {
+    td_->child_proc_bits = saved_bits_;
+    td_->child_edge = saved_edge_;
+  }
+  child_scope(const child_scope&) = delete;
+  child_scope& operator=(const child_scope&) = delete;
+
+ private:
+  threads::thread_descriptor* td_;
+  std::uint64_t saved_bits_;
+  std::uint64_t saved_edge_;
+};
+
+// Wraps a typed child so the activity credit flows back up the tree when
 // the child retires, wherever it ran.
 template <auto Fn, typename ArgsTuple>
 struct process_child;
 
 template <auto Fn, typename... As>
 struct process_child<Fn, std::tuple<As...>> {
-  static void run(std::uint64_t proc_bits, As... args) {
-    Fn(std::move(args)...);
-    core::apply<&process_credit_action>(gas::gid::from_bits(proc_bits),
-                                        proc_bits);
+  static void run(child_ctx ctx, As... args) {
+    const std::uint64_t bits = ctx.proc_bits;
+    const std::uint64_t edge = process_site_enter(ctx);
+    {
+      child_scope scope(bits, edge);
+      Fn(std::move(args)...);
+    }
+    process_site_leave(bits, edge);
   }
 };
 
@@ -97,14 +148,17 @@ class process : public std::enable_shared_from_this<process> {
     }
     PX_ASSERT_MSG(rt_.rank() == primary(),
                   "typed cross-rank spawns must be issued at the primary "
-                  "(the activity counter lives there)");
+                  "(the activity counter lives there); remote children use "
+                  "process_ref to split their rank's credit");
     const std::int64_t prev =
         outstanding_.fetch_add(1, std::memory_order_acq_rel);
     PX_ASSERT_MSG(prev > 0, "spawn on a terminated process");
     spawned_.fetch_add(1, std::memory_order_relaxed);
     using W = detail::process_child<Fn, typename action<Fn>::args_tuple>;
-    apply_from<&W::run>(rt_.here(), rt_.locality_gid(where), id_.bits(),
-                        std::forward<Args>(args)...);
+    apply_from<&W::run>(
+        rt_.here(), rt_.locality_gid(where),
+        child_ctx{id_.bits(), kProcessParentPrimary, kProcessNoEdge, span_},
+        std::forward<Args>(args)...);
   }
 
   // spawn_on through rebalancer placement over the whole span (remote
@@ -138,9 +192,10 @@ class process : public std::enable_shared_from_this<process> {
   }
 
  private:
-  friend void process_credit_action(std::uint64_t proc_bits);
+  friend void process_credit_action(std::uint64_t proc_bits, std::uint64_t n);
 
-  void complete_one();
+  void complete_one() { complete_n(1); }
+  void complete_n(std::uint64_t n);
 
   runtime& rt_;
   gas::gid id_;
@@ -156,6 +211,111 @@ class process : public std::enable_shared_from_this<process> {
 // primary must be this rank; remote span members are parcel targets only.
 std::shared_ptr<process> create_process(runtime& rt,
                                         std::vector<gas::locality_id> span);
+
+// A process handle valid on ANY rank, addressed by the process gid's bits
+// (which every typed child receives in its child_ctx).  At the primary it
+// delegates to the process object; elsewhere it spawns tracked
+// grandchildren by splitting the credit this rank's site ledger holds — so
+// it may only be used from inside a tracked child (or its descendants)
+// while that work is still active.  This is how remote children extend the
+// process tree without a round trip to the primary.
+class process_ref {
+ public:
+  process_ref(runtime& rt, std::uint64_t proc_bits)
+      : rt_(rt), bits_(proc_bits) {
+    const gas::gid id = gas::gid::from_bits(proc_bits);
+    const gas::locality_id primary = id.home();
+    if (!rt.distributed() || primary == rt.rank()) {
+      local_ = std::static_pointer_cast<process>(
+          rt.at(primary).get_object(id));
+    }
+  }
+
+  // Typed tracked child at `where`; same span rules as process::spawn_on.
+  template <auto Fn, typename... Args>
+  void spawn_on(gas::locality_id where, Args&&... args) {
+    if (local_ != nullptr) {
+      local_->spawn_on<Fn>(where, std::forward<Args>(args)...);
+      return;
+    }
+    auto [span, edge] = split_credit();
+    PX_ASSERT_MSG(std::find(span.begin(), span.end(), where) != span.end(),
+                  "spawn outside the process span");
+    dispatch<Fn>(where, std::move(span), edge, std::forward<Args>(args)...);
+  }
+
+  // Rebalancer-steered placement over the span (like process::spawn_any).
+  template <auto Fn, typename... Args>
+  void spawn_any(Args&&... args) {
+    if (local_ != nullptr) {
+      local_->spawn_any<Fn>(std::forward<Args>(args)...);
+      return;
+    }
+    auto [span, edge] = split_credit();
+    auto& site = rt_.process_sites().site(bits_);
+    std::uint64_t slot;
+    {
+      std::lock_guard g(site.lock);
+      slot = site.next_placement++;
+    }
+    // Sequence the placement before the call: dispatch takes the span by
+    // value, and an unsequenced std::move(span) argument may gut the
+    // vector before place() reads it.
+    const gas::locality_id where = rt_.balancer().place(span, slot);
+    dispatch<Fn>(where, std::move(span), edge, std::forward<Args>(args)...);
+  }
+
+ private:
+  // Takes one more unit of the credit line covering the calling fiber's
+  // tracked child; returns the process span plus the ledger the unit was
+  // charged to.  The fiber-descriptor check is the credit-splitting
+  // precondition: only code running under a tracked child of THIS process
+  // holds a credit to split — anywhere else the process may already have
+  // terminated.
+  std::pair<std::vector<gas::locality_id>, std::uint64_t> split_credit() {
+    threads::thread_descriptor* td = threads::scheduler::self();
+    PX_ASSERT_MSG(td != nullptr && td->child_proc_bits == bits_ &&
+                      td->child_edge != kProcessNoEdge,
+                  "process_ref spawn outside a tracked child of this "
+                  "process: no credit to split");
+    const std::uint64_t edge = td->child_edge;
+    auto& site = rt_.process_sites().site(bits_);
+    std::lock_guard g(site.lock);
+    edge_ledger& led = site.edges[edge];
+    PX_ASSERT_MSG(led.active > 0, "split of a drained credit line");
+    led.active += 1;
+    return {site.span, edge};
+  }
+
+  template <auto Fn, typename... Args>
+  void dispatch(gas::locality_id where, std::vector<gas::locality_id> span,
+                std::uint64_t edge, Args&&... args) {
+    if (where == rt_.rank()) {
+      // Local grandchild: covered by the unit just split — no new owed
+      // entry, and its own splits charge the same upstream line.
+      auto args_tup =
+          typename action<Fn>::args_tuple(std::forward<Args>(args)...);
+      const std::uint64_t bits = bits_;
+      rt_.here().spawn(
+          [bits, edge, args_tup = std::move(args_tup)]() mutable {
+            {
+              detail::child_scope scope(bits, edge);
+              std::apply(Fn, std::move(args_tup));
+            }
+            process_site_leave(bits, edge);
+          });
+      return;
+    }
+    using W = detail::process_child<Fn, typename action<Fn>::args_tuple>;
+    apply_from<&W::run>(rt_.here(), rt_.locality_gid(where),
+                        child_ctx{bits_, rt_.rank(), edge, std::move(span)},
+                        std::forward<Args>(args)...);
+  }
+
+  runtime& rt_;
+  std::uint64_t bits_;
+  std::shared_ptr<process> local_;
+};
 
 // Eagerly registers Fn's tracked-child wrapper action at static-init time.
 // Required for any Fn given to spawn_on<Fn>/spawn_any<Fn> over a span that

@@ -1,0 +1,116 @@
+// Per-rank, per-edge credit ledgers for distributed process trees.
+//
+// Dijkstra–Scholten termination detection over parcels: the process object
+// at its primary rank holds the activity counter; every typed child shipped
+// to another rank carries one credit.  PR 6 splits credits *per spawn
+// edge*: a remote child that spawns a tracked grandchild does not ask the
+// primary for a new credit — it splits the one covering itself.  Each rank
+// keeps a process_site per process, and inside it one edge_ledger per
+// distinct upstream credit line (parent rank + the parent's own ledger id):
+// `active` counts local children of that line plus credits it split off to
+// other ranks, `owed` records how many credits the line must return
+// upstream once `active` drains to zero.
+//
+// The per-edge granularity is load-bearing, not an optimization.  A single
+// per-rank counter conflates independent subtrees that happen to share a
+// rank: with ranks 1..3 each spawning grandchildren on the others, every
+// rank ends up both owing credits to its peers and waiting on credits from
+// them through the same counter — a cycle that never drains.  Ledgers keyed
+// by the upstream edge make the wait-for graph exactly the spawn tree,
+// which is acyclic, so the collapse is leaf-first and the primary's counter
+// reaches zero exactly when the whole tree has retired.
+//
+// Deliberately free of runtime/locality dependencies so core/runtime can
+// own the table without an include cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gas/gid.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::core {
+
+// Parent sentinel: credits owed directly to the process object's activity
+// counter at the primary rank (via px.process_credit), not to a peer site.
+inline constexpr std::uint32_t kProcessParentPrimary = 0xffffffffu;
+
+// Edge sentinel: the upstream credit line is the primary's own counter,
+// which has no ledger id.
+inline constexpr std::uint64_t kProcessNoEdge = ~0ull;
+
+// Wire context shipped with every typed tracked child: which process it
+// belongs to, which rank's credit covers it (and which of that rank's
+// ledgers), and the span (so the child can place tracked grandchildren
+// with spawn_any without asking the primary).
+struct child_ctx {
+  std::uint64_t proc_bits = 0;
+  std::uint32_t parent_rank = kProcessParentPrimary;
+  std::uint64_t parent_edge = kProcessNoEdge;
+  std::vector<gas::locality_id> span;
+};
+
+template <typename Ar>
+void serialize(Ar& ar, child_ctx& c) {
+  ar & c.proc_bits & c.parent_rank & c.parent_edge & c.span;
+}
+
+// One upstream credit line landing on this rank.
+struct edge_ledger {
+  std::uint32_t parent_rank = kProcessParentPrimary;
+  std::uint64_t parent_edge = kProcessNoEdge;
+  // Local children of this line still running + credits it split off to
+  // remote grandchildren that have not returned yet.
+  std::int64_t active = 0;
+  // Credits to return upstream when `active` drains to zero.
+  std::uint64_t owed = 0;
+};
+
+struct process_site {
+  util::spinlock lock;
+  // Ledger id (the wire `parent_edge` for credits this rank lends out) is
+  // the index into `edges`; `edge_ids` maps an upstream identity to it.
+  std::vector<edge_ledger> edges;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> edge_ids;
+  // Span learned from the first child's ctx; placement state for spawn_any.
+  std::vector<gas::locality_id> span;
+  std::uint64_t next_placement = 0;
+
+  // Get-or-create the ledger for the upstream line (parent_rank,
+  // parent_edge).  Caller holds `lock`.
+  std::uint64_t edge_for(std::uint32_t parent_rank,
+                         std::uint64_t parent_edge) {
+    const auto key = std::make_pair(parent_rank, parent_edge);
+    auto [it, fresh] = edge_ids.try_emplace(key, edges.size());
+    if (fresh) {
+      edge_ledger led;
+      led.parent_rank = parent_rank;
+      led.parent_edge = parent_edge;
+      edges.push_back(led);
+    }
+    return it->second;
+  }
+};
+
+class process_site_table {
+ public:
+  // Get-or-create; sites are tiny and live for the runtime's lifetime
+  // (bounded by the number of distinct processes this rank worked for).
+  process_site& site(std::uint64_t proc_bits) {
+    std::lock_guard g(lock_);
+    auto& slot = sites_[proc_bits];
+    if (slot == nullptr) slot = std::make_unique<process_site>();
+    return *slot;
+  }
+
+ private:
+  util::spinlock lock_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<process_site>> sites_;
+};
+
+}  // namespace px::core

@@ -270,6 +270,7 @@ void rebalancer::rebalance_once() {
 
 gas::locality_id rebalancer::place(
     const std::vector<gas::locality_id>& span, std::uint64_t rr) {
+  PX_ASSERT_MSG(!span.empty(), "placement over an empty span");
   const gas::locality_id fallback = span[rr % span.size()];
   if (!params_.enabled || span.size() < 2) return fallback;
   // Distributed: remote depths come from the round fibers' last samples

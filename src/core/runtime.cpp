@@ -10,6 +10,7 @@
 #include "lco/lco.hpp"
 #include "net/bootstrap.hpp"
 #include "net/tcp_transport.hpp"
+#include "patterns/counters.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
@@ -379,12 +380,16 @@ void runtime::register_counters() {
     for (const char* path :
          {"runtime/agas/binds", "runtime/agas/cache_hits",
           "runtime/agas/cache_misses", "runtime/agas/migrations",
-          "runtime/agas/stale_refreshes", "runtime/lco/depleted_threads",
+          "runtime/agas/stale_refreshes", "runtime/agas/hint_evictions",
+          "runtime/lco/depleted_threads",
           "runtime/lco/continuations", "runtime/lco/fires",
           "runtime/fabric/in_flight", "runtime/rebalance/rounds",
           "runtime/rebalance/triggers", "runtime/rebalance/migrations",
           "runtime/rebalance/redirects",
-          "runtime/rebalance/imbalance_milli"}) {
+          "runtime/rebalance/imbalance_milli",
+          "runtime/patterns/pipelines", "runtime/patterns/pipeline_items",
+          "runtime/patterns/map_reduce_jobs", "runtime/patterns/map_tasks",
+          "runtime/patterns/pool_tasks", "runtime/patterns/nested"}) {
       reg.add_remote(0, path);
     }
     return;
@@ -398,6 +403,8 @@ void runtime::register_counters() {
           [this] { return agas_.stats().migrations; });
   reg.add(0, "runtime/agas/stale_refreshes",
           [this] { return agas_.stats().stale_refreshes; });
+  reg.add(0, "runtime/agas/hint_evictions",
+          [this] { return agas_.stats().hint_evictions; });
 
   reg.add_raw(0, "runtime/lco/depleted_threads",
               lco::lco_counters::depleted_threads_created);
@@ -420,6 +427,21 @@ void runtime::register_counters() {
   reg.add(0, "runtime/rebalance/imbalance_milli", [bal] {
     return static_cast<std::uint64_t>(bal->stats().last_imbalance * 1000.0);
   });
+
+  // Pattern-library counters (src/patterns): process-wide statics, homed at
+  // rank 0 like the other global services.
+  reg.add_raw(0, "runtime/patterns/pipelines",
+              patterns::pattern_counters::pipelines_built);
+  reg.add_raw(0, "runtime/patterns/pipeline_items",
+              patterns::pattern_counters::pipeline_items);
+  reg.add_raw(0, "runtime/patterns/map_reduce_jobs",
+              patterns::pattern_counters::map_reduce_jobs);
+  reg.add_raw(0, "runtime/patterns/map_tasks",
+              patterns::pattern_counters::map_tasks);
+  reg.add_raw(0, "runtime/patterns/pool_tasks",
+              patterns::pattern_counters::pool_tasks);
+  reg.add_raw(0, "runtime/patterns/nested",
+              patterns::pattern_counters::nested_patterns);
 }
 
 runtime::~runtime() {
@@ -869,49 +891,6 @@ bool runtime::migrate_gid_async(gas::gid id, gas::locality_id to,
       here(), locality_gid(to),
       parcel::continuation{sink, sink_action_id()}, rec);
   return true;
-}
-
-namespace {
-
-// Built-in action: pop a stashed closure and run it as a thread here.
-void run_stashed_closure(std::uint64_t key);
-PX_REGISTER_ACTION_AS(run_stashed_closure, "px.run_stashed")
-
-void run_stashed_closure(std::uint64_t key) {
-  locality* here = this_locality();
-  here->rt().run_stashed(key);
-}
-
-}  // namespace
-
-void runtime::remote_spawn(locality& from, gas::locality_id where,
-                           std::function<void()> fn) {
-  // The closure body crosses localities by reference through the shared
-  // address space — an in-process shortcut by design, so it cannot cross
-  // a process boundary.  Typed actions (apply/async) and the tracked
-  // process::spawn_on<Fn> serialize properly and place work on any rank.
-  PX_ASSERT_MSG(!distributed_ || where == rank_,
-                "remote_spawn cannot cross processes; use typed actions or "
-                "process::spawn_on<Fn>");
-  std::uint64_t key;
-  {
-    std::lock_guard lock(closures_lock_);
-    key = next_closure_.fetch_add(1, std::memory_order_relaxed);
-    closures_.emplace(key, std::move(fn));
-  }
-  apply_from<&run_stashed_closure>(from, locality_gid(where), key);
-}
-
-void runtime::run_stashed(std::uint64_t key) {
-  std::function<void()> fn;
-  {
-    std::lock_guard lock(closures_lock_);
-    const auto it = closures_.find(key);
-    PX_ASSERT_MSG(it != closures_.end(), "unknown stashed closure");
-    fn = std::move(it->second);
-    closures_.erase(it);
-  }
-  fn();
 }
 
 namespace {

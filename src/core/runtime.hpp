@@ -23,10 +23,14 @@
 //     copy; parcels routed on stale knowledge heal through bounded home
 //     forwarding with piggybacked owner hints (gas/resolve.hpp), and the
 //     rebalancer issues cross-process migrations fed by cross-rank
-//     query_counter samples.  Closure-carrying calls (remote_spawn, echo,
-//     untyped process::spawn) remain local-only — closures cannot cross a
-//     process boundary; typed actions (and process::spawn_on<Fn>) are the
-//     cross-process vocabulary.  wait_quiescent extends the local fixed
+//     query_counter samples.  Closure-carrying calls (the untyped
+//     process::spawn) remain local-only — closures cannot cross a process
+//     boundary; typed actions (process::spawn_on<Fn>, process_ref,
+//     litlx::atomic_object::atomically<Fn>) are the cross-process
+//     vocabulary, since PR 6 with per-rank Dijkstra–Scholten credit
+//     splitting (core/process_site.hpp) so remote children spawn tracked
+//     grandchildren without a primary round trip.  wait_quiescent extends
+//     the local fixed
 //     point with a counting termination-detection collective over the
 //     bootstrap.  Boot-time gid allocation (locality gids, counter gids)
 //     replays identically in every process, so those names are
@@ -48,6 +52,7 @@
 
 #include "core/locality.hpp"
 #include "core/parcel_port.hpp"
+#include "core/process_site.hpp"
 #include "core/rebalancer.hpp"
 #include "gas/agas.hpp"
 #include "gas/name_service.hpp"
@@ -197,17 +202,10 @@ class runtime {
   // same number of times — it is a collective operation.
   void wait_quiescent();
 
-  // Ships a closure to `where` as a parcel (paying fabric latency) and runs
-  // it there as a ParalleX thread.  The closure body itself is passed by
-  // reference through the shared address space — an in-process shortcut; the
-  // *control transfer* is what is modeled.  Prefer typed actions (apply/
-  // async) for anything measured; this exists for control-plane work and
-  // the LITL-X layer.
-  void remote_spawn(locality& from, gas::locality_id where,
-                    std::function<void()> fn);
-
-  // Internal: executes a closure stashed by remote_spawn (built-in action).
-  void run_stashed(std::uint64_t key);
+  // Per-rank Dijkstra–Scholten credit ledgers for distributed process
+  // trees (core/process_site.hpp; used by process_ref and the typed child
+  // wrappers in core/process.hpp).
+  process_site_table& process_sites() noexcept { return psites_; }
 
   // Convenience driver: start if needed, run `root`, wait for global
   // quiescence.  Single-process: `root` runs once, on locality 0.
@@ -333,10 +331,8 @@ class runtime {
   std::unique_ptr<echo_manager> echo_;
   std::unique_ptr<percolation_manager> percolation_;
 
-  // Closure stash for remote_spawn parcels.
-  util::spinlock closures_lock_;
-  std::unordered_map<std::uint64_t, std::function<void()>> closures_;
-  std::atomic<std::uint64_t> next_closure_{1};
+  // Per-process credit ledgers for this rank (process_sites()).
+  process_site_table psites_;
 
   // Serializes object migrations: a rebalancer round racing a user
   // migrate_object on the same gid could otherwise implant a stale

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/assert.hpp"
+#include "util/clock.hpp"
 
 namespace px::gas {
 
@@ -71,10 +72,48 @@ std::optional<locality_id> agas::resolve(locality_id asking, gid id) {
     const auto it = c.entries.find(id);
     if (it != c.entries.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      if (it->second.heat < kMaxHintHeat) it->second.heat += 1;
+      return it->second.owner;
     }
   }
   return resolve_authoritative(asking, id);
+}
+
+agas::hint_install agas::install_hint_locked(cache& c, gid id,
+                                             locality_id owner) {
+  const auto it = c.entries.find(id);
+  if (it != c.entries.end()) {
+    const bool changed = it->second.owner != owner;
+    it->second.owner = owner;
+    if (it->second.heat < kMaxHintHeat) it->second.heat += 1;
+    return changed ? hint_install::refreshed_changed
+                   : hint_install::refreshed_same;
+  }
+  if (c.entries.size() >= kMaxCacheEntries) {
+    const std::int64_t now = util::now_ns();
+    if (now - c.last_age_ns < kCacheAgeIntervalNs) {
+      return hint_install::dropped;  // scan ran too recently; stay bounded
+    }
+    c.last_age_ns = now;
+    std::uint64_t evicted = 0;
+    for (auto e = c.entries.begin(); e != c.entries.end();) {
+      e->second.heat /= 2;
+      if (e->second.heat == 0) {
+        e = c.entries.erase(e);
+        ++evicted;
+      } else {
+        ++e;
+      }
+    }
+    if (evicted != 0) {
+      hint_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    if (c.entries.size() >= kMaxCacheEntries) {
+      return hint_install::dropped;  // everything still hot
+    }
+  }
+  c.entries.emplace(id, hint{owner, 1});
+  return hint_install::inserted;
 }
 
 std::optional<locality_id> agas::resolve_authoritative(locality_id asking,
@@ -91,9 +130,13 @@ std::optional<locality_id> agas::resolve_authoritative(locality_id asking,
   {
     cache& c = *caches_[asking];
     std::lock_guard lock(c.lock);
-    auto [it, inserted] = c.entries.insert_or_assign(id, owner);
-    (void)it;
-    if (!inserted) stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    const auto r = install_hint_locked(c, id, owner);
+    // An authoritative lookup that finds any prior translation counts as a
+    // stale refresh (the caller only gets here when routing went wrong).
+    if (r == hint_install::refreshed_same ||
+        r == hint_install::refreshed_changed) {
+      stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return owner;
 }
@@ -122,7 +165,8 @@ std::optional<locality_id> agas::cached(locality_id asking, gid id) {
   const auto it = c.entries.find(id);
   if (it == c.entries.end()) return std::nullopt;
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  if (it->second.heat < kMaxHintHeat) it->second.heat += 1;
+  return it->second.owner;
 }
 
 void agas::note_owner(locality_id asking, gid id, locality_id owner) {
@@ -130,10 +174,12 @@ void agas::note_owner(locality_id asking, gid id, locality_id owner) {
   PX_ASSERT(id.valid());
   cache& c = *caches_[asking];
   std::lock_guard lock(c.lock);
-  const auto [it, inserted] = c.entries.try_emplace(id, owner);
-  if (inserted || it->second == owner) return;  // fresh or already right
-  it->second = owner;
-  stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  const auto r = install_hint_locked(c, id, owner);
+  // Only an actual correction counts: fresh installs and same-value
+  // refreshes are the wire doing its job, not a stale cache.
+  if (r == hint_install::refreshed_changed) {
+    stale_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 agas_stats agas::stats() const {
@@ -143,6 +189,7 @@ agas_stats agas::stats() const {
   st.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   st.migrations = migrations_.load(std::memory_order_relaxed);
   st.stale_refreshes = stale_refreshes_.load(std::memory_order_relaxed);
+  st.hint_evictions = hint_evictions_.load(std::memory_order_relaxed);
   return st;
 }
 

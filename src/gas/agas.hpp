@@ -42,6 +42,7 @@ struct agas_stats {
   std::uint64_t cache_misses = 0;  // authoritative directory lookups
   std::uint64_t migrations = 0;
   std::uint64_t stale_refreshes = 0;
+  std::uint64_t hint_evictions = 0;  // cold hints aged out of a full cache
 };
 
 class agas {
@@ -102,11 +103,31 @@ class agas {
     std::atomic<std::uint64_t> next_sequence{1};
   };
 
-  // Per-locality private cache.
+  // Per-locality private cache.  Bounded: hints carry a heat that grows on
+  // use; when the cache is full a rate-limited aging scan halves every heat
+  // in place and evicts the entries that reach zero (mirroring the parcel
+  // heat table in core/locality).  A hint that cannot find room is simply
+  // dropped — the caller falls back to home routing, which stays correct.
+  struct hint {
+    locality_id owner = invalid_locality;
+    std::uint32_t heat = 1;
+  };
   struct cache {
     util::spinlock lock;
-    std::unordered_map<gid, locality_id> entries;
+    std::unordered_map<gid, hint> entries;
+    std::int64_t last_age_ns = 0;
   };
+
+  static constexpr std::size_t kMaxCacheEntries = 1024;
+  static constexpr std::int64_t kCacheAgeIntervalNs = 1'000'000;  // 1 ms
+  static constexpr std::uint32_t kMaxHintHeat = 16;
+
+  enum class hint_install { inserted, refreshed_same, refreshed_changed,
+                            dropped };
+  // Requires c.lock held.  Installs/refreshes the hint, running the aging
+  // eviction scan if the cache is full; reports what happened so callers
+  // can keep their distinct stale_refreshes accounting.
+  hint_install install_hint_locked(cache& c, gid id, locality_id owner);
 
   shard& home_shard(gid id);
   const shard& home_shard(gid id) const;
@@ -119,6 +140,7 @@ class agas {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> stale_refreshes_{0};
+  std::atomic<std::uint64_t> hint_evictions_{0};
 };
 
 }  // namespace px::gas

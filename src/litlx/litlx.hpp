@@ -109,50 +109,105 @@ class dataflow_var {
 
 // ---------------------------------------------------------- atomic sections
 
+namespace detail {
+
+// The guarded cell is an ordinary AGAS data object: sections route to it
+// by gid, so they follow the object through migrations and cross process
+// boundaries like any other parcel.
+template <typename T>
+struct atomic_cell {
+  explicit atomic_cell(T v) : value(std::move(v)) {}
+  T value;
+  lco::mutex section;
+};
+
+// Fn is a plain function `R fn(T& value, Args...)`; its leading reference
+// parameter is satisfied at the owner, the rest travel on the wire.
+template <typename>
+struct section_traits;
+
+template <typename R, typename T, typename... As>
+struct section_traits<R (*)(T&, As...)> {
+  using value_type = T;
+  using result_type = R;
+  using args_tuple = std::tuple<std::decay_t<As>...>;
+};
+
+// Typed-action wrapper executing one section at the cell's owner: look the
+// cell up locally, serialize on its mutex LCO, run the body.
+template <auto Fn, typename T, typename ArgsTuple>
+struct atomic_section;
+
+template <auto Fn, typename T, typename... As>
+struct atomic_section<Fn, T, std::tuple<As...>> {
+  static auto run(std::uint64_t cell_bits, As... args) {
+    core::locality* here = core::this_locality();
+    auto obj = here->get_object(gas::gid::from_bits(cell_bits));
+    PX_ASSERT_MSG(obj != nullptr,
+                  "atomic section parcel landed off the cell's owner");
+    auto cell = std::static_pointer_cast<atomic_cell<T>>(obj);
+    std::lock_guard lock(cell->section);
+    return Fn(cell->value, std::move(args)...);
+  }
+};
+
+}  // namespace detail
+
 // An object guarded by location-consistent atomic sections [Sarkar & Gao].
 // Sections execute at the object's home locality, serialized by a mutex
 // LCO there; there is no global ordering between sections on different
 // objects — the weak model that makes fine-grained synchronization scale.
+//
+// Sections are typed actions (PR 6): the body is a free function
+// `R fn(T& value, Args...)` invoked as `obj.atomically<&fn>(args...)`, and
+// the handoff is a real parcel through the locality's routing/accounting
+// path — identical in sim and TCP modes.  When the object's home crosses
+// processes, register the body eagerly on every rank with
+// PX_REGISTER_ATOMIC_SECTION(T, fn) and attach on non-creating ranks via
+// the gid constructor.
 template <typename T>
 class atomic_object {
  public:
-  atomic_object(core::runtime& /*rt*/, gas::locality_id home, T initial)
-      : home_(home), state_(std::make_shared<state>(std::move(initial))) {}
+  // Creates the guarded cell at `home`.  Distributed: must run in the home
+  // rank's process (the cell's state lives there); other ranks attach by
+  // gid.
+  atomic_object(core::runtime& rt, gas::locality_id home, T initial)
+      : id_(rt.new_object<detail::atomic_cell<T>>(home, std::move(initial))) {}
 
-  gas::locality_id home() const noexcept { return home_; }
+  // Attaches to a cell created elsewhere (gid learned out of band).
+  explicit atomic_object(gas::gid id) : id_(id) {}
 
-  // Runs fn(value&) atomically at the object's location; returns a future
-  // for fn's result.  The calling thread is free to continue — atomic
-  // sections are split-phase like everything else in the model.
-  template <typename F>
-  auto atomically(F fn) const {
-    using R = std::invoke_result_t<F, T&>;
-    core::locality* here = core::this_locality();
-    PX_ASSERT_MSG(here != nullptr, "atomically outside a ParalleX thread");
-    lco::promise<R> prom;
-    auto fut = prom.get_future();
-    here->rt().remote_spawn(
-        *here, home_, [st = state_, fn = std::move(fn), prom]() mutable {
-          std::lock_guard lock(st->section);
-          if constexpr (std::is_void_v<R>) {
-            fn(st->value);
-            prom.set_value();
-          } else {
-            prom.set_value(fn(st->value));
-          }
-        });
-    return fut;
+  gas::gid id() const noexcept { return id_; }
+  gas::locality_id home() const noexcept { return id_.home(); }
+
+  // Runs Fn(value&, args...) atomically at the object's location; returns
+  // a future for Fn's result.  The calling thread is free to continue —
+  // atomic sections are split-phase like everything else in the model.
+  template <auto Fn, typename... Args>
+  auto atomically(Args&&... args) const {
+    using W = detail::atomic_section<
+        Fn, T, typename detail::section_traits<decltype(Fn)>::args_tuple>;
+    return core::async<&W::run>(id_, id_.bits(),
+                                std::forward<Args>(args)...);
   }
 
  private:
-  struct state {
-    explicit state(T v) : value(std::move(v)) {}
-    T value;
-    lco::mutex section;
-  };
-
-  gas::locality_id home_;
-  std::shared_ptr<state> state_;
+  gas::gid id_;
 };
+
+// Eagerly registers fn's atomic-section wrapper for atomic_object<T> at
+// static-init time — required whenever sections cross processes (action
+// ids are positional; every rank must mint the wrapper's id at boot).
+#define PX_REGISTER_ATOMIC_SECTION_AS(T, fn, name)                          \
+  namespace {                                                               \
+  [[maybe_unused]] const ::px::parcel::action_id PX_DETAIL_CONCAT(          \
+      px_asection_registration_, __COUNTER__) =                             \
+      ::px::core::action<&::px::litlx::detail::atomic_section<              \
+          &fn, T,                                                           \
+          typename ::px::litlx::detail::section_traits<                     \
+              decltype(&fn)>::args_tuple>::run>::ensure_registered(name);   \
+  }
+#define PX_REGISTER_ATOMIC_SECTION(T, fn) \
+  PX_REGISTER_ATOMIC_SECTION_AS(T, fn, "px.asection." #fn)
 
 }  // namespace px::litlx

@@ -1,0 +1,29 @@
+// Introspection counters for the parallel-pattern library (src/patterns).
+//
+// Deliberately dependency-free (only <atomic>/<cstdint>) so core/runtime can
+// include it to register the counters without pulling the pattern templates
+// into the core layer — same arrangement as lco::lco_counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace px::patterns {
+
+struct pattern_counters {
+  // pipeline<> instances constructed.
+  static std::atomic<std::uint64_t> pipelines_built;
+  // Items that completed every pipeline stage.
+  static std::atomic<std::uint64_t> pipeline_items;
+  // map_reduce jobs run to completion.
+  static std::atomic<std::uint64_t> map_reduce_jobs;
+  // Map chunks spawned across all map_reduce jobs.
+  static std::atomic<std::uint64_t> map_tasks;
+  // Tasks submitted through task_pool.
+  static std::atomic<std::uint64_t> pool_tasks;
+  // Patterns constructed inside another pattern's task (declared via the
+  // nested flag; see docs/patterns.md for why detection is declarative).
+  static std::atomic<std::uint64_t> nested_patterns;
+};
+
+}  // namespace px::patterns

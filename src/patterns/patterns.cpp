@@ -1,0 +1,33 @@
+#include "patterns/patterns.hpp"
+
+#include "core/action.hpp"
+
+namespace px::patterns {
+
+std::atomic<std::uint64_t> pattern_counters::pipelines_built{0};
+std::atomic<std::uint64_t> pattern_counters::pipeline_items{0};
+std::atomic<std::uint64_t> pattern_counters::map_reduce_jobs{0};
+std::atomic<std::uint64_t> pattern_counters::map_tasks{0};
+std::atomic<std::uint64_t> pattern_counters::pool_tasks{0};
+std::atomic<std::uint64_t> pattern_counters::nested_patterns{0};
+
+namespace detail {
+
+// The last stage's completion parcel: lands at the window's home rank,
+// refills one backpressure slot.  Eagerly registered — pipelines running
+// over tcp send these cross-process from any rank of the span.
+void pipeline_item_done(std::uint64_t window_bits) {
+  core::locality* here = core::this_locality();
+  auto obj = here->get_object(gas::gid::from_bits(window_bits));
+  PX_ASSERT_MSG(obj != nullptr,
+                "pipeline window parcel landed off its home");
+  std::static_pointer_cast<pipeline_window>(obj)->sem.release(1);
+  pattern_counters::pipeline_items.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+PX_REGISTER_ACTION_AS(px::patterns::detail::pipeline_item_done,
+                      "px.pattern.item_done")
+
+}  // namespace px::patterns

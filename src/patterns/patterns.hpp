@@ -1,0 +1,346 @@
+// Composable parallel patterns on the ParalleX primitives.
+//
+// A small, nestable vocabulary — pipeline, map_reduce, task_pool — built
+// entirely from the model's own parts and nothing else:
+//
+//   * stages and tasks are *tracked process children* (core/process.hpp),
+//     so a pattern's completion is the process's Dijkstra–Scholten
+//     termination event, and a stage may spawn the next stage on another
+//     rank by splitting its own rank's credit (core/process_site.hpp);
+//   * queues and completion are LCO dataflow: pipeline backpressure is a
+//     counting-semaphore window refilled by parcels, map_reduce completion
+//     is a promise fired by the reduction cell;
+//   * placement is spawn_any steering — the runtime's rebalancer picks the
+//     shallowest ready queue over the pattern's span.
+//
+// Every pattern works identically over the sim and tcp transports; bodies
+// given to a pattern whose span crosses processes must be registered
+// eagerly (PX_REGISTER_PIPELINE / PX_REGISTER_MAP_REDUCE /
+// PX_REGISTER_PROCESS_CHILD) so action tables match at bootstrap.
+// Vocabulary, nesting rules, and placement semantics: docs/patterns.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/process.hpp"
+#include "core/runtime.hpp"
+#include "lco/lco.hpp"
+#include "patterns/counters.hpp"
+#include "util/spinlock.hpp"
+
+namespace px::patterns {
+
+namespace detail {
+
+// Distributed processes must be created at their primary rank: rotate the
+// span so this rank leads.  Sim spans pass through unchanged.
+inline std::vector<gas::locality_id> rotate_to_rank(
+    core::runtime& rt, std::vector<gas::locality_id> span) {
+  PX_ASSERT(!span.empty());
+  if (!rt.distributed()) return span;
+  const auto it = std::find(span.begin(), span.end(), rt.rank());
+  PX_ASSERT_MSG(it != span.end(),
+                "pattern span must include this rank (the tracking process "
+                "is created here)");
+  std::rotate(span.begin(), it, span.end());
+  return span;
+}
+
+// ------------------------------------------------------------- pipeline
+
+// Backpressure window: an AGAS object at the builder's rank.  push()
+// acquires; the final stage's px.pattern.item_done parcel releases.
+struct pipeline_window {
+  explicit pipeline_window(std::int64_t capacity) : sem(capacity) {}
+  lco::counting_semaphore sem;
+};
+
+// Registered handler for the window-refill parcel (patterns.cpp).
+void pipeline_item_done(std::uint64_t window_bits);
+
+// One stage invocation: run the body, hand the output to the next stage as
+// a tracked child placed by spawn_any (a grandchild spawn when this stage
+// runs off the primary — the credit-splitting path), or refill the window
+// after the last stage.
+template <auto... Fns>
+struct stage_runner;
+
+template <auto Fn, auto... Rest>
+struct stage_runner<Fn, Rest...> {
+  using In =
+      std::tuple_element_t<0, typename core::action<Fn>::args_tuple>;
+
+  static void run(std::uint64_t proc_bits, std::uint64_t window_bits,
+                  In item) {
+    if constexpr (sizeof...(Rest) > 0) {
+      auto out = Fn(std::move(item));
+      core::locality* here = core::this_locality();
+      core::process_ref ref(here->rt(), proc_bits);
+      ref.spawn_any<&stage_runner<Rest...>::run>(proc_bits, window_bits,
+                                                 std::move(out));
+    } else {
+      Fn(std::move(item));
+      core::apply<&pipeline_item_done>(gas::gid::from_bits(window_bits),
+                                       window_bits);
+    }
+  }
+};
+
+// Registers the tracked-child wrapper of every stage suffix under
+// deterministic names, so stage handoffs can land on any rank.
+template <auto Fn, auto... Rest>
+struct pipeline_registrar {
+  static void ensure(const std::string& base) {
+    using R = stage_runner<Fn, Rest...>;
+    using W = core::detail::process_child<
+        &R::run, typename core::action<&R::run>::args_tuple>;
+    core::action<&W::run>::ensure_registered(
+        (base + ".s" + std::to_string(1 + sizeof...(Rest))).c_str());
+    if constexpr (sizeof...(Rest) > 0) {
+      pipeline_registrar<Rest...>::ensure(base);
+    }
+  }
+};
+
+}  // namespace detail
+
+// A linear pipeline whose stages are free functions Fn1: B(A), Fn2: C(B),
+// ..., FnN: any(Y) — each item pushed flows through every stage, each hop
+// a tracked child placed over `span` by spawn_any.  `window` bounds the
+// number of items in flight (LCO backpressure).  close() seals the
+// tracking process and waits for its termination event: every pushed item
+// has then left every stage.
+//
+// Nesting: a stage body may build another pattern over its own rank;
+// construct it with nested=true so runtime/patterns/nested counts it.
+template <auto... Fns>
+class pipeline {
+  static_assert(sizeof...(Fns) >= 1, "a pipeline needs at least one stage");
+
+ public:
+  using input_type = typename detail::stage_runner<Fns...>::In;
+
+  pipeline(core::runtime& rt, std::vector<gas::locality_id> span,
+           std::int64_t window = 64, bool nested = false)
+      : rt_(rt),
+        window_id_(rt.new_object<detail::pipeline_window>(
+            rt.distributed() ? rt.rank() : gas::locality_id{0}, window)),
+        window_(rt.get_local<detail::pipeline_window>(
+            rt.distributed() ? rt.rank() : gas::locality_id{0}, window_id_)),
+        proc_(core::create_process(
+            rt, detail::rotate_to_rank(rt, std::move(span)))) {
+    pattern_counters::pipelines_built.fetch_add(1,
+                                                std::memory_order_relaxed);
+    if (nested) {
+      pattern_counters::nested_patterns.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+
+  // Feeds one item into the first stage; blocks (fiber suspend) while the
+  // in-flight window is full.
+  void push(input_type item) {
+    window_->sem.acquire();
+    proc_->spawn_any<&detail::stage_runner<Fns...>::run>(
+        proc_->id().bits(), window_id_.bits(), std::move(item));
+  }
+
+  // Seals the tracking process and waits until every pushed item has
+  // completed every stage (the process termination LCO).
+  void close() {
+    proc_->seal();
+    proc_->terminated().get();
+  }
+
+  core::process& proc() noexcept { return *proc_; }
+
+ private:
+  core::runtime& rt_;
+  gas::gid window_id_;
+  std::shared_ptr<detail::pipeline_window> window_;
+  std::shared_ptr<core::process> proc_;
+};
+
+// Registers every stage-suffix wrapper of a pipeline<Fns...> eagerly —
+// required whenever the pipeline's span crosses processes.  `name` must be
+// a string literal, identical on every rank.
+#define PX_REGISTER_PIPELINE(name, ...)                                      \
+  namespace {                                                                \
+  [[maybe_unused]] const bool PX_DETAIL_CONCAT(px_pipeline_registration_,    \
+                                               __COUNTER__) =                \
+      (::px::patterns::detail::pipeline_registrar<__VA_ARGS__>::ensure(      \
+           std::string("px.pipe.") + name),                                  \
+       true);                                                                \
+  }
+
+// ----------------------------------------------------------- map_reduce
+
+namespace detail {
+
+// Reduction cell: an AGAS object at the caller's rank.  Partials arrive as
+// parcels (reduce_into); the promise fires when the last chunk lands.
+template <typename R>
+struct reduce_cell {
+  explicit reduce_cell(std::uint64_t chunks) : remaining(chunks) {}
+  util::spinlock lock;
+  bool has_value = false;
+  R acc{};
+  std::uint64_t remaining;
+  lco::promise<R> done;
+};
+
+template <auto Reduce, typename R>
+struct reduce_into {
+  static void run(std::uint64_t cell_bits, R partial) {
+    core::locality* here = core::this_locality();
+    auto obj = here->get_object(gas::gid::from_bits(cell_bits));
+    PX_ASSERT_MSG(obj != nullptr,
+                  "map_reduce partial landed off the cell's rank");
+    auto cell = std::static_pointer_cast<reduce_cell<R>>(obj);
+    bool fire = false;
+    R result{};
+    {
+      std::lock_guard g(cell->lock);
+      cell->acc = cell->has_value
+                      ? Reduce(std::move(cell->acc), std::move(partial))
+                      : std::move(partial);
+      cell->has_value = true;
+      PX_ASSERT(cell->remaining > 0);
+      fire = (--cell->remaining == 0);
+      if (fire) result = cell->acc;
+    }
+    if (fire) cell->done.set_value(std::move(result));
+  }
+};
+
+// One map chunk: compute the partial where the chunk was placed, then ship
+// it to the reduction cell as an untracked parcel.
+template <auto Map, auto Reduce>
+struct mr_child {
+  using R = typename core::action<Map>::result_type;
+
+  static void run(std::uint64_t cell_bits, std::uint64_t ctx,
+                  std::uint64_t begin, std::uint64_t end) {
+    R partial = Map(ctx, begin, end);
+    core::apply<&reduce_into<Reduce, R>::run>(
+        gas::gid::from_bits(cell_bits), cell_bits, std::move(partial));
+  }
+};
+
+}  // namespace detail
+
+// Fans [0, n) out in `chunk`-sized tracked children over `span` (spawn_any
+// placement), reducing the per-chunk partials with Reduce at the caller's
+// rank.  Map is `R map(uint64 ctx, uint64 begin, uint64 end)` — `ctx` is
+// an opaque word for workload parameters (gid bits, a table key, ...);
+// Reduce is `R reduce(R, R)`, associative.  Blocks until the result is
+// complete; returns it.  Register PX_REGISTER_MAP_REDUCE(map, reduce) when
+// the span crosses processes.
+template <auto Map, auto Reduce>
+typename core::action<Map>::result_type map_reduce(
+    core::runtime& rt, std::vector<gas::locality_id> span, std::uint64_t n,
+    std::uint64_t chunk, std::uint64_t ctx = 0, bool nested = false) {
+  using R = typename core::action<Map>::result_type;
+  PX_ASSERT(chunk > 0);
+  pattern_counters::map_reduce_jobs.fetch_add(1, std::memory_order_relaxed);
+  if (nested) {
+    pattern_counters::nested_patterns.fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+  if (n == 0) return R{};
+  const std::uint64_t chunks = (n + chunk - 1) / chunk;
+  const gas::locality_id cell_home =
+      rt.distributed() ? rt.rank() : gas::locality_id{0};
+  const gas::gid cell =
+      rt.new_object<detail::reduce_cell<R>>(cell_home, chunks);
+  auto cellp = rt.get_local<detail::reduce_cell<R>>(cell_home, cell);
+  auto result = cellp->done.get_future();
+
+  auto proc =
+      core::create_process(rt, detail::rotate_to_rank(rt, std::move(span)));
+  for (std::uint64_t b = 0; b < n; b += chunk) {
+    pattern_counters::map_tasks.fetch_add(1, std::memory_order_relaxed);
+    proc->spawn_any<&detail::mr_child<Map, Reduce>::run>(
+        cell.bits(), ctx, b, std::min(n, b + chunk));
+  }
+  proc->seal();
+  // Two waits, deliberately: the termination event returns the credits
+  // (all children retired), the cell promise covers the reduce parcels
+  // that may trail them.
+  proc->terminated().get();
+  return result.get();
+}
+
+// Registers map_reduce<map, reduce>'s wire surface (the tracked chunk
+// wrapper and the reduction parcel) eagerly for cross-process spans.
+// Spelled out rather than delegated to PX_REGISTER_*_AS: the template
+// argument commas would split a nested macro's argument list.
+#define PX_REGISTER_MAP_REDUCE(map_fn, reduce_fn)                            \
+  namespace {                                                                \
+  [[maybe_unused]] const ::px::parcel::action_id PX_DETAIL_CONCAT(           \
+      px_mr_registration_, __COUNTER__) =                                    \
+      ::px::core::action<                                                    \
+          &::px::core::detail::process_child<                                \
+              &::px::patterns::detail::mr_child<&map_fn, &reduce_fn>::run,   \
+              typename ::px::core::action<&::px::patterns::detail::mr_child< \
+                  &map_fn, &reduce_fn>::run>::args_tuple>::run>::            \
+          ensure_registered("px.mr." #map_fn);                               \
+  [[maybe_unused]] const ::px::parcel::action_id PX_DETAIL_CONCAT(           \
+      px_mrr_registration_, __COUNTER__) =                                   \
+      ::px::core::action<                                                    \
+          &::px::patterns::detail::reduce_into<                              \
+              &reduce_fn,                                                    \
+              typename ::px::core::action<&map_fn>::result_type>::run>::     \
+          ensure_registered("px.mrr." #map_fn);                              \
+  }
+
+// ------------------------------------------------------------ task_pool
+
+// The thinnest pattern: an unordered pool of tracked tasks over a span.
+// submit<Fn>(args...) places a typed child via spawn_any; wait() seals and
+// blocks until every task (and any tracked descendants) retired.  One-shot:
+// build a new pool after wait().
+class task_pool {
+ public:
+  task_pool(core::runtime& rt, std::vector<gas::locality_id> span,
+            bool nested = false)
+      : proc_(core::create_process(
+            rt, detail::rotate_to_rank(rt, std::move(span)))) {
+    if (nested) {
+      pattern_counters::nested_patterns.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+
+  template <auto Fn, typename... Args>
+  void submit(Args&&... args) {
+    pattern_counters::pool_tasks.fetch_add(1, std::memory_order_relaxed);
+    proc_->spawn_any<Fn>(std::forward<Args>(args)...);
+  }
+
+  // Closure form (local-only in distributed mode, like process::spawn_any).
+  void submit(std::function<void()> fn) {
+    pattern_counters::pool_tasks.fetch_add(1, std::memory_order_relaxed);
+    proc_->spawn_any(std::move(fn));
+  }
+
+  void wait() {
+    proc_->seal();
+    proc_->terminated().get();
+  }
+
+  core::process& proc() noexcept { return *proc_; }
+
+ private:
+  std::shared_ptr<core::process> proc_;
+};
+
+}  // namespace px::patterns

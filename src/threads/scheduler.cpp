@@ -108,6 +108,8 @@ thread_descriptor* scheduler::acquire_descriptor(std::function<void()> fn) {
   td->entry = std::move(fn);
   td->on_suspend = nullptr;
   td->on_suspend_arg = nullptr;
+  td->child_proc_bits = 0;
+  td->child_edge = ~0ull;
   return td;
 }
 

@@ -43,6 +43,13 @@ struct thread_descriptor {
   using suspend_hook = void (*)(thread_descriptor*, void*);
   suspend_hook on_suspend = nullptr;
   void* on_suspend_arg = nullptr;
+
+  // Fiber-local slot for the process layer: which tracked child (process
+  // bits + credit-ledger edge, core/process_site.hpp) this thread runs
+  // under.  Lives on the descriptor — not in a thread_local — because a
+  // suspended thread may resume on a different worker.
+  std::uint64_t child_proc_bits = 0;
+  std::uint64_t child_edge = ~0ull;
 };
 
 }  // namespace px::threads

@@ -22,11 +22,13 @@
 #include <thread>
 
 #include "core/action.hpp"
+#include "core/echo.hpp"
 #include "core/percolation.hpp"
 #include "core/process.hpp"
 #include "core/runtime.hpp"
 #include "distributed_helpers.hpp"
 #include "introspect/query.hpp"
+#include "litlx/litlx.hpp"
 #include "parcel/migration.hpp"
 
 namespace {
@@ -649,6 +651,179 @@ TEST(Distributed, PercolateAcrossRanksRecyclesSlots) {
     return;
   }
   px::test::run_ranks(2, "Distributed.PercolateAcrossRanksRecyclesSlots");
+}
+
+// ===================================================================
+// PR 6: the retired remote_spawn surface, re-proved over its typed
+// replacements — echo replication, litlx atomic sections, and grandchild
+// credit splitting, each driven to global quiescence on 4 real ranks with
+// the parcel conservation law checked at the end.
+
+// ECHO-1 over TCP: an echo object created at rank 0, first-touch fetched
+// by the other ranks, updated by rank 1, converged everywhere — the
+// optimistic-copy protocol entirely over real sockets.
+TEST(Distributed, EchoReplicasConvergeAcrossRanks4) {
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      core::echo<std::uint64_t> var(rt, 0, 5ull);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        core::apply<&announce_obj>(rt.locality_gid(r), 0ull,
+                                   var.id().bits());
+      }
+    });
+    core::echo<std::uint64_t> var(gas::gid::from_bits(g_objs[0].load()));
+    ASSERT_TRUE(var.valid());
+
+    // First touch: non-home ranks fetch the authoritative copy, implant a
+    // local replica, and subsequent reads are replica hits.
+    rt.run([&] {
+      EXPECT_EQ(var.read().first, 5ull);
+      EXPECT_EQ(var.read().first, 5ull);
+    });
+
+    // A non-home writer commits through the split-phase validate path.
+    rt.run([&] {
+      if (rt.rank() != 1) return;
+      EXPECT_EQ(var.update([](std::uint64_t v) { return v + 10; }), 15ull);
+    });
+
+    // The commit's replica broadcast drained inside the collective above:
+    // every rank's local replica now agrees.
+    rt.run([&] { EXPECT_EQ(var.read().first, 15ull); });
+    if (rt.rank() == 0) {
+      EXPECT_GE(rt.echo_mgr().stats().commits_ok, 1u);
+    }
+
+    gather_books(rt, 0);
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_books.reports.load(), n);
+      EXPECT_EQ(g_books.dropped.load(), 0u);
+      expect_conservation();
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.EchoReplicasConvergeAcrossRanks4");
+}
+
+// LITL-X atomic sections over TCP: every rank hammers one guarded cell at
+// rank 0 through the typed-section parcels; the handoffs ride the same
+// per-locality parcel accounting as every other parcel (identical in sim
+// and tcp), and the count is exact.
+std::int64_t add_i64(std::int64_t& value, std::int64_t d) {
+  value += d;
+  return value;
+}
+PX_REGISTER_ATOMIC_SECTION(std::int64_t, add_i64)
+
+std::int64_t read_i64(std::int64_t& value) { return value; }
+PX_REGISTER_ATOMIC_SECTION(std::int64_t, read_i64)
+
+TEST(Distributed, LitlxAtomicSectionsAcrossRanks4) {
+  constexpr std::uint64_t kOps = 25;
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      litlx::atomic_object<std::int64_t> acc(rt, 0, 0);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        core::apply<&announce_obj>(rt.locality_gid(r), 0ull, acc.id().bits());
+      }
+    });
+    litlx::atomic_object<std::int64_t> acc(
+        gas::gid::from_bits(g_objs[0].load()));
+
+    const std::uint64_t sent_before = rt.here().stats().parcels_sent;
+    rt.run([&] {
+      std::vector<lco::future<std::int64_t>> acks;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        acks.push_back(acc.atomically<&add_i64>(std::int64_t{1}));
+      }
+      for (auto& a : acks) a.get();
+    });
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      EXPECT_EQ(acc.atomically<&read_i64>().get(),
+                static_cast<std::int64_t>(n * kOps));
+    });
+    if (rt.rank() != 0) {
+      // Satellite check: each section handoff was a real counted parcel.
+      EXPECT_GE(rt.here().stats().parcels_sent - sent_before, kOps);
+    }
+
+    gather_books(rt, 0);
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_books.reports.load(), n);
+      EXPECT_EQ(g_books.dropped.load(), 0u);
+      expect_conservation();
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.LitlxAtomicSectionsAcrossRanks4");
+}
+
+// Credit splitting: remote children spawn tracked grandchildren through
+// process_ref — no round trip to the primary — and the primary's
+// termination event still waits for every leaf, wherever spawn_any placed
+// it.  The site ledgers drain leaf-first and the books reconcile.
+std::atomic<std::uint64_t> g_leaves{0};
+void grand_leaf(std::uint64_t x) { g_leaves.fetch_add(x); }
+PX_REGISTER_PROCESS_CHILD(grand_leaf)
+
+void grand_parent(std::uint64_t proc_bits, std::uint64_t kids) {
+  core::runtime& rt = core::this_locality()->rt();
+  core::process_ref ref(rt, proc_bits);
+  for (std::uint64_t i = 0; i < kids; ++i) {
+    ref.spawn_any<&grand_leaf>(1ull);  // splits this rank's credit
+  }
+}
+PX_REGISTER_PROCESS_CHILD(grand_parent)
+
+std::uint64_t leaves_report() { return g_leaves.load(); }
+PX_REGISTER_ACTION(leaves_report)
+
+TEST(Distributed, GrandchildrenSplitCreditsAcrossRanks4) {
+  constexpr std::uint64_t kKids = 8;
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      std::vector<gas::locality_id> span;
+      for (std::uint32_t r = 0; r < n; ++r) span.push_back(r);
+      auto proc = core::create_process(rt, span);
+      for (std::uint32_t r = 1; r < n; ++r) {
+        proc->spawn_on<&grand_parent>(r, proc->id().bits(), kKids);
+      }
+      proc->seal();
+      // Fires only after every grandchild — spawned remotely, placed
+      // anywhere by spawn_any — has retired and its split credit returned.
+      proc->terminated().get();
+      std::uint64_t total = 0;
+      for (std::uint32_t r = 0; r < n; ++r) {
+        total += core::async<&leaves_report>(rt.locality_gid(r)).get();
+      }
+      EXPECT_EQ(total, static_cast<std::uint64_t>(n - 1) * kKids);
+    });
+
+    gather_books(rt, 0);
+    if (rt.rank() == 0) {
+      EXPECT_EQ(g_books.reports.load(), n);
+      EXPECT_EQ(g_books.dropped.load(), 0u);
+      expect_conservation();
+    }
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.GrandchildrenSplitCreditsAcrossRanks4");
 }
 
 }  // namespace

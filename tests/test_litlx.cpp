@@ -25,6 +25,26 @@ PX_REGISTER_ACTION(square)
 void touch(int) {}
 PX_REGISTER_ACTION(touch)
 
+// Atomic-section bodies (typed actions since PR 6: sections are parcels,
+// so the bodies are registered free functions, not closures).
+void inc_counter(std::int64_t& v) { v += 1; }
+PX_REGISTER_ATOMIC_SECTION(std::int64_t, inc_counter)
+
+std::int64_t read_counter(std::int64_t& v) { return v; }
+PX_REGISTER_ATOMIC_SECTION(std::int64_t, read_counter)
+
+std::uint64_t append_bc(std::string& s) {
+  s += "bc";
+  return s.size();
+}
+PX_REGISTER_ATOMIC_SECTION(std::string, append_bc)
+
+void set_int(int& v, int to) { v = to; }
+PX_REGISTER_ATOMIC_SECTION(int, set_int)
+
+int read_int(int& v) { return v; }
+PX_REGISTER_ATOMIC_SECTION(int, read_int)
+
 TEST(Litlx, AsyncCallSignalsSlot) {
   runtime rt(quick_params(3));
   rt.start();
@@ -101,14 +121,13 @@ TEST(Litlx, AtomicSectionsSerializePerObject) {
       rt.at(where).spawn([&] {
         for (int k = 0; k < kIncrements; ++k) {
           // Unsynchronized read-modify-write made safe by the section.
-          counter.atomically([](std::int64_t& v) { v += 1; }).wait();
+          counter.atomically<&inc_counter>().wait();
         }
         slot.signal();
       });
     }
     slot.wait();
-    const auto total =
-        counter.atomically([](std::int64_t& v) { return v; }).get();
+    const auto total = counter.atomically<&read_counter>().get();
     EXPECT_EQ(total, kThreads * kIncrements);
   });
 }
@@ -118,10 +137,7 @@ TEST(Litlx, AtomicSectionReturnsValue) {
   rt.start();
   litlx::atomic_object<std::string> obj(rt, 1, "a");
   rt.run([&] {
-    auto len = obj.atomically([](std::string& s) {
-      s += "bc";
-      return s.size();
-    });
+    auto len = obj.atomically<&append_bc>();
     EXPECT_EQ(len.get(), 3u);
   });
 }
@@ -133,12 +149,12 @@ TEST(Litlx, AtomicSectionsOnDifferentObjectsProceedIndependently) {
   litlx::atomic_object<int> b(rt, 1, 0);
   rt.run([&] {
     // No ordering is required (location consistency); both must complete.
-    auto fa = a.atomically([](int& v) { v = 1; });
-    auto fb = b.atomically([](int& v) { v = 2; });
+    auto fa = a.atomically<&set_int>(1);
+    auto fb = b.atomically<&set_int>(2);
     fa.wait();
     fb.wait();
-    EXPECT_EQ(a.atomically([](int& v) { return v; }).get(), 1);
-    EXPECT_EQ(b.atomically([](int& v) { return v; }).get(), 2);
+    EXPECT_EQ(a.atomically<&read_int>().get(), 1);
+    EXPECT_EQ(b.atomically<&read_int>().get(), 2);
   });
 }
 

@@ -1,0 +1,233 @@
+// The pattern library (src/patterns): pipelines, map_reduce, task_pool —
+// correctness, backpressure, nesting, termination tracking, and the
+// runtime/patterns/* introspection surface.  Single-process shape; the
+// cross-process behavior of the same patterns is covered by
+// tests/test_distributed.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "patterns/patterns.hpp"
+
+namespace {
+
+using namespace px;
+
+core::runtime_params make_params() {
+  core::runtime_params p;
+  p.localities = 4;
+  p.workers_per_locality = 2;
+  return p;
+}
+
+std::vector<gas::locality_id> full_span(core::runtime& rt) {
+  std::vector<gas::locality_id> span;
+  for (std::size_t i = 0; i < rt.num_localities(); ++i) {
+    span.push_back(static_cast<gas::locality_id>(i));
+  }
+  return span;
+}
+
+// ---------------------------------------------------------------- pipeline
+
+std::atomic<std::uint64_t> g_sink_sum{0};
+std::atomic<std::uint64_t> g_sink_count{0};
+
+std::uint64_t double_it(std::uint64_t x) { return x * 2; }
+void record_it(std::uint64_t x) {
+  g_sink_sum.fetch_add(x);
+  g_sink_count.fetch_add(1);
+}
+
+TEST(Patterns, PipelineRunsEveryItemThroughEveryStage) {
+  core::runtime rt(make_params());
+  g_sink_sum = 0;
+  g_sink_count = 0;
+  rt.run([&] {
+    patterns::pipeline<&double_it, &record_it> pipe(rt, full_span(rt), 8);
+    std::uint64_t expect = 0;
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+      pipe.push(i);
+      expect += 2 * i;
+    }
+    pipe.close();  // termination: every item has left every stage
+    EXPECT_EQ(g_sink_count.load(), 20u);
+    EXPECT_EQ(g_sink_sum.load(), expect);
+  });
+  rt.stop();
+}
+
+std::atomic<int> g_inflight{0};
+std::atomic<int> g_max_inflight{0};
+
+std::uint64_t enter_slow(std::uint64_t x) {
+  const int cur = g_inflight.fetch_add(1) + 1;
+  int prev = g_max_inflight.load();
+  while (cur > prev && !g_max_inflight.compare_exchange_weak(prev, cur)) {
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  return x;
+}
+void leave_slow(std::uint64_t) { g_inflight.fetch_sub(1); }
+
+TEST(Patterns, PipelineWindowBoundsItemsInFlight) {
+  core::runtime rt(make_params());
+  g_inflight = 0;
+  g_max_inflight = 0;
+  rt.run([&] {
+    // Window 3: the 4th push must suspend until an item_done parcel
+    // refills a slot, so at most 3 items are ever between the stages.
+    patterns::pipeline<&enter_slow, &leave_slow> pipe(rt, full_span(rt), 3);
+    for (std::uint64_t i = 0; i < 12; ++i) pipe.push(i);
+    pipe.close();
+  });
+  EXPECT_LE(g_max_inflight.load(), 3);
+  EXPECT_GE(g_max_inflight.load(), 1);
+  rt.stop();
+}
+
+// -------------------------------------------------------------- map_reduce
+
+std::uint64_t iota_sum(std::uint64_t ctx, std::uint64_t begin,
+                       std::uint64_t end) {
+  std::uint64_t s = 0;
+  for (std::uint64_t i = begin; i < end; ++i) s += ctx + i;
+  return s;
+}
+std::uint64_t add_u64(std::uint64_t a, std::uint64_t b) { return a + b; }
+
+TEST(Patterns, MapReduceReducesEveryChunk) {
+  core::runtime rt(make_params());
+  const auto tasks_before =
+      patterns::pattern_counters::map_tasks.load();
+  rt.run([&] {
+    // n=100, chunk=7 -> 15 chunks, sum(0..99) = 4950.
+    const std::uint64_t sum = patterns::map_reduce<&iota_sum, &add_u64>(
+        rt, full_span(rt), 100, 7);
+    EXPECT_EQ(sum, 4950u);
+  });
+  EXPECT_EQ(patterns::pattern_counters::map_tasks.load() - tasks_before,
+            15u);
+  rt.stop();
+}
+
+TEST(Patterns, MapReduceEmptyRangeReturnsDefault) {
+  core::runtime rt(make_params());
+  rt.run([&] {
+    EXPECT_EQ((patterns::map_reduce<&iota_sum, &add_u64>(rt, full_span(rt),
+                                                         0, 4)),
+              0u);
+  });
+  rt.stop();
+}
+
+// --------------------------------------------------------------- task_pool
+
+std::atomic<std::uint64_t> g_pool_sum{0};
+void pool_add(std::uint64_t x) { g_pool_sum.fetch_add(x); }
+
+TEST(Patterns, TaskPoolRunsTypedAndClosureTasks) {
+  core::runtime rt(make_params());
+  g_pool_sum = 0;
+  rt.run([&] {
+    patterns::task_pool pool(rt, full_span(rt));
+    for (std::uint64_t i = 1; i <= 10; ++i) pool.submit<&pool_add>(i);
+    pool.submit([] { g_pool_sum.fetch_add(100); });
+    pool.wait();
+    EXPECT_EQ(g_pool_sum.load(), 155u);  // 55 typed + 100 closure
+  });
+  rt.stop();
+}
+
+TEST(Patterns, TerminationWaitsForTrackedGrandchildren) {
+  core::runtime rt(make_params());
+  std::atomic<bool> grandchild_ran{false};
+  rt.run([&] {
+    patterns::task_pool pool(rt, full_span(rt));
+    pool.submit([&] {
+      // A task extends the pool's own tracked tree: wait() must not fire
+      // until this late grandchild retires too.
+      pool.proc().spawn_any([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        grandchild_ran = true;
+      });
+    });
+    pool.wait();
+    EXPECT_TRUE(grandchild_ran.load());
+  });
+  rt.stop();
+}
+
+// ----------------------------------------------------------------- nesting
+
+std::atomic<std::uint64_t> g_nested_sum{0};
+
+std::uint64_t pass_through(std::uint64_t n) { return n; }
+void nested_mr_stage(std::uint64_t n) {
+  core::runtime& rt = core::this_locality()->rt();
+  std::vector<gas::locality_id> span;
+  for (std::size_t i = 0; i < rt.num_localities(); ++i) {
+    span.push_back(static_cast<gas::locality_id>(i));
+  }
+  const std::uint64_t s = patterns::map_reduce<&iota_sum, &add_u64>(
+      rt, std::move(span), n, 3, /*ctx=*/0, /*nested=*/true);
+  g_nested_sum.fetch_add(s);
+}
+
+TEST(Patterns, MapReduceNestsInsideAPipelineStage) {
+  core::runtime rt(make_params());
+  g_nested_sum = 0;
+  const auto nested_before =
+      patterns::pattern_counters::nested_patterns.load();
+  rt.run([&] {
+    patterns::pipeline<&pass_through, &nested_mr_stage> pipe(
+        rt, full_span(rt), 4);
+    std::uint64_t expect = 0;
+    for (const std::uint64_t n : {8u, 9u, 10u}) {
+      pipe.push(n);
+      expect += n * (n - 1) / 2;  // sum(0..n-1)
+    }
+    pipe.close();
+    EXPECT_EQ(g_nested_sum.load(), expect);
+  });
+  EXPECT_EQ(
+      patterns::pattern_counters::nested_patterns.load() - nested_before,
+      3u);
+  rt.stop();
+}
+
+// ---------------------------------------------------------------- counters
+
+TEST(Patterns, CountersAreRegisteredAndLive) {
+  core::runtime rt(make_params());
+  for (const char* path :
+       {"runtime/patterns/pipelines", "runtime/patterns/pipeline_items",
+        "runtime/patterns/map_reduce_jobs", "runtime/patterns/map_tasks",
+        "runtime/patterns/pool_tasks", "runtime/patterns/nested"}) {
+    EXPECT_TRUE(rt.introspection().read(path).has_value()) << path;
+  }
+  const auto pipelines_before =
+      rt.introspection().read("runtime/patterns/pipelines").value();
+  const auto items_before =
+      rt.introspection().read("runtime/patterns/pipeline_items").value();
+  rt.run([&] {
+    patterns::pipeline<&double_it, &record_it> pipe(rt, full_span(rt), 4);
+    pipe.push(1);
+    pipe.push(2);
+    pipe.close();
+  });
+  EXPECT_EQ(
+      rt.introspection().read("runtime/patterns/pipelines").value(),
+      pipelines_before + 1);
+  EXPECT_EQ(
+      rt.introspection().read("runtime/patterns/pipeline_items").value(),
+      items_before + 2);
+  rt.stop();
+}
+
+}  // namespace
