@@ -236,7 +236,7 @@ int run_body() {
   core::runtime_params p;
   p.localities = 4;
   p.workers_per_locality = 2;
-  core::runtime rt(p);  // tcp backend + rank resolved from PX_NET_* if set
+  core::runtime rt(p);  // backend + rank resolved from PX_NET_* if set
   int result = 0;
   rt.run([&] {
     if (rt.distributed() && rt.rank() != 0) return;  // SPMD peers serve
@@ -263,10 +263,10 @@ int run_body() {
     for (std::size_t i = 0; i < ref.size(); ++i) {
       if (coll->out[i] != ref[i]) mismatches += 1;
     }
-    std::printf("convolve: %ux%u image, %u bands over %zu localities%s: %s "
-                "(%zu mismatching pixels)\n",
+    std::printf("convolve: %ux%u image, %u bands over %zu localities "
+                "[%s]: %s (%zu mismatching pixels)\n",
                 kW, kH, bands, rt.num_localities(),
-                rt.distributed() ? " [tcp]" : " [sim]",
+                rt.transport().backend_name(),
                 mismatches == 0 ? "OK" : "FAIL", mismatches);
     result = mismatches == 0 ? 0 : 1;
   });
@@ -280,10 +280,14 @@ int run_launcher(int nranks) {
               root_port);
   const std::vector<std::string> argv = {util::self_exe_path(), "--ranks",
                                          std::to_string(nranks)};
+  // The launcher's own PX_NET_BACKEND picks the ranks' data plane, so
+  // `PX_NET_BACKEND=shm ./example_... ` exercises the shm mesh end to end.
+  const char* be = std::getenv("PX_NET_BACKEND");
+  const std::string backend = be != nullptr && be[0] != '\0' ? be : "tcp";
   std::vector<pid_t> pids;
   for (int r = 0; r < nranks; ++r) {
-    pids.push_back(
-        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+    pids.push_back(util::spawn_process(
+        argv, util::net_rank_env(r, nranks, root_port, backend)));
   }
   int failures = 0;
   for (int r = 0; r < nranks; ++r) {

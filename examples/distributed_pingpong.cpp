@@ -71,10 +71,14 @@ int run_launcher(int nranks, int iters) {
   const std::vector<std::string> argv = {util::self_exe_path(),
                                          std::to_string(nranks),
                                          std::to_string(iters)};
+  // The launcher's own PX_NET_BACKEND picks the ranks' data plane, so
+  // `PX_NET_BACKEND=shm ./example_... ` exercises the shm mesh end to end.
+  const char* be = std::getenv("PX_NET_BACKEND");
+  const std::string backend = be != nullptr && be[0] != '\0' ? be : "tcp";
   std::vector<pid_t> pids;
   for (int r = 0; r < nranks; ++r) {
-    pids.push_back(
-        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+    pids.push_back(util::spawn_process(
+        argv, util::net_rank_env(r, nranks, root_port, backend)));
   }
   int failures = 0;
   for (int r = 0; r < nranks; ++r) {

@@ -9,6 +9,7 @@
 #include "core/percolation.hpp"
 #include "lco/lco.hpp"
 #include "net/bootstrap.hpp"
+#include "net/shm_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "patterns/counters.hpp"
 #include "util/assert.hpp"
@@ -57,11 +58,12 @@ runtime_params resolve_net(runtime_params p) {
   if (p.net.migration < 0) {
     p.net.migration = cfg.get_bool("migration", true) ? 1 : 0;
   }
-  PX_ASSERT_MSG(p.net.backend == "sim" || p.net.backend == "tcp",
-                "PX_NET_BACKEND must be \"sim\" or \"tcp\"");
-  if (p.net.backend == "tcp") {
+  PX_ASSERT_MSG(p.net.backend == "sim" || p.net.backend == "tcp" ||
+                    p.net.backend == "shm",
+                "PX_NET_BACKEND must be \"sim\", \"tcp\", or \"shm\"");
+  if (p.net.backend == "tcp" || p.net.backend == "shm") {
     PX_ASSERT_MSG(p.net.ranks >= 1,
-                  "tcp backend: PX_NET_RANKS (or net.ranks) must be set");
+                  "distributed backend: PX_NET_RANKS (or net.ranks) required");
     PX_ASSERT_MSG(p.net.rank >= 0 && p.net.rank < p.net.ranks,
                   "PX_NET_RANK out of range");
     p.localities = static_cast<std::size_t>(p.net.ranks);
@@ -76,7 +78,8 @@ runtime::runtime(runtime_params params)
       agas_(params_.localities),
       introspect_(agas_, names_) {
   PX_ASSERT(params_.localities >= 1);
-  distributed_ = params_.net.backend == "tcp";
+  distributed_ =
+      params_.net.backend == "tcp" || params_.net.backend == "shm";
   rank_ = distributed_ ? static_cast<gas::locality_id>(params_.net.rank) : 0;
   params_.fabric.endpoints = params_.localities;
   // parcel::forwards is u8: a bound of 255 could never trip (the counter
@@ -164,18 +167,33 @@ runtime::runtime(runtime_params params)
     names_.register_name("hw/locality/" + std::to_string(i), g);
   }
 
-  // Transport backend.  The tcp path is three-phase: bind the data-plane
-  // listener (ctor), trade endpoints + wire params through the bootstrap,
-  // and — only after every local consumer below is wired up — dial the
-  // mesh (connect_peers starts the progress thread, so the handler must
-  // already be in place; a fast peer may send the moment its ctor ends).
+  // Transport backend.  The distributed path is three-phase: claim the
+  // data plane (ctor — tcp binds its listener, shm creates its segments),
+  // trade endpoints + wire params through the bootstrap (the endpoint
+  // string is opaque to the control plane: "host:port" for tcp, a segment
+  // token for shm), and — only after every local consumer below is wired
+  // up — establish the mesh (connect_peers starts the progress thread, so
+  // the handler must already be in place; a fast peer may send the moment
+  // its ctor ends).
   std::vector<std::string> peer_table;
   if (distributed_) {
-    net::tcp_params tp;
-    tp.rank = rank_;
-    tp.nranks = static_cast<std::uint32_t>(params_.localities);
-    tp.listen = params_.net.listen;
-    tcp_ = std::make_unique<net::tcp_transport>(tp);
+    if (params_.net.backend == "tcp") {
+      net::tcp_params tp;
+      tp.rank = rank_;
+      tp.nranks = static_cast<std::uint32_t>(params_.localities);
+      tp.listen = params_.net.listen;
+      dist_ = std::make_unique<net::tcp_transport>(tp);
+    } else {
+      util::config shm_cfg;
+      shm_cfg.load_environment();
+      net::shm_params sp;
+      sp.rank = rank_;
+      sp.nranks = static_cast<std::uint32_t>(params_.localities);
+      sp.ring_bytes = static_cast<std::size_t>(shm_cfg.get_int(
+          "shm.ring_bytes", static_cast<std::int64_t>(sp.ring_bytes)));
+      sp.spin_us = shm_cfg.get_int("shm.spin_us", sp.spin_us);
+      dist_ = std::make_unique<net::shm_transport>(sp);
+    }
     net::bootstrap_params bp;
     bp.rank = rank_;
     bp.nranks = static_cast<std::uint32_t>(params_.localities);
@@ -183,12 +201,12 @@ runtime::runtime(runtime_params params)
     bootstrap_ = std::make_unique<net::bootstrap>(bp);
     const std::vector<std::byte> blob =
         rank_ == 0 ? encode_wire_params() : std::vector<std::byte>{};
-    auto ex = bootstrap_->exchange(tcp_->listen_address(), blob);
+    auto ex = bootstrap_->exchange(dist_->listen_address(), blob);
     // Rank 0's wire-relevant knobs win everywhere: ranks coalescing with
     // different thresholds or forward bounds would be a debugging trap.
     if (rank_ != 0) apply_wire_params(ex.params_blob);
     peer_table = std::move(ex.endpoints);
-    transport_ = tcp_.get();
+    transport_ = dist_.get();
   } else {
     fabric_ = std::make_unique<net::fabric>(params_.fabric);
     transport_ = fabric_.get();
@@ -266,7 +284,7 @@ runtime::runtime(runtime_params params)
       *this, params_.staging_slots_per_locality);
 
   if (distributed_) {
-    tcp_->connect_peers(peer_table);
+    dist_->connect_peers(peer_table);
     // Barrier before traffic: no rank leaves its ctor (and starts sending
     // parcels) until every rank's mesh and handlers are up.  The barrier
     // also cross-checks the counter-schema digest — boot-time gid
@@ -298,7 +316,7 @@ void runtime::register_counters() {
       "/port/frames_sent", "/port/eager_flushes", "/fabric/frames_sent",
       "/fabric/parcels_sent", "/fabric/bytes_sent",
       "/monitor/ready_ewma_milli", "/monitor/samples", "/net/bytes_tx",
-      "/net/bytes_rx", "/net/msgs_tx", "/net/msgs_rx", "/net/reconnects"};
+      "/net/bytes_rx", "/net/msgs_tx", "/net/msgs_rx"};
 
   for (std::size_t i = 0; i < localities_.size(); ++i) {
     const auto lid = static_cast<gas::locality_id>(i);
@@ -310,6 +328,13 @@ void runtime::register_counters() {
 
     if (loc == nullptr) {  // remote rank: schema without samplers
       for (const char* path : kLocalitySchema) reg.add_remote(lid, p + path);
+      // Backend-specific rows replay by *name* (sampling a remote
+      // endpoint's books locally would assert); every rank runs the same
+      // backend, so the positional gid sequence still matches.
+      const auto own_ep = static_cast<net::endpoint_id>(rank_);
+      for (const auto& c : transport_->extra_link_counters(own_ep)) {
+        reg.add_remote(lid, p + "/net/" + c.name);
+      }
       continue;
     }
 
@@ -369,8 +394,15 @@ void runtime::register_counters() {
             [t, ep] { return t->link(ep).msgs_tx; });
     reg.add(lid, p + "/net/msgs_rx",
             [t, ep] { return t->link(ep).msgs_rx; });
-    reg.add(lid, p + "/net/reconnects",
-            [t, ep] { return t->link(ep).reconnects; });
+    // Backend-specific rows (tcp: reconnects; shm: ring_full_waits,
+    // wakeups; sim: none) — registered only when the active backend
+    // actually maintains them, so the schema never carries an
+    // always-zero row for a counter the backend cannot produce.
+    const auto extras = t->extra_link_counters(ep);
+    for (std::size_t k = 0; k < extras.size(); ++k) {
+      reg.add(lid, p + "/net/" + extras[k].name,
+              [t, ep, k] { return t->extra_link_counters(ep)[k].value; });
+    }
   }
 
   // Machine-global services, homed where they conceptually live (loc 0 ==
@@ -468,7 +500,7 @@ void runtime::stop() {
   if (distributed_) {
     // Flag the orderly shutdown *before* the barrier: once any rank is
     // past it, every rank has already marked peer disconnects expected.
-    tcp_->expect_peer_disconnects();
+    dist_->expect_peer_disconnects();
     bootstrap_->barrier();
   }
   for (auto& loc : localities_) {
@@ -641,9 +673,9 @@ void runtime::wait_quiescent() {
     // never be delivered anywhere, and counting them would make the
     // global sent == delivered test unsatisfiable forever.
     if (bootstrap_->quiesce_round(locally_stable, activity_snapshot(),
-                                  tcp_->messages_sent_total() -
-                                      tcp_->parcels_dropped_total(),
-                                  tcp_->parcels_received_total())) {
+                                  dist_->messages_sent_total() -
+                                      dist_->parcels_dropped_total(),
+                                  dist_->parcels_received_total())) {
       return;
     }
   }

@@ -11,9 +11,10 @@
 //   * single-process (default): every locality lives here, connected by
 //     the latency-modelled net::fabric — the shape every pre-PR-4 test,
 //     bench, and example runs in, unchanged;
-//   * distributed ("tcp"): the machine spans N processes ("ranks"), one
-//     locality per process, connected by net::tcp_transport over real
-//     sockets with a net::bootstrap control plane.  localities_ is sparse
+//   * distributed ("tcp" or "shm"): the machine spans N processes
+//     ("ranks"), one locality per process, connected by net::tcp_transport
+//     over real sockets or net::shm_transport over same-host mapped rings,
+//     with a net::bootstrap control plane.  localities_ is sparse
 //     (only this rank's slot is populated; at() on a remote id asserts),
 //     the AGAS directory shard for a gid lives in its *home rank's*
 //     process, and — since PR 5 — objects genuinely migrate between
@@ -66,7 +67,6 @@
 #include "util/config.hpp"
 
 namespace px::net {
-class tcp_transport;
 class bootstrap;
 }  // namespace px::net
 
@@ -316,7 +316,7 @@ class runtime {
   introspect::registry introspect_;
   // Declaration order is load-bearing for destruction: the transport must
   // die first (its progress thread's handlers and idle callback reference
-  // the localities, ports, monitors, and rebalancer), so fabric_/tcp_ are
+  // the localities, ports, monitors, and rebalancer), so fabric_/dist_ are
   // declared last of this group; the bootstrap (plain sockets, no
   // callbacks) may outlive the transport.
   std::vector<std::unique_ptr<locality>> localities_;  // sparse when distributed
@@ -325,7 +325,7 @@ class runtime {
   std::unique_ptr<rebalancer> balancer_;
   std::unique_ptr<net::bootstrap> bootstrap_;  // distributed control plane
   std::unique_ptr<net::fabric> fabric_;        // sim backend
-  std::unique_ptr<net::tcp_transport> tcp_;    // tcp backend
+  std::unique_ptr<net::distributed_transport> dist_;  // tcp or shm backend
   net::transport* transport_ = nullptr;        // whichever backend is live
   std::vector<gas::gid> locality_gids_;
   std::unique_ptr<echo_manager> echo_;

@@ -276,7 +276,6 @@ link_counters fabric::link(endpoint_id ep) const {
   out.bytes_rx = st.bytes_received;
   out.msgs_tx = st.messages_sent;
   out.msgs_rx = st.messages_received;
-  out.reconnects = 0;  // the simulated fabric never drops a link
   return out;
 }
 

@@ -359,10 +359,18 @@ link_counters tcp_transport::link(endpoint_id ep) const {
   out.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
   out.msgs_tx = msgs_tx_.load(std::memory_order_relaxed);
   out.msgs_rx = msgs_rx_.load(std::memory_order_relaxed);
-  for (const auto& p : peers_) {
-    out.reconnects += p->reconnects.load(std::memory_order_relaxed);
-  }
   return out;
+}
+
+std::vector<extra_link_counter> tcp_transport::extra_link_counters(
+    endpoint_id ep) const {
+  PX_ASSERT_MSG(ep == params_.rank,
+                "tcp link: remote ranks keep their own books");
+  std::uint64_t reconnects = 0;
+  for (const auto& p : peers_) {
+    reconnects += p->reconnects.load(std::memory_order_relaxed);
+  }
+  return {{"reconnects", reconnects}};
 }
 
 }  // namespace px::net

@@ -54,7 +54,7 @@ struct tcp_params {
   std::uint64_t connect_timeout_ms = 20'000;
 };
 
-class tcp_transport final : public transport {
+class tcp_transport final : public distributed_transport {
  public:
   explicit tcp_transport(tcp_params params);
   ~tcp_transport() override;
@@ -64,12 +64,12 @@ class tcp_transport final : public transport {
 
   // Actual bound data-plane address ("host:port"), for the bootstrap
   // endpoint table.
-  std::string listen_address() const;
+  std::string listen_address() const override;
 
   // Establishes the full mesh from the bootstrap-exchanged table (index ==
   // rank; our own entry is ignored) and starts the progress thread.
   // Blocks until every peer link is up; asserts on timeout.
-  void connect_peers(const std::vector<std::string>& table);
+  void connect_peers(const std::vector<std::string>& table) override;
 
   // ------------------------------------------------- transport interface
 
@@ -91,10 +91,13 @@ class tcp_transport final : public transport {
   endpoint_stats stats(endpoint_id ep) const override;
   link_counters link(endpoint_id ep) const override;
   const char* backend_name() const noexcept override { return "tcp"; }
+  // One TCP-specific row: extra dial attempts while the mesh came up.
+  std::vector<extra_link_counter> extra_link_counters(
+      endpoint_id ep) const override;
 
   // Monotonic count of units fully delivered to the handler; the second
   // half of the distributed quiescence sent/delivered balance.
-  std::uint64_t parcels_received_total() const noexcept {
+  std::uint64_t parcels_received_total() const noexcept override {
     return received_total_.load(std::memory_order_acquire);
   }
 
@@ -103,14 +106,14 @@ class tcp_transport final : public transport {
   // dropped parcel will never be delivered anywhere, and leaving it in
   // the balance would make global sent == delivered unsatisfiable — every
   // rank would spin in quiesce rounds forever.
-  std::uint64_t parcels_dropped_total() const noexcept {
+  std::uint64_t parcels_dropped_total() const noexcept override {
     return dropped_total_.load(std::memory_order_acquire);
   }
 
   // Orderly-shutdown notice (runtime::stop after the global quiescence
   // verdict + barrier): peers will now close their sockets at their own
   // pace — treat EOFs as normal instead of warning about a lost peer.
-  void expect_peer_disconnects() noexcept {
+  void expect_peer_disconnects() noexcept override {
     closing_.store(true, std::memory_order_release);
   }
 

@@ -1,11 +1,28 @@
 #include "net/transport.hpp"
 
 #include "net/socket_util.hpp"
+#include "parcel/parcel.hpp"
 
 namespace px::net {
 
-// Key function: anchors the transport vtable in one translation unit.
+// Key functions: anchor the transport vtables in one translation unit.
 transport::~transport() = default;
+distributed_transport::~distributed_transport() = default;
+
+std::optional<std::uint32_t> whole_frame_ingest::accept(
+    std::span<const std::byte> frame) {
+  if (poisoned_) return std::nullopt;
+  if (frame.size() > max_frame_bytes_) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  const auto view = parcel::frame_view::parse(frame);
+  if (!view.has_value()) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  return view->count();
+}
 
 std::pair<std::string, std::uint16_t> split_host_port(const std::string& s) {
   return detail::split_host_port_impl(s);

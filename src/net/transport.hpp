@@ -5,8 +5,9 @@
 // Everything above it — parcel ports, quiescence accounting, delivery into
 // localities — talks only to `transport`, and a backend is chosen at runtime
 // construction (PX_NET_BACKEND): the latency-modelled in-process fabric
-// (default; every test and bench keeps its physics) or the TCP backend in
-// net/tcp_transport.hpp, where each endpoint is a separate OS process.
+// (default; every test and bench keeps its physics), the TCP backend in
+// net/tcp_transport.hpp where each endpoint is a separate OS process, or the
+// same-host shared-memory backend in net/shm_transport.hpp.
 //
 // Contract every backend must honor (the quiescence protocol depends on it):
 //   * send() never blocks on the receiver and is thread-safe;
@@ -15,8 +16,9 @@
 //   * in_flight() covers every unit accepted by send() that this process
 //     still holds (queued or mid-delivery).  For the fabric that means
 //     until the receive handler returned; for TCP it means until the last
-//     byte reached the kernel — cross-process flight is tracked by the
-//     distributed quiescence counters instead (see runtime::wait_quiescent);
+//     byte reached the kernel; for shm it means until the peer's consumer
+//     finished handling the frame — cross-process flight is additionally
+//     tracked by the distributed quiescence counters (runtime::wait_quiescent);
 //   * drain() blocks until in_flight() == 0;
 //   * handlers and the idle callback run on the backend's progress thread
 //     and must not block for long.
@@ -24,6 +26,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,10 +41,10 @@ using endpoint_id = std::uint32_t;
 // default resolves from the PX_NET_* environment in the runtime ctor (the
 // launcher's channel to its ranks); explicit values win.
 //
-//   backend   ""  -> PX_NET_BACKEND -> "sim"      "sim" | "tcp"
+//   backend   ""  -> PX_NET_BACKEND -> "sim"      "sim" | "tcp" | "shm"
 //   rank      -1  -> PX_NET_RANK    -> 0          this process's locality id
-//   ranks     0   -> PX_NET_RANKS                 total processes (tcp only)
-//   listen    ""  -> PX_NET_LISTEN  -> "127.0.0.1:0"   data-plane bind
+//   ranks     0   -> PX_NET_RANKS                 total processes (tcp/shm)
+//   listen    ""  -> PX_NET_LISTEN  -> "127.0.0.1:0"   data-plane bind (tcp)
 //   root      ""  -> PX_NET_ROOT    -> "127.0.0.1:7733" rank 0 control addr
 //   migration -1  -> PX_MIGRATION   -> 1 (on)     cross-process AGAS moves
 struct net_params {
@@ -49,7 +53,7 @@ struct net_params {
   std::int64_t ranks = 0;
   std::string listen;
   std::string root;
-  // Cross-process object migration (tcp backend): tri-state so "unset"
+  // Cross-process object migration (tcp/shm backends): tri-state so "unset"
   // resolves from the environment.  Rank 0's resolved value rides the
   // bootstrap wire-params blob — migration changes how *every* rank routes
   // and forwards, so the machine must agree.  0 restores PR 4's static
@@ -75,14 +79,24 @@ struct endpoint_stats {
 
 // Per-endpoint traffic totals in the shape the introspection registry
 // exposes them (runtime/loc<i>/net/*): what this endpoint put on and took
-// off the wire, plus link churn.  The fabric never reconnects; the TCP
-// backend counts every re-dialed data connection.
+// off the wire.  Backend-specific churn (TCP re-dials, shm ring stalls)
+// is published through extra_link_counters() below, so the schema only
+// carries rows the active backend actually maintains.
 struct link_counters {
   std::uint64_t bytes_tx = 0;
   std::uint64_t bytes_rx = 0;
   std::uint64_t msgs_tx = 0;
   std::uint64_t msgs_rx = 0;
-  std::uint64_t reconnects = 0;
+};
+
+// A backend-specific counter row: registered as runtime/loc<i>/net/<name>
+// only when that backend is active, keeping the schema honest (the fix for
+// `reconnects` reading as an always-zero row under sim).  All ranks run
+// the same backend, so positional gid allocation still replays identically
+// machine-wide.
+struct extra_link_counter {
+  const char* name;
+  std::uint64_t value;
 };
 
 class transport {
@@ -125,6 +139,77 @@ class transport {
   virtual endpoint_stats stats(endpoint_id ep) const = 0;
   virtual link_counters link(endpoint_id ep) const = 0;
   virtual const char* backend_name() const noexcept = 0;
+
+  // Whole-frame delivery seam.  A byte-stream backend (TCP) hands the
+  // receive path arbitrary fragments and needs parcel::frame_assembler to
+  // cut frames back out; a message-oriented backend (shm rings today, an
+  // ibverbs/libfabric RECV completion tomorrow) delivers complete frames
+  // and must skip reassembly entirely — its receive path validates each
+  // frame through whole_frame_ingest below and hands it straight to the
+  // handler.  The flag is advisory for introspection/tests; the backend
+  // itself owns acting on it.
+  virtual bool whole_frame_delivery() const noexcept { return false; }
+
+  // Backend-specific counter rows for endpoint `ep` (empty by default).
+  // Names must be stable across the run; the runtime registers one
+  // introspection counter per row at boot.
+  virtual std::vector<extra_link_counter> extra_link_counters(
+      endpoint_id ep) const {
+    (void)ep;
+    return {};
+  }
+};
+
+// Validation gate for whole-frame backends: the frame_assembler bypass
+// must not also bypass its safety properties.  accept() runs the same
+// checks the assembler applies to a cut frame — bounded size, then a full
+// frame_view::parse walk (magic, count, every record length, every parcel
+// header) — and returns the frame's record count on success.  Any
+// rejection poisons the ingest permanently (the assembler's
+// poison-don't-resync stance: a corrupt shared-memory ring has no
+// trustworthy next message), and the owner must tear the link down.
+class whole_frame_ingest {
+ public:
+  explicit whole_frame_ingest(std::size_t max_frame_bytes = 64u << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  // Returns the validated frame's record count, or nullopt (poisoning the
+  // ingest) if the frame is oversize or fails frame_view::parse.
+  std::optional<std::uint32_t> accept(std::span<const std::byte> frame);
+
+  bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  bool poisoned_ = false;
+};
+
+// Contract extensions shared by every multi-process backend (tcp, shm, a
+// future RDMA transport) and consumed by the runtime's distributed boot
+// and quiescence machinery.  The fabric is not one of these — it models a
+// whole machine in one process.
+class distributed_transport : public transport {
+ public:
+  ~distributed_transport() override;  // key function (transport.cpp)
+
+  // The string peers need to reach this endpoint, exchanged (opaquely)
+  // through the bootstrap hello/reply: "host:port" for tcp, the shm
+  // segment-name token for shm.
+  virtual std::string listen_address() const = 0;
+
+  // Establishes the full pairwise mesh from the bootstrap-exchanged
+  // endpoint table (index == rank) and starts the progress thread.
+  virtual void connect_peers(const std::vector<std::string>& table) = 0;
+
+  // Units fully delivered to this process's handler / units this process
+  // dropped (dead link, oversize): inputs to the machine-wide parcel
+  // conservation identity in runtime::wait_quiescent.
+  virtual std::uint64_t parcels_received_total() const noexcept = 0;
+  virtual std::uint64_t parcels_dropped_total() const noexcept = 0;
+
+  // Arms orderly-shutdown mode: subsequent peer EOFs/closures are expected
+  // teardown, not anomalies worth a warning.
+  virtual void expect_peer_disconnects() noexcept = 0;
 };
 
 // Parses "host:port" (the PX_NET_LISTEN / PX_NET_ROOT syntax); asserts on

@@ -114,12 +114,14 @@ std::vector<knob_info> config::known_knobs() {
     return knob_info{key, env_name_for(key), summary};
   };
   return {
-      knob("net.backend", "transport backend: \"sim\" or \"tcp\""),
-      knob("net.rank", "this process's locality id (tcp)"),
-      knob("net.ranks", "total rank count (tcp, required)"),
-      knob("net.listen", "data-plane bind address (tcp)"),
-      knob("net.root", "rank 0 bootstrap listen address (tcp)"),
-      knob("migration", "cross-process object migration on/off (tcp)"),
+      knob("net.backend", "transport backend: \"sim\", \"tcp\", or \"shm\""),
+      knob("net.rank", "this process's locality id (tcp/shm)"),
+      knob("net.ranks", "total rank count (tcp/shm, required)"),
+      knob("net.listen", "data-plane bind address (tcp only)"),
+      knob("net.root", "rank 0 bootstrap listen address (tcp/shm)"),
+      knob("migration", "cross-process object migration on/off (tcp/shm)"),
+      knob("shm.ring_bytes", "shm backend: per-direction ring bytes per pair"),
+      knob("shm.spin_us", "shm backend: receiver spin before futex sleep"),
       knob("parcel.flush_bytes", "coalesced-frame byte threshold"),
       knob("parcel.flush_count", "coalesced-frame parcel-count threshold"),
       knob("parcel.eager_flush", "first-parcel eager flush on/off"),

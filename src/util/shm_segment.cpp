@@ -1,0 +1,109 @@
+#include "util/shm_segment.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/assert.hpp"
+
+namespace px::util {
+
+namespace {
+
+// shm_open requires a leading '/'; the transport-level names (px.<pid>-...)
+// don't carry one, so normalize here and nowhere else.
+std::string shm_path(const std::string& name) {
+  return name.empty() || name[0] == '/' ? name : "/" + name;
+}
+
+}  // namespace
+
+shm_segment::~shm_segment() { release(); }
+
+shm_segment::shm_segment(shm_segment&& other) noexcept
+    : name_(std::move(other.name_)),
+      base_(std::exchange(other.base_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      owner_(std::exchange(other.owner_, false)),
+      unlinked_(std::exchange(other.unlinked_, false)) {}
+
+shm_segment& shm_segment::operator=(shm_segment&& other) noexcept {
+  if (this != &other) {
+    release();
+    name_ = std::move(other.name_);
+    base_ = std::exchange(other.base_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    owner_ = std::exchange(other.owner_, false);
+    unlinked_ = std::exchange(other.unlinked_, false);
+  }
+  return *this;
+}
+
+void shm_segment::release() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, bytes_);
+    base_ = nullptr;
+  }
+  if (owner_ && !unlinked_) {
+    ::shm_unlink(shm_path(name_).c_str());
+    unlinked_ = true;
+  }
+}
+
+void shm_segment::unlink() noexcept {
+  if (owner_ && !unlinked_) {
+    ::shm_unlink(shm_path(name_).c_str());
+    unlinked_ = true;
+  }
+}
+
+shm_segment shm_segment::create(const std::string& name, std::size_t bytes) {
+  const std::string path = shm_path(name);
+  const int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  PX_ASSERT_MSG(fd >= 0, "shm_open(create) failed");
+  const int rc = ::ftruncate(fd, static_cast<off_t>(bytes));
+  PX_ASSERT_MSG(rc == 0, "ftruncate on shm segment failed");
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  PX_ASSERT_MSG(base != MAP_FAILED, "mmap of created shm segment failed");
+  std::memset(base, 0, bytes);
+  return shm_segment(name, base, bytes, /*owner=*/true);
+}
+
+shm_segment shm_segment::open_existing(const std::string& name,
+                                       std::uint64_t timeout_ms) {
+  const std::string path = shm_path(name);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::shm_open(path.c_str(), O_RDWR, 0);
+    if (fd >= 0) {
+      struct stat st {};
+      const int rc = ::fstat(fd, &st);
+      if (rc == 0 && st.st_size > 0) {
+        const auto bytes = static_cast<std::size_t>(st.st_size);
+        void* base =
+            ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+        ::close(fd);
+        PX_ASSERT_MSG(base != MAP_FAILED, "mmap of opened shm segment failed");
+        return shm_segment(name, base, bytes, /*owner=*/false);
+      }
+      ::close(fd);  // created but not yet sized; retry
+    } else {
+      PX_ASSERT_MSG(errno == ENOENT, "shm_open(attach) failed");
+    }
+    PX_ASSERT_MSG(std::chrono::steady_clock::now() < deadline,
+                  "timed out attaching to peer shm segment");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace px::util

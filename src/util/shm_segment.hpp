@@ -1,0 +1,62 @@
+// RAII POSIX shared-memory segment (shm_open / ftruncate / mmap).
+//
+// The shm transport's crash-safety story lives here.  A segment has two
+// lifetimes: the *name* in /dev/shm and the *mapping* in each attached
+// process.  `unlink()` retires the name immediately — existing mappings
+// stay valid until every attacher unmaps — so the transport unlinks as
+// soon as its peer has attached and nothing survives a later crash.  As a
+// backstop, the destructor unlinks any still-named segment this process
+// created, covering the window where a peer never attached at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace px::util {
+
+class shm_segment {
+ public:
+  shm_segment() = default;
+  ~shm_segment();
+
+  shm_segment(const shm_segment&) = delete;
+  shm_segment& operator=(const shm_segment&) = delete;
+  shm_segment(shm_segment&& other) noexcept;
+  shm_segment& operator=(shm_segment&& other) noexcept;
+
+  // Creates a fresh segment (O_CREAT|O_EXCL) of exactly `bytes`, mapped
+  // shared and zero-filled.  Asserts on any failure — segment creation
+  // happens at boot, where the only correct response to EEXIST/ENOSPC is
+  // a loud death.
+  static shm_segment create(const std::string& name, std::size_t bytes);
+
+  // Attaches to a segment some other process is creating *right now*:
+  // retries open + size-visible until `timeout_ms` elapses (creation is
+  // shm_open then ftruncate, so a freshly created name can briefly report
+  // size 0).  Asserts on timeout.
+  static shm_segment open_existing(const std::string& name,
+                                   std::uint64_t timeout_ms);
+
+  // Retires the name from /dev/shm (idempotent; mapping stays valid).
+  // Only the creating side ever calls this — openers never own the name.
+  void unlink() noexcept;
+
+  bool valid() const noexcept { return base_ != nullptr; }
+  void* data() const noexcept { return base_; }
+  std::size_t size() const noexcept { return bytes_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  shm_segment(std::string name, void* base, std::size_t bytes, bool owner)
+      : name_(std::move(name)), base_(base), bytes_(bytes), owner_(owner) {}
+  void release() noexcept;
+
+  std::string name_;
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool owner_ = false;     // this process created the name
+  bool unlinked_ = false;  // name already retired
+};
+
+}  // namespace px::util

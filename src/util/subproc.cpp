@@ -80,9 +80,9 @@ int wait_exit(pid_t pid, std::uint64_t timeout_ms) {
 }
 
 std::vector<std::pair<std::string, std::string>> net_rank_env(
-    int rank, int nranks, int root_port) {
+    int rank, int nranks, int root_port, const std::string& backend) {
   return {
-      {"PX_NET_BACKEND", "tcp"},
+      {"PX_NET_BACKEND", backend},
       {"PX_NET_RANK", std::to_string(rank)},
       {"PX_NET_RANKS", std::to_string(nranks)},
       {"PX_NET_ROOT", "127.0.0.1:" + std::to_string(root_port)},

@@ -33,9 +33,10 @@ pid_t spawn_process(
 // code, or -1 for signal death / timeout.
 int wait_exit(pid_t pid, std::uint64_t timeout_ms = 120'000);
 
-// Environment for rank `rank` of an `nranks`-process TCP machine whose
-// rank 0 control plane listens on 127.0.0.1:`root_port`.
+// Environment for rank `rank` of an `nranks`-process distributed machine
+// whose rank 0 control plane listens on 127.0.0.1:`root_port`.  `backend`
+// selects the data plane ("tcp" or "shm").
 std::vector<std::pair<std::string, std::string>> net_rank_env(
-    int rank, int nranks, int root_port);
+    int rank, int nranks, int root_port, const std::string& backend = "tcp");
 
 }  // namespace px::util

@@ -1,4 +1,4 @@
-// Helpers for multi-process (distributed TCP) gtest cases.
+// Helpers for multi-process (distributed tcp/shm) gtest cases.
 //
 // Pattern: a distributed test runs twice.  The *parent* invocation (no
 // PX_NET_RANK in the environment) re-executes this very test binary once
@@ -29,8 +29,10 @@ inline bool is_rank_child() {
 // Spawns `nranks` copies of the current test binary filtered to
 // `test_name` and expects every one to exit 0.  Children get 100 seconds —
 // inside the parent's own 120s CTest timeout — so a wedged rank fails
-// *this* test instead of wedging the suite.
-inline void run_ranks(int nranks, const std::string& test_name) {
+// *this* test instead of wedging the suite.  `backend` picks the data
+// plane the ranks talk over ("tcp" or "shm").
+inline void run_ranks(int nranks, const std::string& test_name,
+                      const std::string& backend = "tcp") {
   const int root_port = util::pick_free_tcp_port();
   const std::vector<std::string> argv = {
       util::self_exe_path(),
@@ -41,8 +43,8 @@ inline void run_ranks(int nranks, const std::string& test_name) {
   };
   std::vector<pid_t> pids;
   for (int r = 0; r < nranks; ++r) {
-    pids.push_back(
-        util::spawn_process(argv, util::net_rank_env(r, nranks, root_port)));
+    pids.push_back(util::spawn_process(
+        argv, util::net_rank_env(r, nranks, root_port, backend)));
   }
   for (int r = 0; r < nranks; ++r) {
     EXPECT_EQ(util::wait_exit(pids[r], 100'000), 0)

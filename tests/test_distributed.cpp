@@ -1,12 +1,15 @@
-// Multi-process distributed runtime tests: the TCP transport end to end.
+// Multi-process distributed runtime tests: the tcp and shm transports end
+// to end.
 //
 // Every test here runs as parent + ranks (see distributed_helpers.hpp):
 // the parent forks this binary once per rank with PX_NET_* set, and each
-// rank constructs a runtime whose ctor resolves the tcp backend from that
+// rank constructs a runtime whose ctor resolves the backend from that
 // environment, bootstraps against rank 0, and meshes up.  The rank body is
 // ordinary runtime code — same actions, futures, and quiescence calls as
 // the single-process tests — which is the point: the transport is a
-// backend, not a programming model.
+// backend, not a programming model.  The headline scenarios (pingpong,
+// fan-out storm, migration storm, percolation) run the *same rank body*
+// under both backends; only the run_ranks() backend tag differs.
 //
 // Collective discipline: all ranks make the same sequence of
 // run()/wait_quiescent()/stop() calls (they are collectives over the
@@ -99,32 +102,52 @@ TEST(Distributed, Pingpong4) {
   px::test::run_ranks(4, "Distributed.Pingpong4");
 }
 
-TEST(Distributed, FanoutStormQuiescence4) {
-  constexpr std::uint64_t kPerPeer = 200;
+TEST(Distributed, PingpongShm2) {
   if (px::test::is_rank_child()) {
-    runtime rt;
-    const auto n = static_cast<std::uint32_t>(rt.num_localities());
-    rt.run([&] {
-      if (rt.rank() != 0) return;
-      for (std::uint32_t r = 1; r < n; ++r) {
-        for (std::uint64_t i = 0; i < kPerPeer; ++i) {
-          core::apply<&storm_hit>(rt.locality_gid(r));
-        }
+    pingpong_rank_body(50);
+    return;
+  }
+  px::test::run_ranks(2, "Distributed.PingpongShm2", "shm");
+}
+
+// Rank body shared by the fan-out storm tests (tcp and shm).
+void fanout_storm_rank_body(std::uint64_t per_peer) {
+  runtime rt;
+  const auto n = static_cast<std::uint32_t>(rt.num_localities());
+  rt.run([&] {
+    if (rt.rank() != 0) return;
+    for (std::uint32_t r = 1; r < n; ++r) {
+      for (std::uint64_t i = 0; i < per_peer; ++i) {
+        core::apply<&storm_hit>(rt.locality_gid(r));
       }
-    });
-    // run() returned == the machine reached *global* quiescence: every
-    // storm parcel landed on its peer AND every chained tally landed back
-    // on rank 0 — nothing was still on a wire when the verdict fired.
-    if (rt.rank() == 0) {
-      EXPECT_EQ(g_tally.load(), kPerPeer * (n - 1));
-      EXPECT_EQ(g_hits.load(), 0u);
-    } else {
-      EXPECT_EQ(g_hits.load(), kPerPeer);
     }
-    rt.stop();
+  });
+  // run() returned == the machine reached *global* quiescence: every
+  // storm parcel landed on its peer AND every chained tally landed back
+  // on rank 0 — nothing was still on a wire when the verdict fired.
+  if (rt.rank() == 0) {
+    EXPECT_EQ(g_tally.load(), per_peer * (n - 1));
+    EXPECT_EQ(g_hits.load(), 0u);
+  } else {
+    EXPECT_EQ(g_hits.load(), per_peer);
+  }
+  rt.stop();
+}
+
+TEST(Distributed, FanoutStormQuiescence4) {
+  if (px::test::is_rank_child()) {
+    fanout_storm_rank_body(200);
     return;
   }
   px::test::run_ranks(4, "Distributed.FanoutStormQuiescence4");
+}
+
+TEST(Distributed, FanoutStormQuiescenceShm4) {
+  if (px::test::is_rank_child()) {
+    fanout_storm_rank_body(200);
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.FanoutStormQuiescenceShm4", "shm");
 }
 
 TEST(Distributed, RepeatedRunsStayCollective) {
@@ -471,59 +494,74 @@ TEST(Distributed, ForwardBoundExhaustedDropsWithDiagnostic) {
 
 // Migration storm: rank 0 migrates a whole population of hot objects while
 // every rank keeps a parcel storm pointed at them.  Every poke dispatches
-// exactly once somewhere, nothing drops, and the books reconcile.
-TEST(Distributed, MigrationStorm4) {
+// exactly once somewhere, nothing drops, and the books reconcile.  Shared
+// rank body — the shm variant reruns it over rings instead of sockets,
+// where the forwarding races are tighter (no kernel socket buffering to
+// space the parcels out).
+void migration_storm_rank_body() {
   constexpr std::size_t kObjs = 6;
   constexpr std::uint64_t kPokes = 25;  // per rank per object
-  if (px::test::is_rank_child()) {
-    runtime rt;
-    const auto n = static_cast<std::uint32_t>(rt.num_localities());
+  runtime rt;
+  const auto n = static_cast<std::uint32_t>(rt.num_localities());
 
-    rt.run([&] {
-      if (rt.rank() != 0) return;
-      for (std::size_t i = 0; i < kObjs; ++i) {
-        const gas::gid o = rt.new_migratable<mig_payload>(0, i);
-        for (std::uint32_t r = 0; r < n; ++r) {
-          core::apply<&announce_obj>(rt.locality_gid(r), i, o.bits());
-        }
+  rt.run([&] {
+    if (rt.rank() != 0) return;
+    for (std::size_t i = 0; i < kObjs; ++i) {
+      const gas::gid o = rt.new_migratable<mig_payload>(0, i);
+      for (std::uint32_t r = 0; r < n; ++r) {
+        core::apply<&announce_obj>(rt.locality_gid(r), i, o.bits());
       }
-    });
-
-    // One collective run: the storm races the migrations.
-    rt.run([&] {
-      if (rt.rank() == 0) {
-        // Interleave: migrate each object away mid-storm.
-        for (std::size_t i = 0; i < kObjs; ++i) {
-          for (std::uint64_t k = 0; k < kPokes; ++k) {
-            core::apply<&poke>(gas::gid::from_bits(g_objs[i].load()));
-          }
-          EXPECT_TRUE(rt.migrate_gid(gas::gid::from_bits(g_objs[i].load()),
-                                     1 + static_cast<gas::locality_id>(
-                                             i % (n - 1))));
-        }
-      } else {
-        for (std::size_t i = 0; i < kObjs; ++i) {
-          for (std::uint64_t k = 0; k < kPokes; ++k) {
-            core::apply<&poke>(gas::gid::from_bits(g_objs[i].load()));
-          }
-        }
-      }
-    });
-
-    gather_books(rt, kObjs * kPokes);
-    if (rt.rank() == 0) {
-      EXPECT_EQ(g_books.reports.load(), n);
-      EXPECT_EQ(g_books.dropped.load(), 0u);
-      EXPECT_EQ(g_books.pokes_dispatched.load(),
-                static_cast<std::uint64_t>(n) * kObjs * kPokes);
-      expect_conservation();
-      // The population really left home.
-      EXPECT_EQ(rt.here().object_count(), 0u);
     }
-    rt.stop();
+  });
+
+  // One collective run: the storm races the migrations.
+  rt.run([&] {
+    if (rt.rank() == 0) {
+      // Interleave: migrate each object away mid-storm.
+      for (std::size_t i = 0; i < kObjs; ++i) {
+        for (std::uint64_t k = 0; k < kPokes; ++k) {
+          core::apply<&poke>(gas::gid::from_bits(g_objs[i].load()));
+        }
+        EXPECT_TRUE(rt.migrate_gid(gas::gid::from_bits(g_objs[i].load()),
+                                   1 + static_cast<gas::locality_id>(
+                                           i % (n - 1))));
+      }
+    } else {
+      for (std::size_t i = 0; i < kObjs; ++i) {
+        for (std::uint64_t k = 0; k < kPokes; ++k) {
+          core::apply<&poke>(gas::gid::from_bits(g_objs[i].load()));
+        }
+      }
+    }
+  });
+
+  gather_books(rt, kObjs * kPokes);
+  if (rt.rank() == 0) {
+    EXPECT_EQ(g_books.reports.load(), n);
+    EXPECT_EQ(g_books.dropped.load(), 0u);
+    EXPECT_EQ(g_books.pokes_dispatched.load(),
+              static_cast<std::uint64_t>(n) * kObjs * kPokes);
+    expect_conservation();
+    // The population really left home.
+    EXPECT_EQ(rt.here().object_count(), 0u);
+  }
+  rt.stop();
+}
+
+TEST(Distributed, MigrationStorm4) {
+  if (px::test::is_rank_child()) {
+    migration_storm_rank_body();
     return;
   }
   px::test::run_ranks(4, "Distributed.MigrationStorm4");
+}
+
+TEST(Distributed, MigrationStormShm4) {
+  if (px::test::is_rank_child()) {
+    migration_storm_rank_body();
+    return;
+  }
+  px::test::run_ranks(4, "Distributed.MigrationStormShm4", "shm");
 }
 
 // End-to-end adaptive loop over real sockets: a skewed message-driven
@@ -634,23 +672,37 @@ TEST(Distributed, ProcessSpawnsTypedChildrenAcrossRanks) {
 std::uint64_t perc_task(std::uint64_t x) { return x * 2; }
 PX_REGISTER_PERCOLATABLE(perc_task)
 
+void percolate_rank_body() {
+  runtime rt;
+  rt.run([&] {
+    if (rt.rank() != 0) return;
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      auto fut = core::percolate<&perc_task>(1, i);
+      EXPECT_EQ(fut.get(), 2 * i);
+    }
+  });
+  if (rt.rank() == 0) {
+    EXPECT_EQ(rt.percolation_mgr().stats().tasks_percolated, 40u);
+  }
+  rt.stop();
+}
+
 TEST(Distributed, PercolateAcrossRanksRecyclesSlots) {
   if (px::test::is_rank_child()) {
-    runtime rt;
-    rt.run([&] {
-      if (rt.rank() != 0) return;
-      for (std::uint64_t i = 0; i < 40; ++i) {
-        auto fut = core::percolate<&perc_task>(1, i);
-        EXPECT_EQ(fut.get(), 2 * i);
-      }
-    });
-    if (rt.rank() == 0) {
-      EXPECT_EQ(rt.percolation_mgr().stats().tasks_percolated, 40u);
-    }
-    rt.stop();
+    percolate_rank_body();
     return;
   }
   px::test::run_ranks(2, "Distributed.PercolateAcrossRanksRecyclesSlots");
+}
+
+// The convolve-style staged-dataflow substrate (percolation windows and
+// their credit recycling) over shm rings.
+TEST(Distributed, PercolateAcrossRanksShm2) {
+  if (px::test::is_rank_child()) {
+    percolate_rank_body();
+    return;
+  }
+  px::test::run_ranks(2, "Distributed.PercolateAcrossRanksShm2", "shm");
 }
 
 // ===================================================================
