@@ -189,7 +189,7 @@ int net_rank_main() {
                 static_cast<unsigned long long>(link.msgs_tx),
                 static_cast<unsigned long long>(link.bytes_tx));
     bench::json_writer json;
-    json.add("backend", backend);
+    bench::add_metadata(json, backend);
     json.add("rtt_iters", static_cast<std::int64_t>(rtt_iters));
     json.add("single_request_rtt_us", rtt_us);
     json.add("storm_parcels", static_cast<std::int64_t>(storm_parcels));
@@ -278,6 +278,7 @@ int net_launcher_main() {
   const std::string& shm = sections[1];
   bench::json_writer json;
   json.add("bench", std::string("net"));
+  bench::add_metadata(json, "tcp+shm");
   json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
   json.add("ranks", static_cast<std::int64_t>(2));
   json.add_rows("backends", sections);

@@ -171,6 +171,7 @@ int main() {
 
   bench::json_writer json;
   json.add("bench", std::string("latency_hiding"));
+  bench::add_metadata(json, "sim");
   json.add("items", static_cast<std::int64_t>(kItems));
   json.add("compute_us", kComputeUs);
   json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));

@@ -202,6 +202,7 @@ int main() {
 
   bench::json_writer json;
   json.add("bench", std::string("overhead"));
+  bench::add_metadata(json, "sim");
   json.add("workers", static_cast<std::int64_t>(kWorkers));
   json.add("total_work_ms", kTotalWorkMs);
   json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));

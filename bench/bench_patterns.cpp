@@ -452,6 +452,7 @@ int main(int argc, char** argv) {
 
   bench::json_writer json;
   json.add("bench", std::string("patterns"));
+  bench::add_metadata(json, "sim");
   json.add("smoke", static_cast<std::int64_t>(bench::smoke_mode() ? 1 : 0));
   json.add("width", static_cast<std::int64_t>(d.w));
   json.add("height", static_cast<std::int64_t>(d.h));

@@ -250,7 +250,7 @@ int dist_rank_main() {
         static_cast<unsigned long long>(st.triggers));
     bench::json_writer json;
     json.add("bench", std::string("rebalance_dist"));
-    json.add("backend", std::string("tcp"));
+    bench::add_metadata(json, "tcp");
     json.add("ranks", static_cast<std::int64_t>(n));
     json.add("objects", static_cast<std::int64_t>(objs));
     json.add("hops", static_cast<std::int64_t>(hops));
@@ -340,6 +340,7 @@ int main() {
 
   bench::json_writer json;
   json.add("bench", std::string("rebalance"));
+  bench::add_metadata(json, "sim");
   json.add("objects", static_cast<std::int64_t>(kObjects));
   json.add("hops", static_cast<std::int64_t>(kHops));
   json.add("spin_us", kSpinUs);

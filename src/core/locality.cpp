@@ -5,6 +5,7 @@
 
 #include "core/runtime.hpp"
 #include "gas/resolve.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
@@ -87,6 +88,22 @@ bool locality::fire_sink(gas::gid id, parcel::parcel p) {
 void locality::send(parcel::parcel p) {
   parcels_sent_.fetch_add(1, std::memory_order_relaxed);
   p.source = id_;
+  if (trace::enabled()) {
+    trace::context ctx = trace::current();
+    if (!ctx.valid()) {
+      // This send is the root of a new causal chain (main thread, timer,
+      // untraced machinery): mint a trace id here so everything downstream
+      // shares it.
+      ctx.trace_id = trace::new_id();
+      ctx.span = trace::new_id();
+      trace::set_current(ctx);
+    }
+    p.trace_id = ctx.trace_id;
+    p.trace_span = trace::new_id();  // one span per parcel hop
+    trace::emit(trace::event_kind::parcel_send, p.trace_id, p.trace_span,
+                ctx.span, p.destination.bits(),
+                static_cast<std::uint32_t>(p.action));
+  }
   rt_.route(id_, std::move(p));
 }
 
@@ -215,6 +232,17 @@ void locality::deliver(parcel::parcel p) {
     return;
   }
   note_heat(p.destination);
+  if (p.trace_id != 0 && trace::enabled()) {
+    trace::emit(trace::event_kind::parcel_dispatch, p.trace_id, p.trace_span,
+                0, p.destination.bits(),
+                static_cast<std::uint32_t>(p.action));
+    // Run the action under the parcel's causal identity: a raw action
+    // dispatches inline under this scope, and a typed action's fiber
+    // inherits it through scheduler::spawn's context capture.
+    trace::scope s(trace::context{p.trace_id, p.trace_span});
+    parcel::action_registry::global().dispatch(this, std::move(p));
+    return;
+  }
   parcel::action_registry::global().dispatch(this, std::move(p));
 }
 
@@ -231,6 +259,14 @@ void locality::deliver(const parcel::parcel_view& pv) {
     return;
   }
   note_heat(pv.destination());
+  if (pv.trace_id() != 0 && trace::enabled()) {
+    trace::emit(trace::event_kind::parcel_dispatch, pv.trace_id(),
+                pv.trace_span(), 0, pv.destination().bits(),
+                static_cast<std::uint32_t>(pv.action()));
+    trace::scope s(trace::context{pv.trace_id(), pv.trace_span()});
+    parcel::action_registry::global().dispatch(this, pv);
+    return;
+  }
   parcel::action_registry::global().dispatch(this, pv);
 }
 

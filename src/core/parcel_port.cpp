@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
 
@@ -104,6 +105,10 @@ void parcel_port::ship(std::vector<std::byte> frame, std::uint32_t count,
   m.units = count;
   m.payload = std::move(frame);
   frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (trace::enabled()) {
+    trace::emit_here(trace::event_kind::wire_tx, m.payload.size(),
+                     static_cast<std::uint32_t>(dest));
+  }
   // send() marks the units in flight before they become invisible here;
   // decrementing pending_ only afterwards keeps every parcel continuously
   // accounted (see the quiescence contract in the header).

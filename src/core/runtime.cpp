@@ -12,6 +12,7 @@
 #include "net/shm_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "patterns/counters.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
@@ -129,6 +130,18 @@ runtime::runtime(runtime_params params)
             : static_cast<std::uint64_t>(cfg.get_int(
                   "rebalance.interval_us",
                   static_cast<std::int64_t>(rp.interval_us)));
+    if (params_.trace < 0) {
+      params_.trace = cfg.get_bool("trace", false) ? 1 : 0;
+    } else {
+      params_.trace = params_.trace != 0 ? 1 : 0;
+    }
+    if (params_.trace_ring_bytes == 0) {
+      params_.trace_ring_bytes = static_cast<std::size_t>(
+          cfg.get_int("trace.ring_bytes", 1 << 20));
+    }
+    if (params_.trace_dir.empty()) {
+      params_.trace_dir = cfg.get_string("trace.dir", ".");
+    }
   }
   // Normalize the resolved toggles into params_ so rank 0's wire blob
   // carries them (apply_wire_params overwrites them on other ranks — the
@@ -290,7 +303,19 @@ runtime::runtime(runtime_params params)
     // also cross-checks the counter-schema digest — boot-time gid
     // allocation must have replayed identically in every process.
     bootstrap_->barrier(introspect_.schema_digest());
+    // Clock sync rides the control plane after the barrier so the RTT
+    // samples are not polluted by the connect storm.  Collective, so it
+    // runs only under the machine-agreed toggle (rank 0's wire blob).
+    if (params_.trace != 0) {
+      trace_clock_offset_ns_ = bootstrap_->clock_sync();
+    }
   }
+  // Arm the flight recorder last: every consumer above is wired and no
+  // parcel can have flowed yet, so the rings start at a clean epoch.
+  trace::recorder::global().configure(
+      params_.trace != 0, params_.trace_ring_bytes, params_.trace_dir,
+      static_cast<std::uint32_t>(rank_));
+  if (params_.trace != 0) trace_boot_counters_ = introspect_.snapshot_all();
 }
 
 // Every load-bearing runtime quantity becomes a first-class, gid-named,
@@ -316,7 +341,8 @@ void runtime::register_counters() {
       "/port/frames_sent", "/port/eager_flushes", "/fabric/frames_sent",
       "/fabric/parcels_sent", "/fabric/bytes_sent",
       "/monitor/ready_ewma_milli", "/monitor/samples", "/net/bytes_tx",
-      "/net/bytes_rx", "/net/msgs_tx", "/net/msgs_rx"};
+      "/net/bytes_rx", "/net/msgs_tx", "/net/msgs_rx", "/trace/events",
+      "/trace/drops"};
 
   for (std::size_t i = 0; i < localities_.size(); ++i) {
     const auto lid = static_cast<gas::locality_id>(i);
@@ -394,6 +420,15 @@ void runtime::register_counters() {
             [t, ep] { return t->link(ep).msgs_tx; });
     reg.add(lid, p + "/net/msgs_rx",
             [t, ep] { return t->link(ep).msgs_rx; });
+    // Flight-recorder totals.  The recorder is a process singleton, so in
+    // the sim shape every locality row reads the same process-wide value;
+    // distributed (one locality per process) the row is genuinely
+    // per-rank.  Registered before the backend extras to keep positional
+    // gid order identical to the remote replay above.
+    reg.add(lid, p + "/trace/events",
+            [] { return trace::recorder::global().events_total(); });
+    reg.add(lid, p + "/trace/drops",
+            [] { return trace::recorder::global().drops_total(); });
     // Backend-specific rows (tcp: reconnects; shm: ring_full_waits,
     // wakeups; sim: none) — registered only when the active backend
     // actually maintains them, so the schema never carries an
@@ -494,6 +529,10 @@ void runtime::start() {
 void runtime::stop() {
   if (!started_) return;
   wait_quiescent();
+  // Drain the rings after quiescence (no producer is mid-request) but
+  // before the shutdown barrier, so a fast rank's exit cannot outrun a
+  // slow rank's shard write in a distributed trace collection.
+  dump_trace();
   // Shutdown sequencing across processes: the quiescence verdict already
   // synchronized everyone, but the barrier keeps a fast rank from tearing
   // its sockets down while a slow one is still inside its final drain.
@@ -507,6 +546,14 @@ void runtime::stop() {
     if (loc != nullptr) loc->sched_.stop();
   }
   started_ = false;
+}
+
+void runtime::dump_trace() {
+  if (params_.trace == 0) return;
+  trace::recorder::global().dump(
+      trace_clock_offset_ns_,
+      introspect::registry::delta(trace_boot_counters_,
+                                  introspect_.snapshot_all()));
 }
 
 locality& runtime::at(gas::locality_id id) {
@@ -573,6 +620,11 @@ void runtime::route(gas::locality_id from, parcel::parcel p) {
     return;
   }
   const auto dest_ep = static_cast<net::endpoint_id>(owner);
+  if (p.trace_id != 0 && trace::enabled()) {
+    trace::emit(trace::event_kind::parcel_enqueue, p.trace_id, p.trace_span,
+                0, static_cast<std::uint64_t>(dest_ep),
+                static_cast<std::uint32_t>(p.action));
+  }
   const auto res = ports_[from]->enqueue(dest_ep, p);
   // First-parcel eager flush: an isolated request from an otherwise-empty
   // port, sent by a locality with no other ready work, would sit buffered
@@ -596,6 +648,10 @@ void runtime::deliver_from_fabric(net::message& m) {
   // return.  Actions that keep state copy what they need.
   const auto frame = parcel::frame_view::parse(m.payload);
   PX_ASSERT_MSG(frame.has_value(), "fabric delivered an invalid parcel frame");
+  if (trace::enabled()) {
+    trace::emit_here(trace::event_kind::wire_rx, m.payload.size(),
+                     static_cast<std::uint32_t>(m.source));
+  }
   locality& dst = at(m.dest);
   for (auto it = frame->begin(); it != frame->end(); ++it) {
     dst.deliver(*it);
@@ -727,6 +783,19 @@ std::uint8_t migrate_implant_action(parcel::migration_record rec) {
   return this_locality()->rt().migrate_implant(rec);
 }
 
+// On-demand shard dump: `apply<&...>(locality_gid(r))` (or any parcel to
+// "px.trace_dump") drains rank r's rings mid-run without waiting for
+// shutdown.  Typed — the dump does file I/O, which has no place on the
+// delivery thread.  Eagerly registered so action tables stay identical
+// machine-wide whether or not a run ever triggers it.
+std::uint8_t trace_dump_action();
+PX_REGISTER_ACTION_AS(trace_dump_action, "px.trace_dump")
+
+std::uint8_t trace_dump_action() {
+  this_locality()->rt().dump_trace();
+  return 1;
+}
+
 // Home side of the directory flip.  Raw-registered (non-spawning, like
 // px.sink): a directory write is control plane and must not queue behind
 // user fibers — the home of a hot object is often exactly the monopolized
@@ -800,6 +869,10 @@ std::uint8_t runtime::apply_agas_update(gas::gid id,
 
 std::uint8_t runtime::migrate_implant(const parcel::migration_record& rec) {
   const gas::gid id = gas::gid::from_bits(rec.gid_bits);
+  if (trace::enabled()) {
+    trace::emit_here(trace::event_kind::migrate_implant, rec.gid_bits,
+                     static_cast<std::uint32_t>(rank_));
+  }
   const auto* vt = parcel::migratable_registry::global().find(rec.type_name);
   PX_ASSERT_MSG(vt != nullptr,
                 "migration record names an unregistered type — ranks must "
@@ -898,6 +971,10 @@ bool runtime::migrate_gid_async(gas::gid id, gas::locality_id to,
   rec.gid_bits = id.bits();
   rec.type_name = *type;
   rec.payload = vt->encode(obj);
+  if (trace::enabled()) {
+    trace::emit_here(trace::event_kind::migrate_begin, id.bits(),
+                     static_cast<std::uint32_t>(to));
+  }
   // The ack continuation is a plain sink: its fire closure runs on the
   // delivery thread and does only non-blocking work (same retire sequence
   // as the blocking path).
@@ -916,6 +993,10 @@ bool runtime::migrate_gid_async(gas::gid id, gas::locality_id to,
         {
           std::lock_guard lock(migrating_lock_);
           migrating_.erase(id);
+        }
+        if (trace::enabled()) {
+          trace::emit_here(trace::event_kind::migrate_end, id.bits(),
+                           static_cast<std::uint32_t>(to));
         }
         if (done) done(true);
       });
@@ -947,7 +1028,7 @@ std::string action_table_snapshot() {
 
 using wire_tuple =
     std::tuple<std::uint64_t, std::uint32_t, std::uint8_t, std::uint8_t,
-               std::uint8_t, std::uint8_t, std::string>;
+               std::uint8_t, std::uint8_t, std::uint8_t, std::string>;
 
 }  // namespace
 
@@ -964,6 +1045,7 @@ std::vector<std::byte> runtime::encode_wire_params() const {
       static_cast<std::uint8_t>(eager_flush_ ? 1 : 0),
       static_cast<std::uint8_t>(params_.net.migration != 0 ? 1 : 0),
       static_cast<std::uint8_t>(params_.rebalance != 0 ? 1 : 0),
+      static_cast<std::uint8_t>(params_.trace != 0 ? 1 : 0),
       action_table_snapshot()));
 }
 
@@ -975,7 +1057,10 @@ void runtime::apply_wire_params(std::span<const std::byte> blob) {
   eager_flush_ = std::get<3>(t) != 0;
   params_.net.migration = std::get<4>(t);
   params_.rebalance = std::get<5>(t);
-  PX_ASSERT_MSG(std::get<6>(t) == action_table_snapshot(),
+  // Tracing is machine-wide or not at all: the clock-sync collective and
+  // the per-parcel wire extension both assume every rank agrees.
+  params_.trace = std::get<6>(t);
+  PX_ASSERT_MSG(std::get<7>(t) == action_table_snapshot(),
                 "ranks disagree on the registered action table — all ranks "
                 "must run the same binary, and actions used cross-process "
                 "must be registered eagerly (PX_REGISTER_ACTION)");

@@ -116,6 +116,16 @@ struct runtime_params {
   std::uint32_t rebalance_min_depth = 0;
   std::uint32_t rebalance_max_migrations = 0;
   std::uint64_t rebalance_interval_us = 0;
+  // Flight recorder (src/trace/, docs/tracing.md).  `trace` is tri-state:
+  // -1 resolves from PX_TRACE (default off).  Ring bytes 0 resolves from
+  // PX_TRACE_RING_BYTES (default 1 MiB per thread); an empty dir resolves
+  // from PX_TRACE_DIR (default ".").  Distributed, rank 0's resolved
+  // toggle wins machine-wide (it rides the wire-params blob) so the
+  // clock-sync collective and the per-parcel wire extension stay
+  // symmetric across ranks.
+  int trace = -1;
+  std::size_t trace_ring_bytes = 0;
+  std::string trace_dir;
 };
 
 class runtime {
@@ -201,6 +211,13 @@ class runtime {
   // ALL ranks must call wait_quiescent (directly or via run()/stop()) the
   // same number of times — it is a collective operation.
   void wait_quiescent();
+
+  // Drains this rank's trace rings into px_trace.<rank>.bin (no-op with
+  // tracing off), with the counter movement since boot as the shard
+  // trailer.  stop() calls it after quiescence; the px.trace_dump action
+  // triggers it mid-run (rings drain destructively, so a later dump
+  // carries only events since).
+  void dump_trace();
 
   // Per-rank Dijkstra–Scholten credit ledgers for distributed process
   // trees (core/process_site.hpp; used by process_ref and the typed child
@@ -348,6 +365,12 @@ class runtime {
   std::unordered_map<gas::gid, std::string> mig_types_;
   util::spinlock migrating_lock_;
   std::unordered_set<gas::gid> migrating_;
+
+  // Flight-recorder bookkeeping: the boot-time counter snapshot the dump
+  // trailer deltas against, and this rank's steady-clock offset from rank
+  // 0 (sampled over the bootstrap control plane; 0 when sim or rank 0).
+  std::vector<introspect::counter_sample> trace_boot_counters_;
+  std::int64_t trace_clock_offset_ns_ = 0;
 
   bool eager_flush_ = true;  // resolved from params/env in the ctor
   bool migration_enabled_ = false;  // cross-process protocol (tcp only)

@@ -1,5 +1,7 @@
 #include "introspect/registry.hpp"
 
+#include <algorithm>
+#include <map>
 #include <mutex>
 
 #include "util/assert.hpp"
@@ -80,6 +82,39 @@ std::vector<counter_info> registry::list(std::string_view prefix) const {
 std::size_t registry::size() const {
   std::lock_guard lock(lock_);
   return counters_.size();
+}
+
+std::vector<counter_sample> registry::snapshot_all() const {
+  std::vector<counter_sample> out;
+  {
+    std::lock_guard lock(lock_);
+    out.reserve(counters_.size());
+    for (const auto& [id, e] : counters_) {
+      if (e.sample == nullptr) continue;  // remote: sampled on its home rank
+      out.push_back(counter_sample{e.path, e.sample()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const counter_sample& a, const counter_sample& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> registry::delta(
+    const std::vector<counter_sample>& before,
+    const std::vector<counter_sample>& after) {
+  std::map<std::string, std::int64_t> acc;
+  for (const auto& s : before) {
+    acc[s.path] -= static_cast<std::int64_t>(s.value);
+  }
+  for (const auto& s : after) {
+    acc[s.path] += static_cast<std::int64_t>(s.value);
+  }
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(acc.size());
+  for (auto& [path, d] : acc) out.emplace_back(path, d);
+  return out;
 }
 
 std::uint64_t registry::schema_digest() const {

@@ -49,6 +49,12 @@ struct counter_info {
   gas::gid id;
 };
 
+// One locally-sampled counter value at a point in time (snapshot_all).
+struct counter_sample {
+  std::string path;
+  std::uint64_t value = 0;
+};
+
 class registry {
  public:
   registry(gas::agas& agas, gas::name_service& names);
@@ -89,6 +95,21 @@ class registry {
   std::vector<counter_info> list(std::string_view prefix) const;
 
   std::size_t size() const;
+
+  // Samples every *locally-sampled* counter (add_remote entries are
+  // skipped — their live callbacks belong to another rank) into a
+  // path-sorted vector.  A pair of snapshots brackets a region of
+  // interest; see delta().
+  std::vector<counter_sample> snapshot_all() const;
+
+  // Per-path value change between two snapshots (after - before), sorted
+  // by path.  Paths present in only one snapshot count from/to zero, so a
+  // counter registered between the snapshots still reports.  Values are
+  // unsigned monotonic in practice but the delta is signed: a snapshot
+  // taken across a runtime reset may legitimately go backwards.
+  static std::vector<std::pair<std::string, std::int64_t>> delta(
+      const std::vector<counter_sample>& before,
+      const std::vector<counter_sample>& after);
 
   // Order-independent digest over every registered (path, gid) pair.
   // Distributed boot compares ranks' digests at the pre-traffic barrier:

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace px::lco {
 
 std::atomic<std::uint64_t> lco_counters::depleted_threads_created{0};
@@ -13,6 +15,10 @@ std::atomic<std::uint64_t> lco_counters::fires{0};
 
 void event_base::wait() {
   if (ready()) return;
+  if (trace::enabled()) {
+    trace::emit_here(trace::event_kind::lco_wait,
+                     reinterpret_cast<std::uintptr_t>(this));
+  }
   if (threads::scheduler::self() != nullptr) {
     // Two-phase: the hook publishes the depleted thread only after the
     // context switch completed, so a concurrent fire() cannot resume a
@@ -84,6 +90,10 @@ bool event_base::fire() {
     waiters_.clear();
   }
   lco_counters::fires.fetch_add(1, std::memory_order_relaxed);
+  if (trace::enabled()) {
+    trace::emit_here(trace::event_kind::lco_fire,
+                     reinterpret_cast<std::uintptr_t>(this));
+  }
   // Outside the lock: wakeups enqueue into schedulers, continuations run
   // arbitrary (but by contract cheap) user code (CP.22).
   for (auto& w : pending) {

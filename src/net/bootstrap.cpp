@@ -6,6 +6,7 @@
 
 #include "net/socket_util.hpp"
 #include "util/assert.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace px::net {
@@ -20,6 +21,8 @@ constexpr std::uint8_t kTagTable = 2;    // root -> rank: endpoints + blob
 constexpr std::uint8_t kTagBarrier = 3;  // both directions, empty payload
 constexpr std::uint8_t kTagQuiesce = 4;  // rank -> root: 4 x u64
 constexpr std::uint8_t kTagVerdict = 5;  // root -> rank: u8 quiescent
+constexpr std::uint8_t kTagClockPing = 6;  // rank -> root: empty
+constexpr std::uint8_t kTagClockPong = 7;  // root -> rank: u64 root now_ns
 
 // Thin std::byte-buffer wrappers over the shared little-endian codec in
 // socket_util.hpp (one byte-order authority for the whole net layer).
@@ -234,6 +237,41 @@ bool bootstrap::quiesce_round(bool locally_stable, std::uint64_t activity,
     send_record(rank_fds_[r], kTagVerdict, std::span(&verdict, 1));
   }
   return quiescent;
+}
+
+std::int64_t bootstrap::clock_sync() {
+  constexpr int kSamples = 5;
+  if (params_.rank == 0) {
+    // Serve each rank's pings in rank order; every rank has a dedicated
+    // control socket, so serializing here just paces the dialers.
+    for (std::uint32_t r = 1; r < params_.nranks; ++r) {
+      for (int s = 0; s < kSamples; ++s) {
+        (void)recv_record(rank_fds_[r], kTagClockPing);
+        std::vector<std::byte> pong;
+        append_u64(pong, static_cast<std::uint64_t>(util::now_ns()));
+        send_record(rank_fds_[r], kTagClockPong, pong);
+      }
+    }
+    return 0;
+  }
+  std::int64_t best_rtt = 0;
+  std::int64_t best_offset = 0;
+  for (int s = 0; s < kSamples; ++s) {
+    const std::int64_t t0 = util::now_ns();
+    send_record(root_fd_, kTagClockPing, {});
+    const auto pong = recv_record(root_fd_, kTagClockPong);
+    const std::int64_t t1 = util::now_ns();
+    PX_ASSERT(pong.size() == 8);
+    const auto t_root = static_cast<std::int64_t>(read_u64(pong.data()));
+    const std::int64_t rtt = t1 - t0;
+    // The midpoint estimate is most trustworthy on the tightest round
+    // trip (least asymmetric queueing).
+    if (s == 0 || rtt < best_rtt) {
+      best_rtt = rtt;
+      best_offset = (t0 + t1) / 2 - t_root;
+    }
+  }
+  return best_offset;
 }
 
 }  // namespace px::net

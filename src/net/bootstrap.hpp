@@ -71,6 +71,15 @@ class bootstrap {
                      std::uint64_t parcels_sent_remote,
                      std::uint64_t parcels_delivered_remote);
 
+  // Clock-offset collective for the flight recorder (trace/): util::now_ns
+  // is a *per-process* steady epoch, so per-rank trace timestamps are
+  // mutually meaningless until normalized.  Each non-root rank ping-pongs
+  // rank 0 a few times (NTP-style) and keeps the minimum-RTT sample's
+  // offset; returns `off` such that `local_now_ns - off` is approximately
+  // rank 0's clock.  Rank 0 returns 0.  Collective: every rank must call
+  // it at the same point in the bootstrap sequence.
+  std::int64_t clock_sync();
+
   std::uint32_t rank() const noexcept { return params_.rank; }
   std::uint32_t nranks() const noexcept { return params_.nranks; }
 

@@ -18,6 +18,7 @@ constexpr std::size_t kOffAction = 16;
 constexpr std::size_t kOffContAction = 20;
 constexpr std::size_t kOffSource = 24;
 constexpr std::size_t kOffForwards = 28;
+constexpr std::size_t kOffFlags = 29;  // bit 0: trace extension present
 constexpr std::size_t kOffArgLen = 32;
 
 // Wire byte order is little-endian; normalize on big-endian hosts so the
@@ -68,8 +69,10 @@ std::uint32_t read_u32(std::span<const std::byte> buf,
 void encode_into(std::vector<std::byte>& out, const parcel& p) {
   PX_ASSERT_MSG(p.arguments.size() <= 0xffffffffull,
                 "parcel arguments exceed the u32 wire length field");
+  const bool traced = p.trace_id != 0;
+  const std::size_t ext = traced ? trace_ext_bytes : 0;
   const std::size_t base = out.size();
-  out.resize(base + wire_header_bytes + p.arguments.size());
+  out.resize(base + wire_header_bytes + ext + p.arguments.size());
   std::byte* d = out.data() + base;
   store<std::uint64_t>(d, kOffDestination, p.destination.bits());
   store<std::uint64_t>(d, kOffContTarget, p.cont.target.bits());
@@ -77,11 +80,16 @@ void encode_into(std::vector<std::byte>& out, const parcel& p) {
   store<std::uint32_t>(d, kOffContAction, p.cont.action);
   store<std::uint32_t>(d, kOffSource, p.source);
   store<std::uint8_t>(d, kOffForwards, p.forwards);
-  std::memset(d + kOffForwards + 1, 0, 3);  // reserved
+  store<std::uint8_t>(d, kOffFlags, traced ? wire_flag_trace : 0);
+  std::memset(d + kOffFlags + 1, 0, 2);  // reserved
   store<std::uint32_t>(d, kOffArgLen,
                        static_cast<std::uint32_t>(p.arguments.size()));
+  if (traced) {
+    store<std::uint64_t>(d, wire_header_bytes, p.trace_id);
+    store<std::uint64_t>(d, wire_header_bytes + 8, p.trace_span);
+  }
   if (!p.arguments.empty()) {
-    std::memcpy(d + wire_header_bytes, p.arguments.data(),
+    std::memcpy(d + wire_header_bytes + ext, p.arguments.data(),
                 p.arguments.size());
   }
 }
@@ -90,8 +98,12 @@ std::optional<parcel_view> parcel_view::parse(
     std::span<const std::byte> record) noexcept {
   if (record.size() < wire_header_bytes) return std::nullopt;
   const std::byte* d = record.data();
+  const auto flags = load<std::uint8_t>(d, kOffFlags);
+  if ((flags & ~wire_flag_trace) != 0) return std::nullopt;  // unknown bits
+  const std::size_t ext = (flags & wire_flag_trace) != 0 ? trace_ext_bytes : 0;
+  if (record.size() < wire_header_bytes + ext) return std::nullopt;
   const auto arg_len = load<std::uint32_t>(d, kOffArgLen);
-  if (record.size() - wire_header_bytes != arg_len) return std::nullopt;
+  if (record.size() - wire_header_bytes - ext != arg_len) return std::nullopt;
   parcel_view v;
   v.destination_ = gas::gid::from_bits(load<std::uint64_t>(d, kOffDestination));
   v.cont_.target = gas::gid::from_bits(load<std::uint64_t>(d, kOffContTarget));
@@ -99,7 +111,11 @@ std::optional<parcel_view> parcel_view::parse(
   v.cont_.action = load<std::uint32_t>(d, kOffContAction);
   v.source_ = load<std::uint32_t>(d, kOffSource);
   v.forwards_ = load<std::uint8_t>(d, kOffForwards);
-  v.arguments_ = record.subspan(wire_header_bytes, arg_len);
+  if (ext != 0) {
+    v.trace_id_ = load<std::uint64_t>(d, wire_header_bytes);
+    v.trace_span_ = load<std::uint64_t>(d, wire_header_bytes + 8);
+  }
+  v.arguments_ = record.subspan(wire_header_bytes + ext, arg_len);
   return v;
 }
 
@@ -110,6 +126,8 @@ parcel_view parcel_view::of(const parcel& p) noexcept {
   v.action_ = p.action;
   v.source_ = p.source;
   v.forwards_ = p.forwards;
+  v.trace_id_ = p.trace_id;
+  v.trace_span_ = p.trace_span;
   v.arguments_ = std::span<const std::byte>(p.arguments);
   return v;
 }
@@ -121,6 +139,8 @@ parcel parcel_view::to_parcel() const {
   p.cont = cont_;
   p.source = source_;
   p.forwards = forwards_;
+  p.trace_id = trace_id_;
+  p.trace_span = trace_span_;
   p.arguments.assign(arguments_.begin(), arguments_.end());
   return p;
 }

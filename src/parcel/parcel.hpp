@@ -14,8 +14,15 @@
 //   frame  := [u32 magic "PXBF"] [u32 count] record*count
 //   record := [u32 len] parcel-bytes (len of them)
 //   parcel := [u64 destination] [u64 cont.target] [u32 action]
-//             [u32 cont.action] [u32 source] [u8 forwards] [u8*3 zero]
-//             [u32 arg_len] argument-bytes
+//             [u32 cont.action] [u32 source] [u8 forwards] [u8 flags]
+//             [u8*2 zero] [u32 arg_len] extension-bytes argument-bytes
+//
+// `flags` bit 0 marks an optional 16-byte trace extension ([u64 trace id]
+// [u64 span id], trace/trace.hpp) between the fixed header and the
+// argument bytes; with tracing off the flag byte is zero and the record is
+// byte-identical to the pre-extension format.  The extension is
+// self-describing per record, so every transport backend carries it
+// unmodified.
 //
 // All integers are *little-endian on the wire* (normalized in encode/decode;
 // a no-op on x86-64).  Since PR 4 parcels cross real process boundaries over
@@ -73,6 +80,14 @@ struct parcel {
   gas::locality_id source = gas::invalid_locality;
   std::uint8_t forwards = 0;
 
+  // Causal flight-recorder identity (trace/trace.hpp): which logical
+  // request this parcel belongs to and which hop it is.  Zero = untraced;
+  // nonzero rides the wire as the flagged header extension.  Transport
+  // metadata, deliberately outside serialize() — a parcel embedded in
+  // another payload does not carry its own trace hop.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_span = 0;
+
   template <typename Ar>
   friend void serialize(Ar& ar, parcel& p) {
     ar& p.destination& p.action& p.cont& p.arguments& p.source& p.forwards;
@@ -92,10 +107,16 @@ inline constexpr std::size_t wire_header_bytes = 36;
 inline constexpr std::size_t frame_header_bytes = 8;
 inline constexpr std::uint32_t frame_magic = 0x46425850u;  // "PXBF"
 
+// Optional trace extension: [u64 trace id][u64 span id], present iff flags
+// bit 0 is set in the header.
+inline constexpr std::size_t trace_ext_bytes = 16;
+inline constexpr std::uint8_t wire_flag_trace = 0x01;
+
 // Exact encoded size of one parcel record body (excluding the frame's
 // per-record length prefix).
 inline std::size_t encoded_size(const parcel& p) noexcept {
-  return wire_header_bytes + p.arguments.size();
+  return wire_header_bytes + (p.trace_id != 0 ? trace_ext_bytes : 0) +
+         p.arguments.size();
 }
 
 // Appends the encoded record body of `p` to `out` (no frame bookkeeping;
@@ -125,6 +146,8 @@ class parcel_view {
   const continuation& cont() const noexcept { return cont_; }
   gas::locality_id source() const noexcept { return source_; }
   std::uint8_t forwards() const noexcept { return forwards_; }
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+  std::uint64_t trace_span() const noexcept { return trace_span_; }
   std::span<const std::byte> arguments() const noexcept { return arguments_; }
 
   // Materializes an owning parcel (copies the argument bytes).
@@ -136,6 +159,8 @@ class parcel_view {
   action_id action_ = invalid_action;
   gas::locality_id source_ = gas::invalid_locality;
   std::uint8_t forwards_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t trace_span_ = 0;
   std::span<const std::byte> arguments_;
 };
 

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/cache.hpp"
 #include "util/fence.hpp"
@@ -110,6 +111,8 @@ thread_descriptor* scheduler::acquire_descriptor(std::function<void()> fn) {
   td->on_suspend_arg = nullptr;
   td->child_proc_bits = 0;
   td->child_edge = ~0ull;
+  td->trace_bits = 0;
+  td->trace_span = 0;
   return td;
 }
 
@@ -121,6 +124,16 @@ void scheduler::recycle(thread_descriptor* td) {
 
 void scheduler::spawn(std::function<void()> fn) {
   thread_descriptor* td = acquire_descriptor(std::move(fn));
+  if (trace::enabled()) {
+    // The spawner's causal context rides into the child descriptor, so a
+    // request's trace follows its whole fiber tree (the continuation-based
+    // dispatch in core/action.hpp spawns through here too).
+    const trace::context ctx = trace::current();
+    td->trace_bits = ctx.trace_id;
+    td->trace_span = ctx.span;
+    trace::emit(trace::event_kind::fiber_spawn, ctx.trace_id, ctx.span, 0,
+                td->id);
+  }
   live_.fetch_add(1, std::memory_order_acq_rel);
   spawned_.fetch_add(1, std::memory_order_relaxed);
   enqueue(td);
@@ -128,6 +141,10 @@ void scheduler::spawn(std::function<void()> fn) {
 
 void scheduler::resume(thread_descriptor* td) {
   PX_DEBUG_ASSERT(td->owner == this);
+  if (trace::enabled()) {
+    trace::emit(trace::event_kind::fiber_resume, td->trace_bits,
+                td->trace_span, 0, td->id);
+  }
   td->state = thread_state::ready;
   enqueue(td);
 }
@@ -266,15 +283,26 @@ void scheduler::worker_main(detail::worker& w) {
 }
 
 void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
+  const bool tracing = trace::enabled();
+  if (tracing) {
+    trace::emit(trace::event_kind::fiber_start, td->trace_bits,
+                td->trace_span, 0, td->id);
+  }
   w.current = td;
   td->state = thread_state::running;
   context::swap(w.sched_ctx, td->ctx, td);
   // Back on the scheduler context; the thread either terminated, yielded,
   // or suspended.  After the handoff below `td` must not be touched: a
-  // concurrent wake may already be running it elsewhere.
+  // concurrent wake may already be running it elsewhere — so the trace
+  // records in each arm are emitted before the descriptor is published
+  // (recycled, hooked, or re-injected).
   w.current = nullptr;
   switch (td->state) {
     case thread_state::terminated: {
+      if (tracing) {
+        trace::emit(trace::event_kind::fiber_end, td->trace_bits,
+                    td->trace_span, 0, td->id);
+      }
       td->ctx.retire();  // context::make rebuilds it on descriptor reuse
       recycle(td);
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -285,6 +313,10 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
       break;
     }
     case thread_state::suspended: {
+      if (tracing) {
+        trace::emit(trace::event_kind::fiber_suspend, td->trace_bits,
+                    td->trace_span, 0, td->id);
+      }
       suspends_.fetch_add(1, std::memory_order_relaxed);
       auto hook = td->on_suspend;
       void* arg = td->on_suspend_arg;
@@ -295,6 +327,10 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
       break;
     }
     case thread_state::ready: {  // yield
+      if (tracing) {
+        trace::emit(trace::event_kind::fiber_yield, td->trace_bits,
+                    td->trace_span, 0, td->id);
+      }
       yields_.fetch_add(1, std::memory_order_relaxed);
       ready_.fetch_add(1, std::memory_order_relaxed);
       // FIFO inject queue, not the owner's LIFO deque: a yielded thread

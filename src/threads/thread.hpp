@@ -50,6 +50,14 @@ struct thread_descriptor {
   // suspended thread may resume on a different worker.
   std::uint64_t child_proc_bits = 0;
   std::uint64_t child_edge = ~0ull;
+
+  // Fiber-local slot for the flight recorder (trace/trace.hpp): the causal
+  // trace id + current span this thread runs under.  Descriptor storage
+  // for the same reason as child_proc_bits — a context must travel with
+  // the fiber across suspension and work-stealing, not stay behind on the
+  // worker that happened to start it.
+  std::uint64_t trace_bits = 0;
+  std::uint64_t trace_span = 0;
 };
 
 }  // namespace px::threads

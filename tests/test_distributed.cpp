@@ -211,6 +211,70 @@ TEST(Distributed, QueryCounterAcrossProcesses) {
   px::test::run_ranks(2, "Distributed.QueryCounterAcrossProcesses");
 }
 
+// Same cross-process counter query over the shared-memory data plane: the
+// introspection round trip must be backend-agnostic.
+TEST(Distributed, QueryCounterAcrossProcessesShm) {
+  constexpr int kPings = 30;
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      for (int i = 0; i < kPings; ++i) {
+        auto fut = core::async<&ping>(rt.locality_gid(1),
+                                      static_cast<std::uint64_t>(i));
+        EXPECT_EQ(fut.get(), static_cast<std::uint64_t>(i) + 1);
+      }
+      auto delivered = introspect::query_counter(
+          rt.here(), "runtime/loc1/parcels/delivered");
+      ASSERT_TRUE(delivered.has_value());
+      EXPECT_GE(delivered->get(), static_cast<std::uint64_t>(kPings));
+      auto msgs_rx =
+          introspect::query_counter(rt.here(), "runtime/loc1/net/msgs_rx");
+      ASSERT_TRUE(msgs_rx.has_value());
+      EXPECT_GE(msgs_rx->get(), 1u);
+      EXPECT_FALSE(
+          rt.introspection().read("runtime/loc1/parcels/delivered")
+              .has_value());
+    });
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(2, "Distributed.QueryCounterAcrossProcessesShm", "shm");
+}
+
+// The load monitor's EWMA must be live and queryable across ranks on the
+// shm backend — the rebalancer's view of remote load depends on it.
+TEST(Distributed, MonitorEwmaQueryableAcrossProcessesShm) {
+  if (px::test::is_rank_child()) {
+    runtime rt;
+    rt.run([&] {
+      if (rt.rank() != 0) return;
+      for (int i = 0; i < 50; ++i) {
+        auto fut = core::async<&ping>(rt.locality_gid(1),
+                                      static_cast<std::uint64_t>(i));
+        EXPECT_EQ(fut.get(), static_cast<std::uint64_t>(i) + 1);
+      }
+      // Fifty round trips leave rank 1 plenty of idle passes, and the
+      // monitor samples from the flush-on-idle hook every 100us.
+      auto samples = introspect::query_counter(
+          rt.here(), "runtime/loc1/monitor/samples");
+      ASSERT_TRUE(samples.has_value());
+      EXPECT_GE(samples->get(), 1u);
+      // The EWMA's value is load-dependent; what must hold is that the
+      // remote sampler answers (the future resolves) rather than hanging
+      // or refusing on a locality this process does not host.
+      auto ewma = introspect::query_counter(
+          rt.here(), "runtime/loc1/monitor/ready_ewma_milli");
+      ASSERT_TRUE(ewma.has_value());
+      (void)ewma->get();
+    });
+    rt.stop();
+    return;
+  }
+  px::test::run_ranks(2, "Distributed.MonitorEwmaQueryableAcrossProcessesShm",
+                      "shm");
+}
+
 // The wire totals the new per-locality net/* counters report must line up
 // with what actually crossed the transport.
 TEST(Distributed, LinkCountersSeeRealTraffic) {

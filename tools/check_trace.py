@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI validator for merged flight-recorder traces (tools/px_trace.py).
+
+Checks that a trace JSON is well-formed Chrome trace_event input that
+Perfetto will load — `traceEvents` list, required keys per phase type,
+numeric timestamps — and that it demonstrates at least one *cross-rank*
+causal edge: a flow start (`ph: "s"`) whose matching finish (`ph: "f"`,
+same id) carries a different pid.  That edge is the point of the whole
+pipeline; a merge that loses it is broken even if the JSON parses.
+
+Prints ERROR lines to stderr and exits 1 on any failure.
+
+Usage: python3 tools/check_trace.py trace.json
+"""
+
+import json
+import sys
+
+REQUIRED_BY_PHASE = {
+    "M": ("name", "pid"),
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts"),
+    "s": ("name", "id", "pid", "tid", "ts"),
+    "f": ("name", "id", "pid", "tid", "ts"),
+}
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not parseable JSON: {exc}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: top level must be an object with 'traceEvents'"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return [f"{path}: 'traceEvents' must be a non-empty list"]
+
+    flow_starts = {}
+    flow_finishes = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"{path}: event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in REQUIRED_BY_PHASE:
+            errors.append(f"{path}: event {i} has unknown phase {ph!r}")
+            continue
+        for key in REQUIRED_BY_PHASE[ph]:
+            if key not in ev:
+                errors.append(
+                    f"{path}: event {i} (ph={ph}) missing key '{key}'")
+        for key in ("ts", "dur"):
+            if key in ev and not isinstance(ev[key], (int, float)):
+                errors.append(
+                    f"{path}: event {i} has non-numeric '{key}'")
+        if ph == "s":
+            flow_starts[ev.get("id")] = ev
+        elif ph == "f":
+            flow_finishes.setdefault(ev.get("id"), ev)
+
+    if not flow_starts:
+        errors.append(f"{path}: no flow-start ('s') events — no parcel "
+                      "edges were merged")
+    cross_rank = 0
+    for fid, start in flow_starts.items():
+        finish = flow_finishes.get(fid)
+        if finish is None:
+            continue
+        if start.get("pid") != finish.get("pid"):
+            cross_rank += 1
+    if flow_starts and cross_rank == 0:
+        errors.append(f"{path}: no cross-rank flow edge (an s/f pair with "
+                      "differing pids) — the causal chain does not cross "
+                      "a process boundary")
+    if not errors:
+        print(f"{path}: {len(events)} events, {len(flow_starts)} flow "
+              f"edges, {cross_rank} cross-rank")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_trace.py <trace.json>", file=sys.stderr)
+        return 2
+    errors = check(sys.argv[1])
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Merge flight-recorder shards into Chrome trace_event JSON for Perfetto.
+
+Each rank of a traced run (PX_TRACE=1, see docs/tracing.md) writes a
+binary shard `px_trace.<rank>.bin` at shutdown.  This tool merges any
+number of shards into one `{"traceEvents": [...]}` JSON loadable in
+https://ui.perfetto.dev or chrome://tracing:
+
+  * one process per rank, one thread track per event ring (worker,
+    transport progress thread, main);
+  * `X` duration slices for fiber executions (fiber_start up to the next
+    fiber_{end,suspend,yield} on the same ring);
+  * instant events for everything else;
+  * `s`/`f` flow arrows joining each parcel_send to the parcel_dispatch
+    that shares its (trace id, span id) key — across ranks, this draws
+    the causal chain of a request through the machine;
+  * per-rank timestamps normalized onto rank 0's clock via the bootstrap
+    clock-sync offset stamped in each shard;
+  * the shard's counter-delta trailer, attached as process metadata.
+
+Stdlib only.  Usage:
+
+  python3 tools/px_trace.py trace/px_trace.*.bin -o trace.json
+"""
+
+import argparse
+import json
+import struct
+import sys
+
+SHARD_MAGIC = 0x52545850  # "PXTR"
+SHARD_VERSION = 1
+EVENT_STRUCT = struct.Struct("<qQQQQII")  # ts, trace, span, parent, data,
+                                          # kind, arg — 48 bytes
+
+KIND_NAMES = {
+    0: "none",
+    1: "fiber_spawn",
+    2: "fiber_start",
+    3: "fiber_suspend",
+    4: "fiber_resume",
+    5: "fiber_yield",
+    6: "fiber_end",
+    7: "parcel_send",
+    8: "parcel_enqueue",
+    9: "wire_tx",
+    10: "wire_rx",
+    11: "parcel_dispatch",
+    12: "lco_wait",
+    13: "lco_fire",
+    14: "migrate_begin",
+    15: "migrate_implant",
+    16: "migrate_end",
+}
+FIBER_SLICE_END = {"fiber_end", "fiber_suspend", "fiber_yield"}
+
+
+class ShardError(Exception):
+    pass
+
+
+def parse_shard(path):
+    """Returns (rank, clock_offset_ns, rings, counter_deltas).
+
+    rings is {ring_id: [event dict, ...]}; an event dict has ts (ns,
+    already offset-normalized onto rank 0's clock), trace, span, parent,
+    data, kind (name string), arg.
+    """
+    with open(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < 24:
+        raise ShardError(f"{path}: truncated header")
+    magic, version, rank, nrings = struct.unpack_from("<IIII", blob, 0)
+    (clock_offset_ns,) = struct.unpack_from("<q", blob, 16)
+    if magic != SHARD_MAGIC:
+        raise ShardError(f"{path}: bad magic 0x{magic:08x}")
+    if version != SHARD_VERSION:
+        raise ShardError(f"{path}: unsupported shard version {version}")
+    off = 24
+    rings = {}
+    for _ in range(nrings):
+        if off + 16 > len(blob):
+            raise ShardError(f"{path}: truncated ring header")
+        ring_id, _reserved, count = struct.unpack_from("<IIQ", blob, off)
+        off += 16
+        need = count * EVENT_STRUCT.size
+        if off + need > len(blob):
+            raise ShardError(f"{path}: ring {ring_id} truncated "
+                             f"({count} events claimed)")
+        events = []
+        for _ in range(count):
+            ts, trace, span, parent, data, kind, arg = \
+                EVENT_STRUCT.unpack_from(blob, off)
+            off += EVENT_STRUCT.size
+            events.append({
+                "ts": ts - clock_offset_ns,
+                "trace": trace,
+                "span": span,
+                "parent": parent,
+                "data": data,
+                "kind": KIND_NAMES.get(kind, f"kind{kind}"),
+                "arg": arg,
+            })
+        rings[ring_id] = events
+    if off + 4 > len(blob):
+        raise ShardError(f"{path}: missing counter trailer")
+    (ntrailer,) = struct.unpack_from("<I", blob, off)
+    off += 4
+    deltas = {}
+    for _ in range(ntrailer):
+        if off + 4 > len(blob):
+            raise ShardError(f"{path}: truncated trailer entry")
+        (plen,) = struct.unpack_from("<I", blob, off)
+        off += 4
+        if off + plen + 8 > len(blob):
+            raise ShardError(f"{path}: truncated trailer entry")
+        cpath = blob[off:off + plen].decode("utf-8", "replace")
+        off += plen
+        (delta,) = struct.unpack_from("<q", blob, off)
+        off += 8
+        deltas[cpath] = delta
+    if off != len(blob):
+        raise ShardError(f"{path}: {len(blob) - off} trailing bytes")
+    return rank, clock_offset_ns, rings, deltas
+
+
+def fiber_slices(events):
+    """Pairs fiber_start with the next slice-ending event on one ring.
+
+    Returns (slices, leftovers): slices as (start_ev, end_ev) tuples,
+    leftovers the events not consumed into a slice.
+    """
+    slices = []
+    leftovers = []
+    open_start = None
+    for ev in events:
+        if ev["kind"] == "fiber_start":
+            if open_start is not None:
+                leftovers.append(open_start)  # unterminated (ring drop)
+            open_start = ev
+        elif ev["kind"] in FIBER_SLICE_END and open_start is not None \
+                and ev["data"] == open_start["data"]:
+            slices.append((open_start, ev))
+            open_start = None
+        else:
+            leftovers.append(ev)
+    if open_start is not None:
+        leftovers.append(open_start)
+    return slices, leftovers
+
+
+def emit_trace_events(shards):
+    """Builds the traceEvents list from {rank: (offset, rings, deltas)}."""
+    out = []
+    sends = {}       # (trace, span) -> send event ref
+    dispatches = {}  # (trace, span) -> dispatch event ref
+    for rank in sorted(shards):
+        _offset, rings, deltas = shards[rank]
+        out.append({
+            "ph": "M", "name": "process_name", "pid": rank, "tid": 0,
+            "args": {"name": f"rank {rank}"},
+        })
+        if deltas:
+            out.append({
+                "ph": "M", "name": "process_labels", "pid": rank, "tid": 0,
+                "args": {"labels": json.dumps(
+                    {k: v for k, v in sorted(deltas.items()) if v != 0})},
+            })
+        for ring_id in sorted(rings):
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": rank,
+                "tid": ring_id, "args": {"name": f"ring {ring_id}"},
+            })
+            slices, rest = fiber_slices(rings[ring_id])
+            for start, end in slices:
+                out.append({
+                    "ph": "X", "name": f"fiber {start['data']}",
+                    "cat": "fiber", "pid": rank, "tid": ring_id,
+                    "ts": start["ts"] / 1000.0,
+                    "dur": max((end["ts"] - start["ts"]) / 1000.0, 0.001),
+                    "args": {"trace": str(start["trace"]),
+                             "span": str(start["span"])},
+                })
+            for ev in rest:
+                record = {
+                    "ph": "i", "s": "t", "name": ev["kind"],
+                    "cat": ev["kind"].split("_")[0], "pid": rank,
+                    "tid": ring_id, "ts": ev["ts"] / 1000.0,
+                    "args": {"trace": str(ev["trace"]),
+                             "span": str(ev["span"]),
+                             "data": str(ev["data"]), "arg": ev["arg"]},
+                }
+                out.append(record)
+                key = (ev["trace"], ev["span"])
+                if ev["trace"] != 0:
+                    if ev["kind"] == "parcel_send":
+                        sends[key] = record
+                    elif ev["kind"] == "parcel_dispatch":
+                        dispatches.setdefault(key, record)
+    # Flow arrows: one s/f pair per matched send -> dispatch key.  The
+    # flow id must be unique per arrow; the span id already is.
+    for key, send in sorted(sends.items()):
+        disp = dispatches.get(key)
+        if disp is None:
+            continue
+        trace, span = key
+        for phase, ref in (("s", send), ("f", disp)):
+            arrow = {
+                "ph": phase, "name": "parcel", "cat": "parcel",
+                "id": f"{trace:x}.{span:x}", "pid": ref["pid"],
+                "tid": ref["tid"], "ts": ref["ts"],
+            }
+            if phase == "f":
+                arrow["bp"] = "e"  # bind to enclosing slice when present
+            out.append(arrow)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="merge px_trace shards into Perfetto-loadable JSON")
+    ap.add_argument("shards", nargs="+", help="px_trace.<rank>.bin files")
+    ap.add_argument("-o", "--output", default="trace.json",
+                    help="output JSON path (default trace.json)")
+    args = ap.parse_args()
+
+    shards = {}
+    for path in args.shards:
+        try:
+            rank, offset, rings, deltas = parse_shard(path)
+        except (OSError, ShardError) as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 1
+        if rank in shards:
+            print(f"ERROR: duplicate shard for rank {rank}: {path}",
+                  file=sys.stderr)
+            return 1
+        shards[rank] = (offset, rings, deltas)
+
+    events = emit_trace_events(shards)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, f)
+        f.write("\n")
+    nranks = len(shards)
+    nflow = sum(1 for e in events if e["ph"] == "s")
+    print(f"wrote {args.output}: {len(events)} trace events from "
+          f"{nranks} rank(s), {nflow} parcel flow arrow(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
