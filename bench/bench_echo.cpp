@@ -141,6 +141,7 @@ int net_rank_main() {
 
   core::runtime rt;  // backend/rank/ranks from the launcher's PX_NET_* env
   double rtt_us = 0.0;
+  util::log_histogram rtt_hist;  // per-request ns, for the tail columns
   rt.run([&] {
     if (rt.rank() != 0) return;
     for (int i = 0; i < 50; ++i) {  // warmup
@@ -148,9 +149,13 @@ int net_rank_main() {
     }
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < rtt_iters; ++i) {
+      const auto r0 = std::chrono::steady_clock::now();
       core::async<&net_ping>(rt.locality_gid(1),
                              static_cast<std::uint64_t>(i))
           .get();
+      rtt_hist.add(std::chrono::duration<double, std::nano>(
+                       std::chrono::steady_clock::now() - r0)
+                       .count());
     }
     rtt_us = std::chrono::duration<double, std::micro>(
                  std::chrono::steady_clock::now() - t0)
@@ -192,6 +197,7 @@ int net_rank_main() {
     bench::add_metadata(json, backend);
     json.add("rtt_iters", static_cast<std::int64_t>(rtt_iters));
     json.add("single_request_rtt_us", rtt_us);
+    bench::add_hist_percentiles(json, "rtt_ns", rtt_hist);
     json.add("storm_parcels", static_cast<std::int64_t>(storm_parcels));
     json.add("storm_ms", storm_ms);
     json.add("parcels_per_sec", parcels_per_sec);

@@ -5,6 +5,7 @@
 
 #include "core/runtime.hpp"
 #include "gas/resolve.hpp"
+#include "introspect/stats.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/clock.hpp"
@@ -103,6 +104,15 @@ void locality::send(parcel::parcel p) {
     trace::emit(trace::event_kind::parcel_send, p.trace_id, p.trace_span,
                 ctx.span, p.destination.bits(),
                 static_cast<std::uint32_t>(p.action));
+  }
+  if (introspect::stats_armed()) {
+    // Normalized to the rank-0 clock on both ends (offsets cancel within a
+    // rank), so the receiving rank's histogram measures true cross-rank
+    // send→dispatch latency.  Saturate at 1: 0 means "unstamped" on the
+    // wire, and clock_sync skew could otherwise produce a nonpositive
+    // stamp in the first nanoseconds of a run.
+    const std::int64_t ts = util::now_ns() - rt_.clock_offset_ns();
+    p.send_ts_ns = ts > 0 ? static_cast<std::uint64_t>(ts) : 1;
   }
   rt_.route(id_, std::move(p));
 }
@@ -222,6 +232,14 @@ std::vector<std::pair<gas::gid, std::uint64_t>> locality::hottest_objects(
   return out;
 }
 
+void locality::note_dispatch_latency(std::uint64_t send_ts_ns) noexcept {
+  const std::int64_t now = util::now_ns() - rt_.clock_offset_ns();
+  const std::int64_t lat = now - static_cast<std::int64_t>(send_ts_ns);
+  // Cross-rank clock-sync error can make a fast hop appear to arrive
+  // "before" it was sent; clamp rather than wrap.
+  dispatch_hist_.add(lat > 0 ? static_cast<double>(lat) : 0.0);
+}
+
 void locality::deliver(parcel::parcel p) {
   parcels_delivered_.fetch_add(1, std::memory_order_relaxed);
   if (arriving_needs_forward(p.destination)) {
@@ -232,6 +250,9 @@ void locality::deliver(parcel::parcel p) {
     return;
   }
   note_heat(p.destination);
+  if (introspect::stats_armed() && p.send_ts_ns != 0) {
+    note_dispatch_latency(p.send_ts_ns);
+  }
   if (p.trace_id != 0 && trace::enabled()) {
     trace::emit(trace::event_kind::parcel_dispatch, p.trace_id, p.trace_span,
                 0, p.destination.bits(),
@@ -259,6 +280,9 @@ void locality::deliver(const parcel::parcel_view& pv) {
     return;
   }
   note_heat(pv.destination());
+  if (introspect::stats_armed() && pv.send_ts_ns() != 0) {
+    note_dispatch_latency(pv.send_ts_ns());
+  }
   if (pv.trace_id() != 0 && trace::enabled()) {
     trace::emit(trace::event_kind::parcel_dispatch, pv.trace_id(),
                 pv.trace_span(), 0, pv.destination().bits(),

@@ -22,6 +22,7 @@
 #include "gas/gid.hpp"
 #include "parcel/parcel.hpp"
 #include "threads/scheduler.hpp"
+#include "util/histogram.hpp"
 #include "util/spinlock.hpp"
 
 namespace px::core {
@@ -108,6 +109,13 @@ class locality {
 
   locality_stats stats() const;
 
+  // Distribution of parcel send→dispatch latencies (ns, on the rank-0
+  // clock) observed at this locality while PX_STATS is armed; registered
+  // as the runtime/loc<i>/parcels/hist_dispatch_ns histogram counter.
+  util::log_histogram dispatch_hist_snapshot() const {
+    return dispatch_hist_.snapshot();
+  }
+
  private:
   friend class runtime;
 
@@ -130,6 +138,11 @@ class locality {
 
   // Delivery-path heat accounting (no-op unless heat tracking is enabled).
   void note_heat(gas::gid dest) noexcept;
+
+  // Telemetry: fold one send→dispatch latency into dispatch_hist_ (the
+  // caller has already checked introspect::stats_armed() and a nonzero
+  // wire timestamp).
+  void note_dispatch_latency(std::uint64_t send_ts_ns) noexcept;
 
   // Heat-table size bound; crossing it ages the table in place (see
   // note_heat), so balanced workloads cannot grow it without limit.  The
@@ -161,6 +174,8 @@ class locality {
   static constexpr std::size_t kMaxHintGateEntries = 256;
   util::spinlock hint_gate_lock_;
   std::unordered_map<std::uint64_t, std::int64_t> hint_gate_;
+
+  util::log_histogram dispatch_hist_;  // internally locked
 
   std::atomic<std::uint64_t> parcels_sent_{0};
   std::atomic<std::uint64_t> parcels_delivered_{0};

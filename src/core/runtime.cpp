@@ -7,6 +7,7 @@
 #include "core/action.hpp"
 #include "core/echo.hpp"
 #include "core/percolation.hpp"
+#include "introspect/query.hpp"
 #include "lco/lco.hpp"
 #include "net/bootstrap.hpp"
 #include "net/shm_transport.hpp"
@@ -141,6 +142,18 @@ runtime::runtime(runtime_params params)
     }
     if (params_.trace_dir.empty()) {
       params_.trace_dir = cfg.get_string("trace.dir", ".");
+    }
+    if (params_.stats < 0) {
+      params_.stats = cfg.get_bool("stats", false) ? 1 : 0;
+    } else {
+      params_.stats = params_.stats != 0 ? 1 : 0;
+    }
+    if (params_.stats_interval_us == 0) {
+      params_.stats_interval_us =
+          static_cast<std::uint64_t>(cfg.get_int("stats.interval_us", 10'000));
+    }
+    if (params_.stats_dir.empty()) {
+      params_.stats_dir = cfg.get_string("stats.dir", ".");
     }
   }
   // Normalize the resolved toggles into params_ so rank 0's wire blob
@@ -290,6 +303,20 @@ runtime::runtime(runtime_params params)
     balancer_->poll();
   });
 
+  // Telemetry collector: constructed before register_counters so the
+  // /stats/* rows can sample it; armed last (below), after clock sync, so
+  // its t=0 tick sees the final counter schema.  params_.stats is already
+  // machine-agreed here — the wire-params exchange above overwrote it on
+  // non-zero ranks.
+  {
+    introspect::stats_params stp;
+    stp.enabled = params_.stats != 0;
+    stp.interval_us = params_.stats_interval_us;
+    stp.dir = params_.stats_dir;
+    stp.rank = static_cast<std::uint32_t>(rank_);
+    stats_ = std::make_unique<introspect::stats_collector>(introspect_, stp);
+  }
+
   register_counters();
 
   echo_ = std::make_unique<echo_manager>(*this);
@@ -305,9 +332,10 @@ runtime::runtime(runtime_params params)
     bootstrap_->barrier(introspect_.schema_digest());
     // Clock sync rides the control plane after the barrier so the RTT
     // samples are not polluted by the connect storm.  Collective, so it
-    // runs only under the machine-agreed toggle (rank 0's wire blob).
-    if (params_.trace != 0) {
-      trace_clock_offset_ns_ = bootstrap_->clock_sync();
+    // runs only under the machine-agreed toggles (rank 0's wire blob) —
+    // the trace and stats planes share one offset.
+    if (params_.trace != 0 || params_.stats != 0) {
+      clock_offset_ns_ = bootstrap_->clock_sync();
     }
   }
   // Arm the flight recorder last: every consumer above is wired and no
@@ -316,6 +344,13 @@ runtime::runtime(runtime_params params)
       params_.trace != 0, params_.trace_ring_bytes, params_.trace_dir,
       static_cast<std::uint32_t>(rank_));
   if (params_.trace != 0) trace_boot_counters_ = introspect_.snapshot_all();
+  // Same epoch discipline for the stats sampler: armed only now, so its
+  // t=0 tick (and every parcel send-timestamp stamp) happens after the
+  // offset is known.
+  if (params_.stats != 0) {
+    stats_->set_clock_offset(clock_offset_ns_);
+    stats_->arm();
+  }
 }
 
 // Every load-bearing runtime quantity becomes a first-class, gid-named,
@@ -342,7 +377,9 @@ void runtime::register_counters() {
       "/fabric/parcels_sent", "/fabric/bytes_sent",
       "/monitor/ready_ewma_milli", "/monitor/samples", "/net/bytes_tx",
       "/net/bytes_rx", "/net/msgs_tx", "/net/msgs_rx", "/trace/events",
-      "/trace/drops"};
+      "/trace/drops", "/parcels/hist_dispatch_ns", "/sched/hist_run_ns",
+      "/sched/hist_wait_ns", "/sched/hist_ready_depth", "/stats/ticks",
+      "/stats/dropped_points"};
 
   for (std::size_t i = 0; i < localities_.size(); ++i) {
     const auto lid = static_cast<gas::locality_id>(i);
@@ -429,6 +466,26 @@ void runtime::register_counters() {
             [] { return trace::recorder::global().events_total(); });
     reg.add(lid, p + "/trace/drops",
             [] { return trace::recorder::global().drops_total(); });
+    // Telemetry distributions (populated only while PX_STATS is armed).
+    // The registry slot reads the population count; quantiles go through
+    // read_quantile / px.query_hist, and the stats sampler expands each
+    // into per-quantile series.  Histogram gids are positional like every
+    // other counter, so the remote arm replays them with plain add_remote.
+    reg.add_hist(lid, p + "/parcels/hist_dispatch_ns",
+                 [loc] { return loc->dispatch_hist_snapshot(); });
+    reg.add_hist(lid, p + "/sched/hist_run_ns",
+                 [&sched] { return sched.run_hist_snapshot(); });
+    reg.add_hist(lid, p + "/sched/hist_wait_ns",
+                 [&sched] { return sched.wait_hist_snapshot(); });
+    reg.add_hist(lid, p + "/sched/hist_ready_depth",
+                 [mon] { return mon->depth_hist_snapshot(); });
+    // Sampler self-observation (like /trace/*: a process singleton read
+    // through every locality row in the sim shape, genuinely per-rank
+    // distributed).
+    introspect::stats_collector* st = stats_.get();
+    reg.add(lid, p + "/stats/ticks", [st] { return st->ticks(); });
+    reg.add(lid, p + "/stats/dropped_points",
+            [st] { return st->dropped_points(); });
     // Backend-specific rows (tcp: reconnects; shm: ring_full_waits,
     // wakeups; sim: none) — registered only when the active backend
     // actually maintains them, so the schema never carries an
@@ -533,6 +590,13 @@ void runtime::stop() {
   // before the shutdown barrier, so a fast rank's exit cannot outrun a
   // slow rank's shard write in a distributed trace collection.
   dump_trace();
+  // Stats shard rides the same window: disarm first (joins the sampler
+  // and takes the closing tick), then write — the shard always ends at
+  // quiescence time.
+  if (params_.stats != 0) {
+    stats_->disarm();
+    stats_->dump();
+  }
   // Shutdown sequencing across processes: the quiescence verdict already
   // synchronized everyone, but the barrier keeps a fast rank from tearing
   // its sockets down while a slow one is still inside its final drain.
@@ -551,9 +615,21 @@ void runtime::stop() {
 void runtime::dump_trace() {
   if (params_.trace == 0) return;
   trace::recorder::global().dump(
-      trace_clock_offset_ns_,
+      clock_offset_ns_,
       introspect::registry::delta(trace_boot_counters_,
                                   introspect_.snapshot_all()));
+}
+
+void runtime::dump_stats() {
+  if (params_.stats == 0) return;
+  stats_->tick_now();  // freshness: the shard ends at dump time
+  stats_->dump();
+}
+
+std::string runtime::stats_serialize() {
+  if (params_.stats == 0) return {};
+  stats_->tick_now();
+  return stats_->serialize_jsonl();
 }
 
 locality& runtime::at(gas::locality_id id) {
@@ -796,6 +872,29 @@ std::uint8_t trace_dump_action() {
   return 1;
 }
 
+// Mid-run stats dump, the px.trace_dump twin: any parcel to
+// "px.stats_dump" (apply<&...>(locality_gid(r))) makes rank r take a
+// fresh tick and rewrite its shard now.  Typed — the dump does file I/O.
+std::uint8_t stats_dump_action();
+PX_REGISTER_ACTION_AS(stats_dump_action, "px.stats_dump")
+
+std::uint8_t stats_dump_action() {
+  this_locality()->rt().dump_stats();
+  return 1;
+}
+
+// Machine-wide gather: replies with this rank's full jsonl shard so rank 0
+// (or any rank) can pull every rank's series over the wire without
+// touching remote filesystems (introspect::stats_pull).  Typed — the
+// serialization walks every series under a mutex, which has no place on
+// the delivery thread.
+std::string stats_pull_action();
+PX_REGISTER_ACTION_AS(stats_pull_action, "px.stats_pull")
+
+std::string stats_pull_action() {
+  return this_locality()->rt().stats_serialize();
+}
+
 // Home side of the directory flip.  Raw-registered (non-spawning, like
 // px.sink): a directory write is control plane and must not queue behind
 // user fibers — the home of a hot object is often exactly the monopolized
@@ -1028,7 +1127,8 @@ std::string action_table_snapshot() {
 
 using wire_tuple =
     std::tuple<std::uint64_t, std::uint32_t, std::uint8_t, std::uint8_t,
-               std::uint8_t, std::uint8_t, std::uint8_t, std::string>;
+               std::uint8_t, std::uint8_t, std::uint8_t, std::uint8_t,
+               std::string>;
 
 }  // namespace
 
@@ -1046,6 +1146,7 @@ std::vector<std::byte> runtime::encode_wire_params() const {
       static_cast<std::uint8_t>(params_.net.migration != 0 ? 1 : 0),
       static_cast<std::uint8_t>(params_.rebalance != 0 ? 1 : 0),
       static_cast<std::uint8_t>(params_.trace != 0 ? 1 : 0),
+      static_cast<std::uint8_t>(params_.stats != 0 ? 1 : 0),
       action_table_snapshot()));
 }
 
@@ -1057,13 +1158,25 @@ void runtime::apply_wire_params(std::span<const std::byte> blob) {
   eager_flush_ = std::get<3>(t) != 0;
   params_.net.migration = std::get<4>(t);
   params_.rebalance = std::get<5>(t);
-  // Tracing is machine-wide or not at all: the clock-sync collective and
-  // the per-parcel wire extension both assume every rank agrees.
+  // Tracing and stats are machine-wide or not at all: the clock-sync
+  // collective and the per-parcel wire extensions all assume every rank
+  // agrees.
   params_.trace = std::get<6>(t);
-  PX_ASSERT_MSG(std::get<7>(t) == action_table_snapshot(),
+  params_.stats = std::get<7>(t);
+  PX_ASSERT_MSG(std::get<8>(t) == action_table_snapshot(),
                 "ranks disagree on the registered action table — all ranks "
                 "must run the same binary, and actions used cross-process "
                 "must be registered eagerly (PX_REGISTER_ACTION)");
 }
 
 }  // namespace px::core
+
+namespace px::introspect {
+
+lco::future<std::string> stats_pull(core::locality& from,
+                                    gas::locality_id rank) {
+  return core::async_from<&core::stats_pull_action>(
+      from, from.rt().locality_gid(rank));
+}
+
+}  // namespace px::introspect

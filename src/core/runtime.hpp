@@ -59,6 +59,7 @@
 #include "gas/name_service.hpp"
 #include "introspect/monitor.hpp"
 #include "introspect/registry.hpp"
+#include "introspect/stats.hpp"
 #include "net/fabric.hpp"
 #include "net/transport.hpp"
 #include "parcel/action_registry.hpp"
@@ -126,6 +127,16 @@ struct runtime_params {
   int trace = -1;
   std::size_t trace_ring_bytes = 0;
   std::string trace_dir;
+  // Telemetry plane (src/introspect/stats.*, docs/metrics.md).  `stats` is
+  // tri-state: -1 resolves from PX_STATS (default off); interval 0
+  // resolves from PX_STATS_INTERVAL_US (default 10ms); an empty dir
+  // resolves from PX_STATS_DIR (default ".").  Distributed, rank 0's
+  // resolved toggle wins machine-wide (wire-params blob): the per-parcel
+  // send-timestamp wire extension and the clock-sync collective must stay
+  // symmetric across ranks, exactly like tracing.
+  int stats = -1;
+  std::uint64_t stats_interval_us = 0;
+  std::string stats_dir;
 };
 
 class runtime {
@@ -218,6 +229,27 @@ class runtime {
   // triggers it mid-run (rings drain destructively, so a later dump
   // carries only events since).
   void dump_trace();
+
+  // Takes a fresh sampling tick and writes this rank's series shard to
+  // PX_STATS_DIR/px_stats.<rank>.jsonl (no-op with PX_STATS off).  stop()
+  // calls it after quiescence; the px.stats_dump action triggers it
+  // mid-run (series are non-destructive, so a later dump supersedes an
+  // earlier one with a longer window).
+  void dump_stats();
+
+  // This rank's full jsonl shard (with a fresh tick), as shipped by the
+  // px.stats_pull action so rank 0 can gather the machine without touching
+  // remote filesystems.  Empty with PX_STATS off.
+  std::string stats_serialize();
+
+  // The telemetry collector (introspect/stats.hpp): series windows, rates,
+  // tick/drop totals.  Valid whether or not PX_STATS armed it.
+  introspect::stats_collector& telemetry() noexcept { return *stats_; }
+
+  // This rank's steady-clock offset from rank 0, sampled over the
+  // bootstrap when tracing or stats are on (0 when sim, rank 0, or both
+  // planes off).  local_now - offset ≈ rank-0 clock.
+  std::int64_t clock_offset_ns() const noexcept { return clock_offset_ns_; }
 
   // Per-rank Dijkstra–Scholten credit ledgers for distributed process
   // trees (core/process_site.hpp; used by process_ref and the typed child
@@ -344,6 +376,9 @@ class runtime {
   std::unique_ptr<net::fabric> fabric_;        // sim backend
   std::unique_ptr<net::distributed_transport> dist_;  // tcp or shm backend
   net::transport* transport_ = nullptr;        // whichever backend is live
+  // After the transports: the collector's sampler thread reads counter
+  // callbacks that reference them, so it must be destroyed (joined) first.
+  std::unique_ptr<introspect::stats_collector> stats_;
   std::vector<gas::gid> locality_gids_;
   std::unique_ptr<echo_manager> echo_;
   std::unique_ptr<percolation_manager> percolation_;
@@ -369,8 +404,10 @@ class runtime {
   // Flight-recorder bookkeeping: the boot-time counter snapshot the dump
   // trailer deltas against, and this rank's steady-clock offset from rank
   // 0 (sampled over the bootstrap control plane; 0 when sim or rank 0).
+  // The offset is shared by the trace and stats planes — both normalize
+  // local timestamps onto rank 0's clock.
   std::vector<introspect::counter_sample> trace_boot_counters_;
-  std::int64_t trace_clock_offset_ns_ = 0;
+  std::int64_t clock_offset_ns_ = 0;
 
   bool eager_flush_ = true;  // resolved from params/env in the ctor
   bool migration_enabled_ = false;  // cross-process protocol (tcp only)

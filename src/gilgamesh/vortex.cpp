@@ -178,6 +178,7 @@ network_result network_model::run(const traffic_params& traffic) const {
   res.mean_latency_ns = latency.stats().mean();
   res.p50_latency_ns = latency.p50();
   res.p99_latency_ns = latency.p99();
+  res.p999_latency_ns = latency.p999();
   res.max_latency_ns = latency.stats().max();
   res.mean_hops =
       delivered > 0 ? static_cast<double>(total_hops) /

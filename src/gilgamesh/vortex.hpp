@@ -48,6 +48,7 @@ struct network_result {
   double mean_latency_ns = 0.0;
   double p50_latency_ns = 0.0;
   double p99_latency_ns = 0.0;
+  double p999_latency_ns = 0.0;
   double max_latency_ns = 0.0;
   double delivered_gbytes_per_s = 0.0;  // aggregate accepted throughput
   std::uint64_t messages = 0;

@@ -1,5 +1,6 @@
 #include "introspect/monitor.hpp"
 
+#include "introspect/stats.hpp"
 #include "util/clock.hpp"
 
 namespace px::introspect {
@@ -22,6 +23,7 @@ void monitor::tick() noexcept {
     return;
   }
   const auto depth = static_cast<double>(sched_.ready_estimate());
+  if (stats_armed()) depth_hist_.add(depth);
   const auto prev =
       static_cast<double>(ewma_milli_.load(std::memory_order_relaxed));
   const double next = params_.alpha * depth * 1000.0 +

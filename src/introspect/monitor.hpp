@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "threads/scheduler.hpp"
+#include "util/histogram.hpp"
 
 namespace px::introspect {
 
@@ -52,12 +53,20 @@ class monitor {
     return samples_.load(std::memory_order_relaxed);
   }
 
+  // Distribution of sampled ready depths (populated only while PX_STATS is
+  // armed); registered as the runtime/loc<i>/sched/hist_ready_depth
+  // histogram counter.
+  util::log_histogram depth_hist_snapshot() const {
+    return depth_hist_.snapshot();
+  }
+
  private:
   threads::scheduler& sched_;
   monitor_params params_;
   std::atomic<std::uint64_t> ewma_milli_{0};
   std::atomic<std::int64_t> last_sample_ns_{0};
   std::atomic<std::uint64_t> samples_{0};
+  util::log_histogram depth_hist_;  // internally locked
 };
 
 }  // namespace px::introspect

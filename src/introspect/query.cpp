@@ -35,6 +35,37 @@ parcel::action_id query_counter_action_id() {
 [[maybe_unused]] const parcel::action_id k_query_counter_registration =
     query_counter_action_id();
 
+// Quantiles travel as parts-per-million so the argument block stays two
+// fixed u64s (doubles have no place on the wire).
+constexpr double kPpm = 1e6;
+
+// px.query_hist: the quantile-addressed twin of px.query_counter.  Runs at
+// the histogram counter's home, snapshots the distribution, and replies
+// with the value at the requested quantile.  Raw-registered for the same
+// reason: reading a latency histogram from a loaded rank must not queue
+// behind the load being measured.
+parcel::action_id query_hist_action_id() {
+  static const parcel::action_id id =
+      parcel::action_registry::global().register_action(
+          "px.query_hist", +[](void* ctx, const parcel::parcel_view& pv) {
+            auto* loc = static_cast<core::locality*>(ctx);
+            util::input_archive ar(pv.arguments());
+            std::uint64_t bits = 0;
+            std::uint64_t q_ppm = 0;
+            ar& bits;
+            ar& q_ppm;
+            const auto value = loc->rt().introspection().read_quantile(
+                gas::gid::from_bits(bits), static_cast<double>(q_ppm) / kPpm);
+            core::send_continuation_reply(
+                *loc, pv.cont(),
+                util::to_bytes(value.value_or(no_such_counter)));
+          });
+  return id;
+}
+
+[[maybe_unused]] const parcel::action_id k_query_hist_registration =
+    query_hist_action_id();
+
 void send_query(core::locality& from, gas::gid id,
                 parcel::continuation cont) {
   parcel::parcel p;
@@ -69,6 +100,28 @@ std::optional<lco::future<std::uint64_t>> query_counter(
   const auto id = from.rt().introspection().find(path);
   if (!id.has_value()) return std::nullopt;
   return query_counter(from, *id);
+}
+
+lco::future<std::uint64_t> query_hist(core::locality& from, gas::gid id,
+                                      double q) {
+  lco::promise<std::uint64_t> prom;
+  auto fut = prom.get_future();
+  parcel::parcel p;
+  p.destination = id;
+  p.action = query_hist_action_id();
+  p.cont = core::make_promise_sink<std::uint64_t>(from, std::move(prom));
+  p.arguments =
+      util::to_bytes(id.bits(), static_cast<std::uint64_t>(q * kPpm));
+  from.send(std::move(p));
+  return fut;
+}
+
+std::optional<lco::future<std::uint64_t>> query_hist(core::locality& from,
+                                                     std::string_view path,
+                                                     double q) {
+  const auto id = from.rt().introspection().find(path);
+  if (!id.has_value()) return std::nullopt;
+  return query_hist(from, *id, q);
 }
 
 }  // namespace px::introspect

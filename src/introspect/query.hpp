@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/locality.hpp"
@@ -40,5 +41,28 @@ void query_counter_cb(core::locality& from, gas::gid id,
 // symbolic name space first; nullopt when the path names no counter.
 std::optional<lco::future<std::uint64_t>> query_counter(core::locality& from,
                                                         std::string_view path);
+
+// Quantile-addressed read of a *histogram* counter (registry::add_hist):
+// ships `q` to the counter's home locality over the px.query_hist inline
+// action and returns the distribution's value at that quantile, rounded to
+// whole units (ns for the runtime's latency hists).  Replies
+// no_such_counter when the gid names no histogram counter at its home —
+// scalar counters are not quantile-addressable.
+lco::future<std::uint64_t> query_hist(core::locality& from, gas::gid id,
+                                      double q);
+
+// Path-addressed form, like query_counter's.
+std::optional<lco::future<std::uint64_t>> query_hist(core::locality& from,
+                                                     std::string_view path,
+                                                     double q);
+
+// Machine-wide series gather: pulls rank `rank`'s full jsonl stats shard
+// (the introspect/stats.hpp serialization) over the px.stats_pull typed
+// action, so rank 0 can collect every rank's series without touching
+// remote filesystems.  The future resolves to the empty string when the
+// machine runs with PX_STATS off.  Defined in core/runtime.cpp beside the
+// action.
+lco::future<std::string> stats_pull(core::locality& from,
+                                    gas::locality_id rank);
 
 }  // namespace px::introspect

@@ -12,7 +12,7 @@ registry::registry(gas::agas& agas, gas::name_service& names)
     : agas_(agas), names_(names) {}
 
 gas::gid registry::register_entry(gas::locality_id home, std::string path,
-                                  sample_fn fn) {
+                                  sample_fn fn, hist_fn hfn) {
   PX_ASSERT_MSG(gas::name_service::valid_path(path),
                 "introspect: malformed counter path");
   const gas::gid id = agas_.allocate(gas::gid_kind::hardware, home);
@@ -20,7 +20,7 @@ gas::gid registry::register_entry(gas::locality_id home, std::string path,
   const bool named = names_.register_name(path, id);
   PX_ASSERT_MSG(named, "introspect: counter path already registered");
   std::lock_guard lock(lock_);
-  counters_.emplace(id, entry{std::move(path), std::move(fn)});
+  counters_.emplace(id, entry{std::move(path), std::move(fn), std::move(hfn)});
   return id;
 }
 
@@ -43,6 +43,12 @@ gas::gid registry::add_remote(gas::locality_id home, std::string path) {
   return register_entry(home, std::move(path), nullptr);
 }
 
+gas::gid registry::add_hist(gas::locality_id home, std::string path,
+                            hist_fn fn) {
+  PX_ASSERT(fn != nullptr);
+  return register_entry(home, std::move(path), nullptr, std::move(fn));
+}
+
 std::optional<std::uint64_t> registry::read(gas::gid id) const {
   // The sample runs under the lock: entries are never removed, but the
   // callbacks are cheap by contract, so holding the spinlock across the
@@ -50,6 +56,7 @@ std::optional<std::uint64_t> registry::read(gas::gid id) const {
   std::lock_guard lock(lock_);
   const auto it = counters_.find(id);
   if (it == counters_.end()) return std::nullopt;
+  if (it->second.hist != nullptr) return it->second.hist().count();
   if (it->second.sample == nullptr) return std::nullopt;  // remote counter
   return it->second.sample();
 }
@@ -58,6 +65,34 @@ std::optional<std::uint64_t> registry::read(std::string_view path) const {
   const auto id = find(path);
   if (!id.has_value()) return std::nullopt;
   return read(*id);
+}
+
+std::optional<util::log_histogram> registry::read_hist(gas::gid id) const {
+  std::lock_guard lock(lock_);
+  const auto it = counters_.find(id);
+  if (it == counters_.end() || it->second.hist == nullptr) return std::nullopt;
+  return it->second.hist();
+}
+
+std::optional<util::log_histogram> registry::read_hist(
+    std::string_view path) const {
+  const auto id = find(path);
+  if (!id.has_value()) return std::nullopt;
+  return read_hist(*id);
+}
+
+std::optional<std::uint64_t> registry::read_quantile(gas::gid id,
+                                                     double q) const {
+  const auto h = read_hist(id);
+  if (!h.has_value()) return std::nullopt;
+  return static_cast<std::uint64_t>(h->quantile(q));
+}
+
+std::optional<std::uint64_t> registry::read_quantile(std::string_view path,
+                                                     double q) const {
+  const auto id = find(path);
+  if (!id.has_value()) return std::nullopt;
+  return read_quantile(*id, q);
 }
 
 std::optional<gas::gid> registry::find(std::string_view path) const {
@@ -90,12 +125,34 @@ std::vector<counter_sample> registry::snapshot_all() const {
     std::lock_guard lock(lock_);
     out.reserve(counters_.size());
     for (const auto& [id, e] : counters_) {
+      if (e.hist != nullptr) {
+        // Histogram counters read as their population so rate queries and
+        // delta trailers see them as ordinary monotonic scalars.
+        out.push_back(counter_sample{e.path, e.hist().count()});
+        continue;
+      }
       if (e.sample == nullptr) continue;  // remote: sampled on its home rank
       out.push_back(counter_sample{e.path, e.sample()});
     }
   }
   std::sort(out.begin(), out.end(),
             [](const counter_sample& a, const counter_sample& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::vector<hist_sample> registry::snapshot_hists() const {
+  std::vector<hist_sample> out;
+  {
+    std::lock_guard lock(lock_);
+    for (const auto& [id, e] : counters_) {
+      if (e.hist == nullptr) continue;  // scalar or remote
+      out.push_back(hist_sample{e.path, e.hist()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const hist_sample& a, const hist_sample& b) {
               return a.path < b.path;
             });
   return out;

@@ -35,6 +35,7 @@
 #include "gas/agas.hpp"
 #include "gas/gid.hpp"
 #include "gas/name_service.hpp"
+#include "util/histogram.hpp"
 #include "util/spinlock.hpp"
 
 namespace px::introspect {
@@ -43,6 +44,11 @@ namespace px::introspect {
 // callable from any thread (workers, the fabric progress thread, plain OS
 // threads); must not call back into the registry.
 using sample_fn = std::function<std::uint64_t()>;
+
+// Samples a distribution counter: returns a detached point-in-time copy of
+// the underlying log_histogram (the util::log_histogram::snapshot idiom).
+// Same contract as sample_fn: cheap, non-blocking, no registry re-entry.
+using hist_fn = std::function<util::log_histogram()>;
 
 struct counter_info {
   std::string path;
@@ -53,6 +59,12 @@ struct counter_info {
 struct counter_sample {
   std::string path;
   std::uint64_t value = 0;
+};
+
+// One locally-sampled histogram counter at a point in time (snapshot_hists).
+struct hist_sample {
+  std::string path;
+  util::log_histogram hist;
 };
 
 class registry {
@@ -82,9 +94,31 @@ class registry {
   // can name (and query) a remote counter without any directory traffic.
   gas::gid add_remote(gas::locality_id home, std::string path);
 
+  // Registers a histogram-kind counter (a latency/depth *distribution*
+  // rather than a scalar gauge).  Allocation, binding, and naming are
+  // identical to add() — histogram counters take slots in the same
+  // positional gid sequence, so distributed replay uses plain add_remote()
+  // for them and the schema digest needs no kind bit.  read() on a
+  // histogram counter reports its sample count; quantiles go through
+  // read_quantile() / px.query_hist.
+  gas::gid add_hist(gas::locality_id home, std::string path, hist_fn fn);
+
   // Samples a counter; nullopt for gids/paths that name no counter.
+  // Histogram counters read as their cumulative sample count, so they
+  // participate in snapshot_all()/delta() like any scalar.
   std::optional<std::uint64_t> read(gas::gid id) const;
   std::optional<std::uint64_t> read(std::string_view path) const;
+
+  // Snapshot of a histogram counter's full distribution; nullopt for
+  // scalar counters, unknown ids, and remote (replayed) entries.
+  std::optional<util::log_histogram> read_hist(gas::gid id) const;
+  std::optional<util::log_histogram> read_hist(std::string_view path) const;
+
+  // Value at quantile q of a histogram counter, rounded to whole units
+  // (ns for the runtime's latency hists); nullopt as read_hist.
+  std::optional<std::uint64_t> read_quantile(gas::gid id, double q) const;
+  std::optional<std::uint64_t> read_quantile(std::string_view path,
+                                             double q) const;
 
   // Path -> gid through the name service (nullopt when the path is bound
   // to something that is not a counter).
@@ -101,6 +135,11 @@ class registry {
   // path-sorted vector.  A pair of snapshots brackets a region of
   // interest; see delta().
   std::vector<counter_sample> snapshot_all() const;
+
+  // Detached copies of every locally-sampled histogram counter, path-
+  // sorted.  The stats_collector expands these into per-quantile series
+  // each tick.
+  std::vector<hist_sample> snapshot_hists() const;
 
   // Per-path value change between two snapshots (after - before), sorted
   // by path.  Paths present in only one snapshot count from/to zero, so a
@@ -122,12 +161,13 @@ class registry {
  private:
   struct entry {
     std::string path;
-    sample_fn sample;  // null only for add_remote entries
+    sample_fn sample;  // null for add_remote and add_hist entries
+    hist_fn hist;      // non-null only for add_hist entries
   };
 
-  // Shared allocate/bind/name/insert path; `fn` may be null (remote).
+  // Shared allocate/bind/name/insert path; both fns null means remote.
   gas::gid register_entry(gas::locality_id home, std::string path,
-                          sample_fn fn);
+                          sample_fn fn, hist_fn hfn = nullptr);
 
   gas::agas& agas_;
   gas::name_service& names_;

@@ -1,0 +1,177 @@
+#include "introspect/stats.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace px::introspect {
+
+namespace detail {
+std::atomic<bool> g_stats_enabled{false};
+}  // namespace detail
+
+stats_collector::stats_collector(registry& reg, stats_params params)
+    : reg_(reg), params_(std::move(params)) {
+  if (params_.interval_us == 0) params_.interval_us = 10'000;
+  if (params_.ring_points < 2) params_.ring_points = 2;
+  if (params_.dir.empty()) params_.dir = ".";
+}
+
+stats_collector::~stats_collector() { disarm(); }
+
+void stats_collector::arm() {
+  if (!params_.enabled || running_) return;
+  detail::g_stats_enabled.store(true, std::memory_order_relaxed);
+  tick_now();  // t=0 point for every series, so short runs still get a rate
+  stop_ = false;
+  running_ = true;
+  sampler_ = std::thread([this] { sampler_main(); });
+}
+
+void stats_collector::disarm() {
+  if (running_) {
+    {
+      std::lock_guard lock(wake_mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    sampler_.join();
+    running_ = false;
+    tick_now();  // closing point: the window always ends at disarm time
+  }
+  if (params_.enabled) {
+    detail::g_stats_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void stats_collector::sampler_main() {
+  const auto period = std::chrono::microseconds(params_.interval_us);
+  std::unique_lock lock(wake_mu_);
+  while (!wake_cv_.wait_for(lock, period, [this] { return stop_; })) {
+    lock.unlock();
+    tick_now();
+    lock.lock();
+  }
+}
+
+void stats_collector::append(const std::string& path, std::int64_t ts,
+                             std::uint64_t value) {
+  series& s = series_[path];
+  if (s.pts.empty()) s.pts.resize(params_.ring_points);
+  if (s.count == s.pts.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // oldest overwritten
+  } else {
+    ++s.count;
+  }
+  s.pts[s.head] = series_point{ts, value};
+  s.head = (s.head + 1) % s.pts.size();
+}
+
+void stats_collector::tick_now() {
+  // Sample outside the series lock: registry callbacks take their own
+  // (registry spinlock, per-histogram locks) and queries must never wait
+  // on a sampler mid-walk.
+  const auto scalars = reg_.snapshot_all();
+  const auto hists = reg_.snapshot_hists();
+  const std::int64_t ts = util::now_ns();
+
+  std::lock_guard lock(mu_);
+  for (const auto& c : scalars) append(c.path, ts, c.value);
+  for (const auto& h : hists) {
+    for (const auto& [suffix, q] : k_hist_quantiles) {
+      append(h.path + "/" + suffix, ts,
+             static_cast<std::uint64_t>(h.hist.quantile(q)));
+    }
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<series_point> stats_collector::window(
+    std::string_view path) const {
+  std::vector<series_point> out;
+  std::lock_guard lock(mu_);
+  const auto it = series_.find(std::string(path));
+  if (it == series_.end()) return out;
+  const series& s = it->second;
+  out.reserve(s.count);
+  const std::size_t start = (s.head + s.pts.size() - s.count) % s.pts.size();
+  for (std::size_t i = 0; i < s.count; ++i) {
+    out.push_back(s.pts[(start + i) % s.pts.size()]);
+  }
+  return out;
+}
+
+std::optional<series_point> stats_collector::latest(
+    std::string_view path) const {
+  std::lock_guard lock(mu_);
+  const auto it = series_.find(std::string(path));
+  if (it == series_.end() || it->second.count == 0) return std::nullopt;
+  const series& s = it->second;
+  return s.pts[(s.head + s.pts.size() - 1) % s.pts.size()];
+}
+
+std::optional<double> stats_collector::rate_per_sec(
+    std::string_view path) const {
+  const auto pts = window(path);
+  if (pts.size() < 2) return std::nullopt;
+  const auto& a = pts.front();
+  const auto& b = pts.back();
+  if (b.ts_ns <= a.ts_ns) return std::nullopt;
+  const double dv = static_cast<double>(b.value) - static_cast<double>(a.value);
+  return dv * 1e9 / static_cast<double>(b.ts_ns - a.ts_ns);
+}
+
+std::string stats_collector::serialize_jsonl() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"kind\":\"header\",\"version\":1,\"rank\":%u,"
+                "\"clock_offset_ns\":%lld,\"interval_us\":%llu,"
+                "\"ticks\":%llu,\"dropped_points\":%llu}\n",
+                params_.rank, static_cast<long long>(clock_offset_ns_),
+                static_cast<unsigned long long>(params_.interval_us),
+                static_cast<unsigned long long>(ticks()),
+                static_cast<unsigned long long>(dropped_points()));
+  out += buf;
+
+  std::lock_guard lock(mu_);
+  for (const auto& [path, s] : series_) {
+    // Counter paths are name_service-validated segments ([a-z0-9_./]), so
+    // no JSON string escaping is ever needed here.
+    out += "{\"kind\":\"series\",\"path\":\"";
+    out += path;
+    out += "\",\"points\":[";
+    const std::size_t start = (s.head + s.pts.size() - s.count) % s.pts.size();
+    for (std::size_t i = 0; i < s.count; ++i) {
+      const series_point& p = s.pts[(start + i) % s.pts.size()];
+      std::snprintf(buf, sizeof buf, "%s[%lld,%llu]", i == 0 ? "" : ",",
+                    static_cast<long long>(p.ts_ns),
+                    static_cast<unsigned long long>(p.value));
+      out += buf;
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+bool stats_collector::dump() const {
+  const std::string path =
+      params_.dir + "/px_stats." + std::to_string(params_.rank) + ".jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    PX_LOG_WARN("stats: cannot write shard %s", path.c_str());
+    return false;
+  }
+  const std::string body = serialize_jsonl();
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool ok = std::fclose(f) == 0 && wrote;
+  if (ok) {
+    PX_LOG_INFO("stats: wrote shard %s (%llu ticks)", path.c_str(),
+                static_cast<unsigned long long>(ticks()));
+  }
+  return ok;
+}
+
+}  // namespace px::introspect

@@ -1,0 +1,169 @@
+// Telemetry plane: continuous counter time series for the whole runtime.
+//
+// The counter registry (introspect/registry.hpp) answers "how much, right
+// now"; the flight recorder (trace/trace.hpp) answers "where did this one
+// request go".  This answers "how does the machine *evolve*": a background
+// sampler thread snapshots every locally-sampled counter each tick into a
+// per-counter bounded ring of {ts_ns, value} points, so rates, derivatives,
+// and tail-latency quantiles are queryable live (and exportable for the
+// tools/px_fit.py scaling models) without the application storing anything.
+//
+// Histogram counters (registry::add_hist) are expanded per tick into
+// synthetic quantile series `<path>/p50 … /p999`, so e.g. the p99 parcel
+// send→dispatch latency is itself a time series; the histogram's population
+// count rides in the scalar snapshot under the histogram's own path.
+//
+// Cost model mirrors the flight recorder: always compiled in, armed by
+// PX_STATS (period PX_STATS_INTERVAL_US, shard directory PX_STATS_DIR);
+// when disabled every instrumentation site pays exactly one relaxed load
+// and a predicted branch — no clock read, no histogram lock.  The sampler
+// itself never blocks runtime progress: rings overwrite their oldest point
+// when full (counted in dropped_points), and sampling runs on a plain OS
+// thread outside the scheduler, invisible to quiescence.
+//
+// Export: at shutdown (or mid-run via the px.stats_dump action) each rank
+// drains its series to `PX_STATS_DIR/px_stats.<rank>.jsonl`; the
+// px.stats_pull action returns the same serialization over the wire so
+// rank 0 can gather the machine.  tools/px_stats.py merges shards into one
+// timeline using the bootstrap-sampled clock offsets (docs/metrics.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "introspect/registry.hpp"
+
+namespace px::introspect {
+
+namespace detail {
+// Constant-initialized at namespace scope for the same reason as
+// trace::detail::g_enabled: the disabled fast path in every
+// instrumentation site (parcel deliver, scheduler run/wait, monitor tick)
+// must be one relaxed load + branch, with no init-guard.
+extern std::atomic<bool> g_stats_enabled;
+}  // namespace detail
+
+// True while some runtime's stats_collector is armed.  Instrumentation
+// sites gate their clock reads and histogram adds on this.
+inline bool stats_armed() noexcept {
+  return detail::g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+struct stats_params {
+  bool enabled = false;
+  std::uint64_t interval_us = 10'000;  // sampler period (PX_STATS_INTERVAL_US)
+  std::size_t ring_points = 512;       // per-series ring capacity
+  std::string dir = ".";               // shard directory (PX_STATS_DIR)
+  std::uint32_t rank = 0;
+};
+
+// One sampled point of one counter's series.
+struct series_point {
+  std::int64_t ts_ns = 0;  // util::now_ns (per-process steady epoch)
+  std::uint64_t value = 0;
+};
+
+class stats_collector {
+ public:
+  stats_collector(registry& reg, stats_params params);
+  ~stats_collector();
+
+  stats_collector(const stats_collector&) = delete;
+  stats_collector& operator=(const stats_collector&) = delete;
+
+  // Arms the global flag, takes the t=0 tick, and starts the sampler
+  // thread.  No-op unless constructed with params.enabled.  Call once the
+  // counter schema is final (after runtime counter registration).
+  void arm();
+
+  // Takes a final tick, stops + joins the sampler thread, and clears the
+  // global flag.  Idempotent; also run by the destructor.
+  void disarm();
+
+  bool enabled() const noexcept { return params_.enabled; }
+  const stats_params& params() const noexcept { return params_; }
+
+  // One sampling pass over the registry (scalars + histogram quantiles),
+  // appending a point to every series.  The sampler thread calls this each
+  // period; tests (and dump, for freshness) call it directly.
+  void tick_now();
+
+  std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+  // Points overwritten because their ring was full (drop-the-oldest; the
+  // window slides, the sampler never blocks or grows).
+  std::uint64_t dropped_points() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // The series recorded for `path`, oldest point first.  Histogram
+  // quantile series are addressed as `<counter path>/p50|p95|p99|p999`.
+  std::vector<series_point> window(std::string_view path) const;
+  std::optional<series_point> latest(std::string_view path) const;
+
+  // First-differences rate over the retained window: (last-first)/Δt per
+  // second.  Negative for shrinking gauges; nullopt without >= 2 points
+  // spanning nonzero time.
+  std::optional<double> rate_per_sec(std::string_view path) const;
+
+  // Clock offset to rank 0 (net::bootstrap::clock_sync), stamped into the
+  // shard header so px_stats.py can merge ranks onto one timeline.
+  void set_clock_offset(std::int64_t off_ns) noexcept {
+    clock_offset_ns_ = off_ns;
+  }
+
+  // The jsonl shard serialization (docs/metrics.md): one header object
+  // line, then one object line per series.  Also the px.stats_pull wire
+  // payload.
+  std::string serialize_jsonl() const;
+
+  // Writes `<dir>/px_stats.<rank>.jsonl`.  Non-destructive (series keep
+  // accumulating; a later dump overwrites with a longer window).  Returns
+  // false (with a log line) when the file cannot be written.
+  bool dump() const;
+
+ private:
+  struct series {
+    std::vector<series_point> pts;  // ring storage, capacity ring_points
+    std::size_t head = 0;           // next write slot
+    std::size_t count = 0;          // live points (<= capacity)
+  };
+
+  void append(const std::string& path, std::int64_t ts, std::uint64_t value);
+  void sampler_main();
+
+  registry& reg_;
+  stats_params params_;
+
+  mutable std::mutex mu_;                // series map: sampler vs queries
+  std::map<std::string, series> series_;
+
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::int64_t clock_offset_ns_ = 0;
+
+  std::mutex wake_mu_;  // sampler sleep/stop handshake
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread sampler_;
+};
+
+// Quantiles expanded per tick for every histogram counter, as (suffix,
+// q) pairs — shared with the serializer and docs.
+inline constexpr struct {
+  const char* suffix;
+  double q;
+} k_hist_quantiles[] = {
+    {"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"p999", 0.999}};
+
+}  // namespace px::introspect

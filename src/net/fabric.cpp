@@ -135,14 +135,11 @@ void fabric::send(message m) {
                       next_seq_.fetch_add(1, std::memory_order_relaxed),
                       std::move(m)});
   }
-  {
-    // One histogram sample per parcel (weighted, so one locked O(1) op per
-    // frame): every coalesced parcel experienced the frame's modeled
-    // latency — its own bytes plus the shared frame are what the bandwidth
-    // term charged.
-    std::lock_guard lock(hist_lock_);
-    latency_hist_.add(static_cast<double>(delay_ns), units);
-  }
+  // One histogram sample per parcel (weighted, so one locked O(1) op per
+  // frame): every coalesced parcel experienced the frame's modeled
+  // latency — its own bytes plus the shared frame are what the bandwidth
+  // term charged.
+  latency_hist_.add(static_cast<double>(delay_ns), units);
   wake_progress();
 }
 
@@ -280,8 +277,7 @@ link_counters fabric::link(endpoint_id ep) const {
 }
 
 util::log_histogram fabric::latency_histogram() const {
-  std::lock_guard lock(hist_lock_);
-  return latency_hist_;
+  return latency_hist_.snapshot();
 }
 
 }  // namespace px::net

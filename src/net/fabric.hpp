@@ -13,8 +13,8 @@
 //
 // Hot-path design: the send queue is sharded per destination endpoint, so
 // concurrent senders to different endpoints never contend on one global
-// mutex (per-endpoint stats are atomics, the latency histogram has its own
-// lock, and jitter RNG state is per shard).  Message payloads are drawn
+// mutex (per-endpoint stats are atomics, the latency histogram is internally
+// locked, and jitter RNG state is per shard).  Message payloads are drawn
 // from a buffer pool and recycled after the receive handler returns —
 // handlers take `message&` and decode in place (or steal the payload, which
 // simply costs the pool a miss).  A message may carry several coalesced
@@ -159,8 +159,7 @@ class fabric final : public transport {
   std::vector<std::unique_ptr<send_shard>> shards_;
   std::vector<std::unique_ptr<atomic_endpoint_stats>> stats_;
 
-  mutable util::spinlock hist_lock_;
-  util::log_histogram latency_hist_;
+  util::log_histogram latency_hist_;  // internally locked
 
   util::buffer_pool pool_;
 

@@ -18,7 +18,7 @@ constexpr std::size_t kOffAction = 16;
 constexpr std::size_t kOffContAction = 20;
 constexpr std::size_t kOffSource = 24;
 constexpr std::size_t kOffForwards = 28;
-constexpr std::size_t kOffFlags = 29;  // bit 0: trace extension present
+constexpr std::size_t kOffFlags = 29;  // bit 0: trace ext, bit 1: stats ext
 constexpr std::size_t kOffArgLen = 32;
 
 // Wire byte order is little-endian; normalize on big-endian hosts so the
@@ -70,7 +70,9 @@ void encode_into(std::vector<std::byte>& out, const parcel& p) {
   PX_ASSERT_MSG(p.arguments.size() <= 0xffffffffull,
                 "parcel arguments exceed the u32 wire length field");
   const bool traced = p.trace_id != 0;
-  const std::size_t ext = traced ? trace_ext_bytes : 0;
+  const bool stamped = p.send_ts_ns != 0;
+  const std::size_t ext = (traced ? trace_ext_bytes : 0) +
+                          (stamped ? stats_ext_bytes : 0);
   const std::size_t base = out.size();
   out.resize(base + wire_header_bytes + ext + p.arguments.size());
   std::byte* d = out.data() + base;
@@ -80,17 +82,25 @@ void encode_into(std::vector<std::byte>& out, const parcel& p) {
   store<std::uint32_t>(d, kOffContAction, p.cont.action);
   store<std::uint32_t>(d, kOffSource, p.source);
   store<std::uint8_t>(d, kOffForwards, p.forwards);
-  store<std::uint8_t>(d, kOffFlags, traced ? wire_flag_trace : 0);
+  store<std::uint8_t>(d, kOffFlags,
+                      static_cast<std::uint8_t>(
+                          (traced ? wire_flag_trace : 0) |
+                          (stamped ? wire_flag_stats : 0)));
   std::memset(d + kOffFlags + 1, 0, 2);  // reserved
   store<std::uint32_t>(d, kOffArgLen,
                        static_cast<std::uint32_t>(p.arguments.size()));
+  std::size_t off = wire_header_bytes;
   if (traced) {
-    store<std::uint64_t>(d, wire_header_bytes, p.trace_id);
-    store<std::uint64_t>(d, wire_header_bytes + 8, p.trace_span);
+    store<std::uint64_t>(d, off, p.trace_id);
+    store<std::uint64_t>(d, off + 8, p.trace_span);
+    off += trace_ext_bytes;
+  }
+  if (stamped) {
+    store<std::uint64_t>(d, off, p.send_ts_ns);
+    off += stats_ext_bytes;
   }
   if (!p.arguments.empty()) {
-    std::memcpy(d + wire_header_bytes + ext, p.arguments.data(),
-                p.arguments.size());
+    std::memcpy(d + off, p.arguments.data(), p.arguments.size());
   }
 }
 
@@ -99,8 +109,12 @@ std::optional<parcel_view> parcel_view::parse(
   if (record.size() < wire_header_bytes) return std::nullopt;
   const std::byte* d = record.data();
   const auto flags = load<std::uint8_t>(d, kOffFlags);
-  if ((flags & ~wire_flag_trace) != 0) return std::nullopt;  // unknown bits
-  const std::size_t ext = (flags & wire_flag_trace) != 0 ? trace_ext_bytes : 0;
+  if ((flags & ~(wire_flag_trace | wire_flag_stats)) != 0) {
+    return std::nullopt;  // unknown bits
+  }
+  const std::size_t ext =
+      ((flags & wire_flag_trace) != 0 ? trace_ext_bytes : 0) +
+      ((flags & wire_flag_stats) != 0 ? stats_ext_bytes : 0);
   if (record.size() < wire_header_bytes + ext) return std::nullopt;
   const auto arg_len = load<std::uint32_t>(d, kOffArgLen);
   if (record.size() - wire_header_bytes - ext != arg_len) return std::nullopt;
@@ -111,11 +125,17 @@ std::optional<parcel_view> parcel_view::parse(
   v.cont_.action = load<std::uint32_t>(d, kOffContAction);
   v.source_ = load<std::uint32_t>(d, kOffSource);
   v.forwards_ = load<std::uint8_t>(d, kOffForwards);
-  if (ext != 0) {
-    v.trace_id_ = load<std::uint64_t>(d, wire_header_bytes);
-    v.trace_span_ = load<std::uint64_t>(d, wire_header_bytes + 8);
+  std::size_t off = wire_header_bytes;
+  if ((flags & wire_flag_trace) != 0) {
+    v.trace_id_ = load<std::uint64_t>(d, off);
+    v.trace_span_ = load<std::uint64_t>(d, off + 8);
+    off += trace_ext_bytes;
   }
-  v.arguments_ = record.subspan(wire_header_bytes + ext, arg_len);
+  if ((flags & wire_flag_stats) != 0) {
+    v.send_ts_ns_ = load<std::uint64_t>(d, off);
+    off += stats_ext_bytes;
+  }
+  v.arguments_ = record.subspan(off, arg_len);
   return v;
 }
 
@@ -128,6 +148,7 @@ parcel_view parcel_view::of(const parcel& p) noexcept {
   v.forwards_ = p.forwards;
   v.trace_id_ = p.trace_id;
   v.trace_span_ = p.trace_span;
+  v.send_ts_ns_ = p.send_ts_ns;
   v.arguments_ = std::span<const std::byte>(p.arguments);
   return v;
 }
@@ -141,6 +162,7 @@ parcel parcel_view::to_parcel() const {
   p.forwards = forwards_;
   p.trace_id = trace_id_;
   p.trace_span = trace_span_;
+  p.send_ts_ns = send_ts_ns_;
   p.arguments.assign(arguments_.begin(), arguments_.end());
   return p;
 }

@@ -18,10 +18,13 @@
 //             [u8*2 zero] [u32 arg_len] extension-bytes argument-bytes
 //
 // `flags` bit 0 marks an optional 16-byte trace extension ([u64 trace id]
-// [u64 span id], trace/trace.hpp) between the fixed header and the
-// argument bytes; with tracing off the flag byte is zero and the record is
-// byte-identical to the pre-extension format.  The extension is
-// self-describing per record, so every transport backend carries it
+// [u64 span id], trace/trace.hpp) and bit 1 an optional 8-byte stats
+// extension ([u64 send timestamp, ns on the rank-0 clock],
+// introspect/stats.hpp — the sender's half of the send→dispatch latency
+// histogram), in that order between the fixed header and the argument
+// bytes; with tracing and stats off the flag byte is zero and the record
+// is byte-identical to the pre-extension format.  The extensions are
+// self-describing per record, so every transport backend carries them
 // unmodified.
 //
 // All integers are *little-endian on the wire* (normalized in encode/decode;
@@ -88,6 +91,14 @@ struct parcel {
   std::uint64_t trace_id = 0;
   std::uint64_t trace_span = 0;
 
+  // Telemetry send timestamp (introspect/stats.hpp): ns on the rank-0
+  // clock (local steady clock minus the bootstrap clock offset), stamped
+  // by locality::send when PX_STATS is armed.  Zero = unstamped; nonzero
+  // rides the wire as the flags-bit-1 extension so the receiving rank can
+  // histogram the full cross-rank send→dispatch latency.  Transport
+  // metadata, outside serialize(), like the trace identity.
+  std::uint64_t send_ts_ns = 0;
+
   template <typename Ar>
   friend void serialize(Ar& ar, parcel& p) {
     ar& p.destination& p.action& p.cont& p.arguments& p.source& p.forwards;
@@ -112,11 +123,16 @@ inline constexpr std::uint32_t frame_magic = 0x46425850u;  // "PXBF"
 inline constexpr std::size_t trace_ext_bytes = 16;
 inline constexpr std::uint8_t wire_flag_trace = 0x01;
 
+// Optional stats extension: [u64 send ts ns], present iff flags bit 1 is
+// set; follows the trace extension when both are present.
+inline constexpr std::size_t stats_ext_bytes = 8;
+inline constexpr std::uint8_t wire_flag_stats = 0x02;
+
 // Exact encoded size of one parcel record body (excluding the frame's
 // per-record length prefix).
 inline std::size_t encoded_size(const parcel& p) noexcept {
   return wire_header_bytes + (p.trace_id != 0 ? trace_ext_bytes : 0) +
-         p.arguments.size();
+         (p.send_ts_ns != 0 ? stats_ext_bytes : 0) + p.arguments.size();
 }
 
 // Appends the encoded record body of `p` to `out` (no frame bookkeeping;
@@ -148,6 +164,7 @@ class parcel_view {
   std::uint8_t forwards() const noexcept { return forwards_; }
   std::uint64_t trace_id() const noexcept { return trace_id_; }
   std::uint64_t trace_span() const noexcept { return trace_span_; }
+  std::uint64_t send_ts_ns() const noexcept { return send_ts_ns_; }
   std::span<const std::byte> arguments() const noexcept { return arguments_; }
 
   // Materializes an owning parcel (copies the argument bytes).
@@ -161,6 +178,7 @@ class parcel_view {
   std::uint8_t forwards_ = 0;
   std::uint64_t trace_id_ = 0;
   std::uint64_t trace_span_ = 0;
+  std::uint64_t send_ts_ns_ = 0;
   std::span<const std::byte> arguments_;
 };
 

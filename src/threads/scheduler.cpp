@@ -4,9 +4,11 @@
 #include <exception>
 #include <thread>
 
+#include "introspect/stats.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/cache.hpp"
+#include "util/clock.hpp"
 #include "util/fence.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -113,6 +115,7 @@ thread_descriptor* scheduler::acquire_descriptor(std::function<void()> fn) {
   td->child_edge = ~0ull;
   td->trace_bits = 0;
   td->trace_span = 0;
+  td->ready_since_ns = 0;
   return td;
 }
 
@@ -150,6 +153,7 @@ void scheduler::resume(thread_descriptor* td) {
 }
 
 void scheduler::enqueue(thread_descriptor* td) {
+  if (introspect::stats_armed()) td->ready_since_ns = util::now_ns();
   ready_.fetch_add(1, std::memory_order_relaxed);
   detail::worker* w = current_worker();
   if (w != nullptr && w->sched == this) {
@@ -288,6 +292,18 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
     trace::emit(trace::event_kind::fiber_start, td->trace_bits,
                 td->trace_span, 0, td->id);
   }
+  // Telemetry (latched here, not re-read after the swap: arming mid-slice
+  // must not record a run time with no matching start stamp).
+  const bool sampling = introspect::stats_armed();
+  std::int64_t slice_start_ns = 0;
+  if (sampling) {
+    slice_start_ns = util::now_ns();
+    if (td->ready_since_ns != 0) {
+      const std::int64_t wait = slice_start_ns - td->ready_since_ns;
+      wait_hist_.add(wait > 0 ? static_cast<double>(wait) : 0.0);
+      td->ready_since_ns = 0;
+    }
+  }
   w.current = td;
   td->state = thread_state::running;
   context::swap(w.sched_ctx, td->ctx, td);
@@ -297,6 +313,9 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
   // records in each arm are emitted before the descriptor is published
   // (recycled, hooked, or re-injected).
   w.current = nullptr;
+  if (sampling) {
+    run_hist_.add(static_cast<double>(util::now_ns() - slice_start_ns));
+  }
   switch (td->state) {
     case thread_state::terminated: {
       if (tracing) {
@@ -333,6 +352,7 @@ void scheduler::run_one(detail::worker& w, thread_descriptor* td) {
       }
       yields_.fetch_add(1, std::memory_order_relaxed);
       ready_.fetch_add(1, std::memory_order_relaxed);
+      if (sampling) td->ready_since_ns = util::now_ns();
       // FIFO inject queue, not the owner's LIFO deque: a yielded thread
       // re-pushed locally would be popped right back, starving peers.
       // Same wake handshake as enqueue(): a sibling worker drifting off to

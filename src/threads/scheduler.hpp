@@ -21,6 +21,7 @@
 
 #include "threads/stack.hpp"
 #include "threads/thread.hpp"
+#include "util/histogram.hpp"
 #include "util/mpsc_queue.hpp"
 #include "util/spinlock.hpp"
 
@@ -134,6 +135,17 @@ class scheduler {
   scheduler_stats stats() const;
   const scheduler_params& params() const noexcept { return params_; }
 
+  // Telemetry distributions (populated only while PX_STATS is armed;
+  // introspect/stats.hpp): per-slice fiber run time and ready→start wait
+  // time, both in ns.  Registered as the runtime/loc<i>/sched/hist_*
+  // histogram counters.
+  util::log_histogram run_hist_snapshot() const {
+    return run_hist_.snapshot();
+  }
+  util::log_histogram wait_hist_snapshot() const {
+    return wait_hist_.snapshot();
+  }
+
  private:
   friend struct detail::worker;
 
@@ -176,6 +188,9 @@ class scheduler {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> yields_{0};
   std::atomic<std::uint64_t> suspends_{0};
+
+  util::log_histogram run_hist_;   // internally locked
+  util::log_histogram wait_hist_;  // internally locked
 };
 
 }  // namespace px::threads

@@ -58,6 +58,12 @@ struct thread_descriptor {
   // worker that happened to start it.
   std::uint64_t trace_bits = 0;
   std::uint64_t trace_span = 0;
+
+  // Telemetry (introspect/stats.hpp): when this descriptor was last made
+  // runnable, stamped by the enqueuer while PX_STATS is armed so the
+  // dequeuing worker can histogram the ready→start wait.  The queue
+  // handoff orders the write before the read; 0 = unstamped.
+  std::int64_t ready_since_ns = 0;
 };
 
 }  // namespace px::threads

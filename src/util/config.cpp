@@ -133,6 +133,9 @@ std::vector<knob_info> config::known_knobs() {
       knob("trace", "flight recorder on/off (docs/tracing.md)"),
       knob("trace.ring_bytes", "per-thread trace ring size in bytes"),
       knob("trace.dir", "directory for px_trace.<rank>.bin shards"),
+      knob("stats", "telemetry sampler on/off (docs/metrics.md)"),
+      knob("stats.interval_us", "telemetry sampling period"),
+      knob("stats.dir", "directory for px_stats.<rank>.jsonl shards"),
       // util/log resolves this one directly (not through config), but it
       // is part of the supported environment surface all the same.
       knob("log.level", "log verbosity: debug|info|warn|error|off"),

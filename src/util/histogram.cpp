@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 
 namespace px::util {
 
@@ -47,6 +48,26 @@ double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
 
 log_histogram::log_histogram() : buckets_(kBuckets, 0) {}
 
+log_histogram::log_histogram(const log_histogram& other) {
+  std::lock_guard lock(other.lock_);
+  buckets_ = other.buckets_;
+  total_ = other.total_;
+  stats_ = other.stats_;
+}
+
+log_histogram& log_histogram::operator=(const log_histogram& other) {
+  if (this == &other) return *this;
+  // Copy out under the source lock, then install under ours: never holds
+  // both locks at once, so two histograms assigning to each other from
+  // two threads cannot deadlock.
+  log_histogram tmp(other);
+  std::lock_guard lock(lock_);
+  buckets_ = std::move(tmp.buckets_);
+  total_ = tmp.total_;
+  stats_ = tmp.stats_;
+  return *this;
+}
+
 namespace {
 
 int bucket_of(double value) noexcept {
@@ -58,18 +79,29 @@ int bucket_of(double value) noexcept {
 }  // namespace
 
 void log_histogram::add(double value, std::uint64_t weight) noexcept {
+  std::lock_guard lock(lock_);
   buckets_[static_cast<std::size_t>(bucket_of(value))] += weight;
   total_ += weight;
   stats_.add(value, weight);
 }
 
 void log_histogram::merge(const log_histogram& other) noexcept {
-  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
-  total_ += other.total_;
-  stats_.merge(other.stats_);
+  // Detach the source first (its lock only), then fold in under ours.
+  const log_histogram src = other.snapshot();
+  std::lock_guard lock(lock_);
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += src.buckets_[i];
+  total_ += src.total_;
+  stats_.merge(src.stats_);
 }
 
-double log_histogram::quantile(double q) const noexcept {
+log_histogram log_histogram::snapshot() const { return log_histogram(*this); }
+
+std::uint64_t log_histogram::count() const noexcept {
+  std::lock_guard lock(lock_);
+  return total_;
+}
+
+double log_histogram::quantile_locked(double q) const noexcept {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto target = static_cast<std::uint64_t>(
@@ -78,7 +110,9 @@ double log_histogram::quantile(double q) const noexcept {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (seen > target) {
-      if (i == 0) return 0.5;
+      // Bucket 0 is [0,1): dominated by literal zeros in practice (an
+      // all-zero sample set must report p50 = 0, not a midpoint).
+      if (i == 0) return 0.0;
       const double lo = std::ldexp(1.0, i - 1);
       return lo * 1.5;  // bucket midpoint
     }
@@ -86,12 +120,26 @@ double log_histogram::quantile(double q) const noexcept {
   return stats_.max();
 }
 
+double log_histogram::quantile(double q) const noexcept {
+  std::lock_guard lock(lock_);
+  return quantile_locked(q);
+}
+
+running_stats log_histogram::stats() const noexcept {
+  std::lock_guard lock(lock_);
+  return stats_;
+}
+
 std::string log_histogram::summary(const std::string& unit) const {
-  char buf[192];
-  std::snprintf(buf, sizeof buf,
-                "n=%llu mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g %s",
-                static_cast<unsigned long long>(total_), stats_.mean(), p50(),
-                p95(), p99(), stats_.max(), unit.c_str());
+  const log_histogram snap = snapshot();
+  char buf[224];
+  std::snprintf(
+      buf, sizeof buf,
+      "n=%llu mean=%.3g p50=%.3g p95=%.3g p99=%.3g p999=%.3g max=%.3g %s",
+      static_cast<unsigned long long>(snap.total_), snap.stats_.mean(),
+      snap.quantile_locked(0.50), snap.quantile_locked(0.95),
+      snap.quantile_locked(0.99), snap.quantile_locked(0.999),
+      snap.stats_.max(), unit.c_str());
   return buf;
 }
 

@@ -128,12 +128,12 @@ TEST(Docs, NoUndocumentedKnobTokensInCountersDoc) {
          }();
 }
 
-// The four reference pages exist and README links into each of them.
+// The reference pages exist and README links into each of them.
 TEST(Docs, ReferenceTreeExistsAndIsLinkedFromReadme) {
   const std::string readme = read_doc("README.md");
   for (const char* page :
        {"docs/architecture.md", "docs/agas.md", "docs/wire-protocol.md",
-        "docs/counters.md"}) {
+        "docs/counters.md", "docs/metrics.md"}) {
     EXPECT_FALSE(read_doc(page).empty()) << page;
     EXPECT_NE(readme.find(page), std::string::npos)
         << "README.md does not link " << page;

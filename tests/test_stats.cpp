@@ -1,0 +1,398 @@
+// Telemetry plane (src/introspect/stats.hpp): collector tick/ring/drop
+// semantics, histogram counters and quantile-addressed queries, the
+// px.stats_dump / px.stats_pull control actions, the jsonl shard format —
+// single-process and across real tcp/shm processes.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/runtime.hpp"
+#include "distributed_helpers.hpp"
+#include "introspect/query.hpp"
+#include "introspect/stats.hpp"
+#include "parcel/action_registry.hpp"
+#include "parcel/parcel.hpp"
+#include "threads/scheduler.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace px;
+using core::runtime;
+using core::runtime_params;
+
+std::uint64_t stats_ping(std::uint64_t x) { return x + 1; }
+PX_REGISTER_ACTION(stats_ping)
+
+// ------------------------------------------------------------ shard reader
+
+// Minimal C++ twin of tools/px_stats.py's parser: splits a jsonl shard
+// into its header line and series lines, with just enough field plucking
+// to verify the contract the Python side relies on.
+struct parsed_shard {
+  std::string header;
+  std::vector<std::string> series;
+};
+
+bool read_shard(const std::string& path, parsed_shard& out) {
+  std::ifstream f(path);
+  if (!f.is_open()) return false;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"kind\":\"header\"") != std::string::npos) {
+      if (!out.header.empty()) return false;  // duplicate header
+      out.header = line;
+    } else if (line.find("\"kind\":\"series\"") != std::string::npos) {
+      if (out.header.empty()) return false;  // series before header
+      out.series.push_back(line);
+    } else {
+      return false;  // unknown line kind
+    }
+  }
+  return !out.header.empty();
+}
+
+bool has_series(const parsed_shard& s, const std::string& series_path) {
+  for (const auto& line : s.series) {
+    if (line.find("\"path\":\"" + series_path + "\"") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      testing::TempDir() + "/px_stats_" + tag + "_" + std::to_string(::getpid());
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    EXPECT_EQ(errno, EEXIST) << "mkdir " << dir;
+    for (int r = 0; r < 4; ++r) {
+      std::remove((dir + "/px_stats." + std::to_string(r) + ".jsonl").c_str());
+    }
+  }
+  return dir;
+}
+
+// --------------------------------------------------------------- collector
+
+TEST(Stats, CollectorTickRingBoundAndDropSemantics) {
+  runtime rt;  // sim, stats off: the runtime's own collector stays dormant
+  introspect::stats_params prm;
+  prm.enabled = true;
+  prm.ring_points = 4;
+  introspect::stats_collector col(rt.introspection(), prm);
+
+  constexpr int kTicks = 10;
+  for (int i = 0; i < kTicks; ++i) col.tick_now();
+  EXPECT_EQ(col.ticks(), static_cast<std::uint64_t>(kTicks));
+
+  // The ring keeps the newest `ring_points` points, oldest first, with
+  // monotone timestamps; the overflow is counted, not blocked on.
+  const auto win = col.window("runtime/loc0/parcels/sent");
+  ASSERT_EQ(win.size(), 4u);
+  for (std::size_t i = 1; i < win.size(); ++i) {
+    EXPECT_GT(win[i].ts_ns, win[i - 1].ts_ns);
+  }
+  const auto last = col.latest("runtime/loc0/parcels/sent");
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->ts_ns, win.back().ts_ns);
+  EXPECT_GT(col.dropped_points(), 0u);
+
+  // Unknown series: empty window, no invented points.
+  EXPECT_TRUE(col.window("runtime/loc0/no/such/series").empty());
+  EXPECT_FALSE(col.latest("runtime/loc0/no/such/series").has_value());
+
+  // Rate over the retained window: ticks are wall-clock ordered, so a
+  // monotone counter yields a finite non-negative rate.
+  rt.run([&] {
+    for (int i = 0; i < 32; ++i) core::this_locality()->spawn([] {});
+  });
+  col.tick_now();
+  const auto rate = col.rate_per_sec("runtime/loc0/sched/spawned");
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_GE(*rate, 0.0);
+  rt.stop();
+}
+
+TEST(Stats, ArmDisarmDrivesTheGlobalFlagAndSampler) {
+  runtime rt;
+  introspect::stats_params prm;
+  prm.enabled = true;
+  prm.interval_us = 1000;
+  introspect::stats_collector col(rt.introspection(), prm);
+
+  ASSERT_FALSE(introspect::stats_armed());
+  col.arm();
+  EXPECT_TRUE(introspect::stats_armed());
+  // The sampler thread ticks on its own (t=0 tick plus periodic ones).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (col.ticks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(col.ticks(), 3u);
+  col.disarm();
+  EXPECT_FALSE(introspect::stats_armed());
+  const std::uint64_t after = col.ticks();  // includes the closing tick
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(col.ticks(), after);  // sampler really joined
+
+  // A disabled collector never arms the machine.
+  introspect::stats_params off;
+  off.enabled = false;
+  introspect::stats_collector cold(rt.introspection(), off);
+  cold.arm();
+  EXPECT_FALSE(introspect::stats_armed());
+  EXPECT_EQ(cold.ticks(), 0u);
+  rt.stop();
+}
+
+// ----------------------------------------------- histogram counters + query
+
+TEST(Stats, HistogramCountersSampleAndAnswerQuantiles) {
+  const std::string dir = fresh_dir("hist");
+  runtime_params prm;
+  prm.localities = 2;
+  prm.stats = 1;
+  prm.stats_interval_us = 2000;
+  prm.stats_dir = dir;
+  runtime rt(prm);
+  rt.run([&] {
+    for (int i = 0; i < 50; ++i) {
+      auto fut = core::async<&stats_ping>(rt.locality_gid(1),
+                                          static_cast<std::uint64_t>(i));
+      EXPECT_EQ(fut.get(), static_cast<std::uint64_t>(i) + 1);
+    }
+  });
+
+  // The dispatch-latency histogram is a first-class registry counter:
+  // read() reports its population, read_quantile its distribution.
+  const auto pop =
+      rt.introspection().read("runtime/loc1/parcels/hist_dispatch_ns");
+  ASSERT_TRUE(pop.has_value());
+  EXPECT_GE(*pop, 50u);
+  const auto p50 = rt.introspection().read_quantile(
+      "runtime/loc1/parcels/hist_dispatch_ns", 0.5);
+  ASSERT_TRUE(p50.has_value());
+  EXPECT_GT(*p50, 0u);
+  // Scheduler run-time histograms populated too.
+  EXPECT_GT(rt.introspection().read("runtime/loc0/sched/hist_run_ns").value(),
+            0u);
+  // Scalar counters are not quantile-addressable.
+  EXPECT_FALSE(rt.introspection()
+                   .read_quantile("runtime/loc0/parcels/sent", 0.5)
+                   .has_value());
+
+  // Cross-locality quantile query over the px.query_hist action.
+  rt.run([&] {
+    auto fut = introspect::query_hist(
+        *core::this_locality(), "runtime/loc1/parcels/hist_dispatch_ns", 0.99);
+    ASSERT_TRUE(fut.has_value());
+    EXPECT_GT(fut->get(), 0u);
+    // A scalar counter answers the sentinel instead of wedging the asker.
+    auto scalar = introspect::query_hist(
+        *core::this_locality(), "runtime/loc1/parcels/sent", 0.99);
+    ASSERT_TRUE(scalar.has_value());
+    EXPECT_EQ(scalar->get(), introspect::no_such_counter);
+  });
+
+  // The sampler expanded the histogram into per-quantile series.
+  rt.telemetry().tick_now();
+  EXPECT_FALSE(
+      rt.telemetry()
+          .window("runtime/loc1/parcels/hist_dispatch_ns/p99")
+          .empty());
+  rt.stop();
+
+  // Shutdown drained a shard whose series include the quantile expansion.
+  parsed_shard shard;
+  ASSERT_TRUE(read_shard(dir + "/px_stats.0.jsonl", shard));
+  EXPECT_NE(shard.header.find("\"rank\":0"), std::string::npos);
+  EXPECT_NE(shard.header.find("\"version\":1"), std::string::npos);
+  EXPECT_FALSE(shard.series.empty());
+  EXPECT_TRUE(has_series(shard, "runtime/loc0/parcels/delivered"));
+  EXPECT_TRUE(has_series(shard, "runtime/loc1/parcels/hist_dispatch_ns/p99"));
+}
+
+// ------------------------------------------------------- dump/pull actions
+
+TEST(Stats, StatsDumpActionWritesShardMidRun) {
+  const std::string dir = fresh_dir("dump");
+  runtime_params prm;
+  prm.localities = 2;
+  prm.stats = 1;
+  prm.stats_dir = dir;
+  runtime rt(prm);
+  const std::string shard_path = dir + "/px_stats.0.jsonl";
+
+  rt.run([&] {
+    for (int i = 0; i < 10; ++i) {
+      core::async<&stats_ping>(rt.locality_gid(1), 1ull).get();
+    }
+    ASSERT_FALSE(file_exists(shard_path));
+    // Trigger the dump the way a remote rank would: a parcel addressed to
+    // the eagerly-registered px.stats_dump action (no-arg typed action).
+    const auto id =
+        parcel::action_registry::global().find("px.stats_dump");
+    ASSERT_TRUE(id.has_value());
+    parcel::parcel p;
+    p.destination = rt.locality_gid(0);
+    p.action = *id;
+    p.arguments = util::to_bytes(std::tuple<>{});
+    core::this_locality()->send(std::move(p));
+    // Yield, don't sleep: the dump fiber needs this same worker.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(2);
+    while (!file_exists(shard_path) &&
+           std::chrono::steady_clock::now() < deadline) {
+      threads::scheduler::yield();
+    }
+    EXPECT_TRUE(file_exists(shard_path));
+  });
+
+  parsed_shard shard;
+  ASSERT_TRUE(read_shard(shard_path, shard));
+  EXPECT_TRUE(has_series(shard, "runtime/loc0/parcels/delivered"));
+  rt.stop();
+}
+
+TEST(Stats, StatsPullReturnsSerializedSeries) {
+  runtime_params prm;
+  prm.localities = 2;
+  prm.stats = 1;
+  runtime rt(prm);
+  rt.run([&] {
+    core::async<&stats_ping>(rt.locality_gid(1), 1ull).get();
+    const std::string body =
+        introspect::stats_pull(*core::this_locality(), 1).get();
+    EXPECT_NE(body.find("\"kind\":\"header\""), std::string::npos);
+    EXPECT_NE(body.find("\"kind\":\"series\""), std::string::npos);
+    EXPECT_NE(body.find("runtime/loc0/parcels/delivered"), std::string::npos);
+  });
+  rt.stop();
+}
+
+// ------------------------------------------------------------ disabled mode
+
+TEST(Stats, DisabledModeWritesNothing) {
+  const std::string dir = fresh_dir("off");
+  runtime_params prm;
+  prm.localities = 2;
+  prm.stats = 0;
+  prm.stats_dir = dir;
+  runtime rt(prm);
+  rt.run([&] {
+    core::async<&stats_ping>(rt.locality_gid(1), 1ull).get();
+    EXPECT_FALSE(introspect::stats_armed());
+    // Mid-run dump is a no-op, not a crash or an empty shard.
+    rt.dump_stats();
+    EXPECT_EQ(rt.stats_serialize(), "");
+  });
+  EXPECT_EQ(rt.telemetry().ticks(), 0u);
+  rt.stop();
+  EXPECT_FALSE(file_exists(dir + "/px_stats.0.jsonl"));
+  // Instrumented histograms never observed anything: the one-relaxed-load
+  // gate kept every site cold.
+  EXPECT_EQ(rt.introspection()
+                .read("runtime/loc0/parcels/hist_dispatch_ns")
+                .value(),
+            0u);
+}
+
+// ---------------------------------------------- end-to-end (distributed)
+
+// Rank body shared by the tcp and shm cases: rank 0 drives pings, pulls
+// rank 1's series over px.stats_pull, and queries a remote histogram
+// quantile; every rank's shutdown then writes a jsonl shard the parent
+// verifies (the tools/px_stats.py input contract).
+void distributed_stats_rank_body() {
+  runtime rt;
+  rt.run([&] {
+    if (rt.rank() != 0) return;
+    for (int i = 0; i < 40; ++i) {
+      auto fut = core::async<&stats_ping>(rt.locality_gid(1),
+                                          static_cast<std::uint64_t>(i));
+      EXPECT_EQ(fut.get(), static_cast<std::uint64_t>(i) + 1);
+    }
+    const std::string body =
+        introspect::stats_pull(*core::this_locality(), 1).get();
+    EXPECT_NE(body.find("\"rank\":1"), std::string::npos);
+    EXPECT_NE(body.find("\"kind\":\"series\""), std::string::npos);
+    auto q = introspect::query_hist(
+        *core::this_locality(), "runtime/loc1/parcels/hist_dispatch_ns", 0.99);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_GT(q->get(), 0u);
+  });
+  rt.stop();
+}
+
+void distributed_stats_parent_checks(const std::string& dir) {
+  parsed_shard s0, s1;
+  ASSERT_TRUE(read_shard(dir + "/px_stats.0.jsonl", s0));
+  ASSERT_TRUE(read_shard(dir + "/px_stats.1.jsonl", s1));
+  EXPECT_NE(s0.header.find("\"rank\":0"), std::string::npos);
+  EXPECT_NE(s1.header.find("\"rank\":1"), std::string::npos);
+  // Rank 0 is the clock reference; both headers carry the offset field
+  // px_stats.py merges timelines with.
+  EXPECT_NE(s0.header.find("\"clock_offset_ns\":0,"), std::string::npos);
+  EXPECT_NE(s1.header.find("\"clock_offset_ns\":"), std::string::npos);
+  // Each rank samples its own locality's counters (loc1 rows exist on
+  // rank 0's shard too — schema parity — but only as remote names, which
+  // the sampler skips).
+  EXPECT_TRUE(has_series(s0, "runtime/loc0/parcels/sent"));
+  EXPECT_FALSE(has_series(s0, "runtime/loc1/parcels/sent"));
+  EXPECT_TRUE(has_series(s1, "runtime/loc1/parcels/delivered"));
+  EXPECT_TRUE(has_series(s1, "runtime/loc1/parcels/hist_dispatch_ns/p99"));
+}
+
+TEST(Distributed, StatsShardsOverTcp) {
+  if (px::test::is_rank_child()) {
+    distributed_stats_rank_body();
+    return;
+  }
+  const std::string dir = fresh_dir("tcp");
+  ::setenv("PX_STATS", "1", 1);
+  ::setenv("PX_STATS_DIR", dir.c_str(), 1);
+  ::setenv("PX_STATS_INTERVAL_US", "2000", 1);
+  px::test::run_ranks(2, "Distributed.StatsShardsOverTcp", "tcp");
+  ::unsetenv("PX_STATS");
+  ::unsetenv("PX_STATS_DIR");
+  ::unsetenv("PX_STATS_INTERVAL_US");
+  distributed_stats_parent_checks(dir);
+}
+
+TEST(Distributed, StatsShardsOverShm) {
+  if (px::test::is_rank_child()) {
+    distributed_stats_rank_body();
+    return;
+  }
+  const std::string dir = fresh_dir("shm");
+  ::setenv("PX_STATS", "1", 1);
+  ::setenv("PX_STATS_DIR", dir.c_str(), 1);
+  ::setenv("PX_STATS_INTERVAL_US", "2000", 1);
+  px::test::run_ranks(2, "Distributed.StatsShardsOverShm", "shm");
+  ::unsetenv("PX_STATS");
+  ::unsetenv("PX_STATS_DIR");
+  ::unsetenv("PX_STATS_INTERVAL_US");
+  distributed_stats_parent_checks(dir);
+}
+
+}  // namespace

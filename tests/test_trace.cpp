@@ -220,11 +220,13 @@ TEST(Trace, UnknownWireFlagsAreRejected) {
   p.action = 3;
   std::vector<std::byte> wire;
   parcel::encode_into(wire, p);
-  wire[29] = std::byte{0x02};  // unknown flag bit
+  wire[29] = std::byte{0x04};  // unknown flag bit (0x01 trace, 0x02 stats)
   EXPECT_FALSE(parcel::parcel_view::parse(wire).has_value());
-  // A trace flag with a record too short for the extension must also be
+  // A known flag with a record too short for its extension must also be
   // rejected, not read out of bounds.
   wire[29] = std::byte{0x01};
+  EXPECT_FALSE(parcel::parcel_view::parse(wire).has_value());
+  wire[29] = std::byte{0x02};
   EXPECT_FALSE(parcel::parcel_view::parse(wire).has_value());
 }
 

@@ -1,6 +1,7 @@
 // Unit tests: util — serialization, histograms, RNG, config, queues, table.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -135,6 +136,50 @@ TEST(LogHistogram, QuantilesWithinBucketError) {
   EXPECT_LE(h.p50(), 1000.0);
   EXPECT_GE(h.p99(), 500.0);
   EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(LogHistogram, ZeroBucketReportsZeroNotMidpoint) {
+  // An all-zero distribution has every quantile at 0 — the [0,1) bucket
+  // must not interpolate to its midpoint.
+  log_histogram h;
+  for (int i = 0; i < 100; ++i) h.add(0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p999(), 0.0);
+  // Mixed: with 90% zeros, p50 stays 0 while the tail sees the spikes.
+  log_histogram m;
+  for (int i = 0; i < 90; ++i) m.add(0.0);
+  for (int i = 0; i < 10; ++i) m.add(1000.0);
+  EXPECT_EQ(m.p50(), 0.0);
+  EXPECT_GE(m.p999(), 500.0);
+  // Empty histogram: quantiles are 0, never NaN or a bucket artifact.
+  EXPECT_EQ(log_histogram{}.p99(), 0.0);
+}
+
+TEST(LogHistogram, SnapshotIsDetachedAndConcurrentSafe) {
+  log_histogram h;
+  for (int i = 1; i <= 64; ++i) h.add(static_cast<double>(i));
+  const log_histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 64u);
+  // Later adds don't bleed into the snapshot — it's a plain value.
+  for (int i = 0; i < 1000; ++i) h.add(1e9);
+  EXPECT_EQ(snap.count(), 64u);
+  EXPECT_LE(snap.p999(), 128.0);
+  // Writers and snapshotters race safely (the sampler-thread shape);
+  // every snapshot is internally consistent: count matches stats count.
+  log_histogram shared;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      shared.add(static_cast<double>(i++ % 1000));
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const log_histogram s = shared.snapshot();
+    EXPECT_EQ(s.count(), s.stats().count());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 // ------------------------------------------------------------------ rng

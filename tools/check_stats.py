@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI validator for a merged telemetry timeline (tools/px_stats.py output).
+
+Checks that the stats pipeline produced something physically plausible,
+not merely well-formed JSON:
+
+  * every series' timestamps are strictly increasing (the sampler ticks
+    monotonically; a merge that scrambled clocks or rings shows up here);
+  * every rank present contributed at least `--min-ranks` shards;
+  * each rank took at least `--min-ticks` sampler ticks;
+  * the derived machine-wide parcel rate is nonzero, and (for a
+    distributed run) more than one rank delivered parcels — this is the
+    cross-rank liveness check: a storm over tcp/shm must move parcels on
+    every participating rank;
+  * each delivering rank reports a nonzero p99 send->dispatch latency
+    (the histogram instrumentation actually observed parcels).
+
+Prints each problem as `ERROR: ...` on stderr and exits 1 if any;
+exits 2 on usage/IO errors.  Stdlib only.
+
+  python3 tools/check_stats.py stats.json --min-ranks 4 --min-ticks 3
+"""
+
+import argparse
+import json
+import sys
+
+
+def check(merged, min_ranks, min_ticks):
+    errors = []
+
+    ranks = merged.get("ranks", [])
+    if len(ranks) < min_ranks:
+        errors.append(
+            f"expected >= {min_ranks} rank shard(s), found {len(ranks)}")
+    for r in ranks:
+        if r.get("ticks", 0) < min_ticks:
+            errors.append(
+                f"rank {r.get('rank')}: only {r.get('ticks', 0)} sampler "
+                f"tick(s), expected >= {min_ticks}")
+
+    series = merged.get("series", [])
+    if not series:
+        errors.append("no series in merged timeline")
+    for s in series:
+        pts = s.get("points", [])
+        label = f"rank {s.get('rank')} series {s.get('path')}"
+        for i in range(1, len(pts)):
+            if pts[i][0] <= pts[i - 1][0]:
+                errors.append(
+                    f"{label}: non-monotone timestamps at point {i} "
+                    f"({pts[i - 1][0]} -> {pts[i][0]})")
+                break
+
+    derived = merged.get("derived", {})
+    rate = derived.get("parcel_rate_per_sec", 0.0)
+    if rate <= 0.0:
+        errors.append(f"machine-wide parcel rate is {rate}, expected > 0")
+    per_rank = derived.get("parcel_rate_per_rank", {})
+    delivering = [r for r, v in per_rank.items() if v > 0.0]
+    if min_ranks > 1 and len(delivering) < 2:
+        errors.append(
+            f"parcels delivered on {len(delivering)} rank(s) "
+            f"({sorted(delivering)}); a distributed run must deliver "
+            "on >= 2 ranks")
+    p99 = derived.get("p99_dispatch_ns_per_rank", {})
+    for r in delivering:
+        if p99.get(r, 0) <= 0:
+            errors.append(
+                f"rank {r} delivered parcels but reports no p99 "
+                "dispatch latency")
+
+    return errors
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="validate a merged px_stats timeline")
+    ap.add_argument("merged", help="px_stats.py output JSON")
+    ap.add_argument("--min-ranks", type=int, default=1,
+                    help="minimum rank shards expected (default 1)")
+    ap.add_argument("--min-ticks", type=int, default=2,
+                    help="minimum sampler ticks per rank (default 2)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.merged, "r", encoding="utf-8") as f:
+            merged = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR: {args.merged}: {e}", file=sys.stderr)
+        return 2
+
+    errors = check(merged, args.min_ranks, args.min_ticks)
+    if errors:
+        for e in errors:
+            print(f"ERROR: {e}", file=sys.stderr)
+        return 1
+
+    d = merged.get("derived", {})
+    print(f"ok: {len(merged.get('ranks', []))} rank(s), "
+          f"{len(merged.get('series', []))} series, "
+          f"parcel rate {d.get('parcel_rate_per_sec', 0.0):.1f}/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Fit scaling models to telemetry counters and gate regressions.
+
+Sweeps a self-launching distributed binary (default:
+example_distributed_pingpong) across increasing load points with
+PX_STATS=1, aggregates each subsystem counter's delta over the sampled
+window across ranks, and fits a log-log power law per counter:
+
+    total(x) ~ coeff * x^exponent
+
+For pingpong at x round-trips per peer, every fitted counter (parcels
+sent/delivered, wire messages, fibers spawned) should scale linearly —
+exponent ~= 1.0.  A change that makes the runtime do superlinear work
+per request (say, a forwarding loop or a retry storm) shows up as a
+larger exponent long before absolute timings drift out of CI noise.
+
+The fits are written to a BENCH_model.json; `--check reference.json`
+compares them against checked-in expectations and fails (exit 1) when a
+counter's exponent exceeds the reference by more than the tolerance.
+`--model existing.json` re-checks a previous sweep without re-running.
+
+Stdlib only.  Usage:
+
+  python3 tools/px_fit.py --binary build/example_distributed_pingpong \
+      --points 100,200,400,800 -o BENCH_model.json \
+      --check tools/px_fit_reference.json
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+import px_stats  # shard parser (same directory)
+
+# Counter path tails fitted by default: one per subsystem the pingpong
+# load exercises (parcel layer, wire layer, scheduler).
+DEFAULT_COUNTERS = [
+    "parcels/sent",
+    "parcels/delivered",
+    "net/msgs_tx",
+    "sched/spawned",
+]
+
+
+class FitError(Exception):
+    pass
+
+
+def counter_deltas(stats_dir, tails):
+    """Sums each counter tail's (last - first) across all rank shards."""
+    shards = sorted(
+        os.path.join(stats_dir, f) for f in os.listdir(stats_dir)
+        if f.startswith("px_stats.") and f.endswith(".jsonl"))
+    if not shards:
+        raise FitError(f"no px_stats shards in {stats_dir}")
+    totals = {t: 0 for t in tails}
+    for shard in shards:
+        _, series = px_stats.parse_shard(shard)
+        for s in series:
+            for t in tails:
+                if s["path"].endswith("/" + t) and len(s["points"]) >= 2:
+                    totals[t] += s["points"][-1][1] - s["points"][0][1]
+    return totals
+
+
+def run_point(binary, ranks, iters, tails, interval_us, timeout_s):
+    with tempfile.TemporaryDirectory(prefix="px_fit.") as stats_dir:
+        env = dict(os.environ)
+        env["PX_STATS"] = "1"
+        env["PX_STATS_DIR"] = stats_dir
+        env["PX_STATS_INTERVAL_US"] = str(interval_us)
+        proc = subprocess.run(
+            [binary, str(ranks), str(iters)], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            timeout=timeout_s)
+        if proc.returncode != 0:
+            raise FitError(
+                f"{binary} {ranks} {iters} exited {proc.returncode}: "
+                f"{proc.stderr.decode(errors='replace').strip()}")
+        return counter_deltas(stats_dir, tails)
+
+
+def fit_power_law(xs, ys):
+    """Least-squares fit of log(y) = log(coeff) + exponent*log(x).
+
+    Returns (exponent, coeff, r2).  Zero/negative samples are clamped to
+    1 so a dead counter fits exponent ~0 instead of raising.
+    """
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1)) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((a - mx) ** 2 for a in lx)
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    if sxx == 0.0:
+        raise FitError("need >= 2 distinct sweep points")
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    ss_tot = sum((b - my) ** 2 for b in ly)
+    ss_res = sum((b - (intercept + slope * a)) ** 2
+                 for a, b in zip(lx, ly))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return slope, math.exp(intercept), r2
+
+
+def sweep(args, tails):
+    points = []
+    for iters in args.points:
+        totals = run_point(args.binary, args.ranks, iters, tails,
+                           args.interval_us, args.timeout)
+        points.append({"iters": iters, "counters": totals})
+        print(f"point iters={iters}: " +
+              ", ".join(f"{t}={totals[t]}" for t in tails))
+
+    fits = {}
+    xs = [p["iters"] for p in points]
+    for t in tails:
+        ys = [p["counters"][t] for p in points]
+        exponent, coeff, r2 = fit_power_law(xs, ys)
+        fits[t] = {"exponent": round(exponent, 4),
+                   "coeff": round(coeff, 4), "r2": round(r2, 4)}
+        print(f"fit {t}: total ~ {coeff:.2f} * x^{exponent:.3f} "
+              f"(r2={r2:.3f})")
+    return {
+        "version": 1,
+        "binary": os.path.basename(args.binary),
+        "ranks": args.ranks,
+        "sweep": points,
+        "fits": fits,
+    }
+
+
+def check_against(model, reference, tolerance):
+    """Returns error strings for exponents degraded past tolerance."""
+    errors = []
+    fits = model.get("fits", {})
+    for counter, ref in reference.get("fits", {}).items():
+        got = fits.get(counter)
+        if got is None:
+            errors.append(f"{counter}: fitted model has no entry")
+            continue
+        degradation = got["exponent"] - ref["exponent"]
+        if degradation > tolerance:
+            errors.append(
+                f"{counter}: exponent {got['exponent']:.3f} exceeds "
+                f"reference {ref['exponent']:.3f} by {degradation:.3f} "
+                f"(> tolerance {tolerance})")
+    return errors
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="fit counter scaling models from a PX_STATS sweep")
+    ap.add_argument("--binary", default="build/example_distributed_pingpong",
+                    help="self-launching binary: <binary> <ranks> <iters>")
+    ap.add_argument("--ranks", type=int, default=2)
+    ap.add_argument("--points", default="100,200,400,800",
+                    help="comma-separated iteration counts to sweep")
+    ap.add_argument("--counters", default=",".join(DEFAULT_COUNTERS),
+                    help="comma-separated counter path tails to fit")
+    ap.add_argument("--interval-us", type=int, default=2000,
+                    help="PX_STATS_INTERVAL_US for sweep runs")
+    ap.add_argument("--timeout", type=int, default=120,
+                    help="per-point timeout in seconds")
+    ap.add_argument("-o", "--output", default="BENCH_model.json")
+    ap.add_argument("--model", default=None,
+                    help="check an existing model JSON instead of sweeping")
+    ap.add_argument("--check", default=None,
+                    help="reference model JSON to gate exponents against")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max allowed exponent increase over the reference")
+    args = ap.parse_args(argv)
+    args.points = [int(p) for p in args.points.split(",") if p]
+    tails = [t for t in args.counters.split(",") if t]
+
+    try:
+        if args.model is not None:
+            with open(args.model, "r", encoding="utf-8") as f:
+                model = json.load(f)
+        else:
+            if len(args.points) < 2:
+                raise FitError("need >= 2 sweep points")
+            model = sweep(args, tails)
+            with open(args.output, "w", encoding="utf-8") as f:
+                json.dump(model, f, indent=1)
+                f.write("\n")
+            print(f"wrote {args.output}")
+    except (FitError, px_stats.ShardError, OSError,
+            subprocess.TimeoutExpired) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 1
+
+    if args.check is not None:
+        try:
+            with open(args.check, "r", encoding="utf-8") as f:
+                reference = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"ERROR: {args.check}: {e}", file=sys.stderr)
+            return 2
+        errors = check_against(model, reference, args.tolerance)
+        if errors:
+            for e in errors:
+                print(f"ERROR: {e}", file=sys.stderr)
+            return 1
+        print(f"ok: {len(reference.get('fits', {}))} counter exponent(s) "
+              f"within tolerance {args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

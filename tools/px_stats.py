@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Merge telemetry shards into one machine-wide timeline JSON.
+
+Each rank of a sampled run (PX_STATS=1, see docs/metrics.md) writes a
+jsonl shard `px_stats.<rank>.jsonl` at shutdown (or mid-run via the
+px.stats_dump action): one header object line, then one object line per
+counter series with its ring of [ts_ns, value] points.  This tool merges
+any number of shards into a single JSON document:
+
+  * per-rank timestamps are normalized onto rank 0's clock with the
+    bootstrap clock-sync offset stamped in each header
+    (rank0_time = local_time - clock_offset_ns);
+  * every series is re-emitted under its shard's rank with normalized
+    timestamps, oldest point first;
+  * derived machine-wide figures are computed from the merged series:
+    the aggregate parcel delivery rate (sum of per-rank first-to-last
+    rates of `.../parcels/delivered`) and the final p99 parcel
+    send->dispatch latency per rank
+    (`.../parcels/hist_dispatch_ns/p99`).
+
+Stdlib only.  Usage:
+
+  python3 tools/px_stats.py stats/px_stats.*.jsonl -o stats.json
+"""
+
+import argparse
+import json
+import sys
+
+
+class ShardError(Exception):
+    pass
+
+
+def parse_shard(path):
+    """Returns (header dict, [series dict]) for one jsonl shard."""
+    header = None
+    series = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ShardError(f"{path}:{lineno}: bad json: {e}") from e
+            kind = obj.get("kind")
+            if kind == "header":
+                if header is not None:
+                    raise ShardError(f"{path}:{lineno}: duplicate header")
+                if obj.get("version") != 1:
+                    raise ShardError(
+                        f"{path}:{lineno}: unsupported version "
+                        f"{obj.get('version')!r}")
+                header = obj
+            elif kind == "series":
+                if header is None:
+                    raise ShardError(f"{path}:{lineno}: series before header")
+                if "path" not in obj or "points" not in obj:
+                    raise ShardError(f"{path}:{lineno}: malformed series")
+                series.append(obj)
+            else:
+                raise ShardError(f"{path}:{lineno}: unknown kind {kind!r}")
+    if header is None:
+        raise ShardError(f"{path}: no header line")
+    return header, series
+
+
+def first_to_last_rate(points):
+    """Events/sec over the retained window, or None without a usable span."""
+    if len(points) < 2:
+        return None
+    (t0, v0), (t1, v1) = points[0], points[-1]
+    if t1 <= t0:
+        return None
+    return (v1 - v0) * 1e9 / (t1 - t0)
+
+
+def merge(shard_paths):
+    ranks = []
+    all_series = []
+    seen_ranks = set()
+    for path in shard_paths:
+        header, series = parse_shard(path)
+        rank = header["rank"]
+        if rank in seen_ranks:
+            raise ShardError(f"{path}: duplicate shard for rank {rank}")
+        seen_ranks.add(rank)
+        off = header.get("clock_offset_ns", 0)
+        ranks.append({
+            "rank": rank,
+            "clock_offset_ns": off,
+            "interval_us": header.get("interval_us", 0),
+            "ticks": header.get("ticks", 0),
+            "dropped_points": header.get("dropped_points", 0),
+            "shard": path,
+        })
+        for s in series:
+            all_series.append({
+                "rank": rank,
+                "path": s["path"],
+                "points": [[ts - off, value] for ts, value in s["points"]],
+            })
+    ranks.sort(key=lambda r: r["rank"])
+    all_series.sort(key=lambda s: (s["rank"], s["path"]))
+
+    # Machine-wide parcel delivery rate: each rank's delivered counter is
+    # monotone, so the sum of per-rank window rates is the aggregate rate.
+    per_rank_rate = {}
+    p99_dispatch = {}
+    for s in all_series:
+        if s["path"].endswith("/parcels/delivered"):
+            rate = first_to_last_rate(s["points"])
+            if rate is not None:
+                key = s["rank"]
+                per_rank_rate[key] = per_rank_rate.get(key, 0.0) + rate
+        elif s["path"].endswith("/parcels/hist_dispatch_ns/p99"):
+            if s["points"]:
+                p99_dispatch[s["rank"]] = max(
+                    p99_dispatch.get(s["rank"], 0), s["points"][-1][1])
+
+    derived = {
+        "parcel_rate_per_sec": sum(per_rank_rate.values()),
+        "parcel_rate_per_rank": {
+            str(r): rate for r, rate in sorted(per_rank_rate.items())},
+        "p99_dispatch_ns_per_rank": {
+            str(r): v for r, v in sorted(p99_dispatch.items())},
+    }
+    return {
+        "version": 1,
+        "ranks": ranks,
+        "derived": derived,
+        "series": all_series,
+    }
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="merge px_stats jsonl shards into one timeline JSON")
+    ap.add_argument("shards", nargs="+", help="px_stats.<rank>.jsonl files")
+    ap.add_argument("-o", "--output", default="stats.json",
+                    help="merged output path (default: stats.json)")
+    args = ap.parse_args(argv)
+
+    try:
+        merged = merge(args.shards)
+    except (ShardError, OSError) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 1
+
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+
+    d = merged["derived"]
+    print(f"merged {len(merged['ranks'])} shard(s), "
+          f"{len(merged['series'])} series -> {args.output}")
+    print(f"machine parcel rate: {d['parcel_rate_per_sec']:.1f}/s; "
+          f"p99 dispatch ns per rank: {d['p99_dispatch_ns_per_rank']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
