@@ -66,6 +66,17 @@ std::size_t locality::object_count() const {
   return objects_.size();
 }
 
+std::vector<gas::gid> locality::resident_objects_homed_at(
+    gas::locality_id home) const {
+  std::vector<gas::gid> out;
+  std::lock_guard lock(objects_lock_);
+  for (const auto& [id, obj] : objects_) {
+    (void)obj;
+    if (id.home() == home) out.push_back(id);
+  }
+  return out;
+}
+
 gas::gid locality::register_sink(std::function<void(parcel::parcel)> fire) {
   const gas::gid id = rt_.gas().allocate(gas::gid_kind::lco, id_);
   std::lock_guard lock(sinks_lock_);
@@ -134,7 +145,10 @@ bool locality::arriving_needs_forward(gas::gid dest) {
     return false;
   }
   if (has_object(dest)) return false;
-  if (rt_.distributed() && dest.home() != id_) {
+  // effective_home: after rank loss the casualty's directory duties fall to
+  // its successor, so "are we the authority?" must be asked of the live
+  // home, not the gid's encoded one (identical when nobody has died).
+  if (rt_.distributed() && rt_.effective_home(dest) != id_) {
     // We are neither the owner (no object) nor the home: a stale
     // forwarding hint sent this parcel here.  Drop our own hint for this
     // gid — not because it is necessarily wrong (ours may be fresher than
@@ -149,7 +163,18 @@ bool locality::arriving_needs_forward(gas::gid dest) {
   // Home rank (or single-process): the local directory shard is the
   // authority.
   const auto owner = rt_.gas().resolve_authoritative(id_, dest);
-  PX_ASSERT_MSG(owner.has_value(), "parcel for unbound object gid");
+  if (!owner.has_value()) {
+    // Unbound at the authority.  With a rank down this is the expected
+    // fate of an object that died with the casualty (its entry was purged,
+    // or the adopted shard never saw a re-registration): report it lost
+    // and reroute — runtime::route recognizes the unbound destination and
+    // retires the parcel into the dropped books, keeping the conservation
+    // identity balanced (delivered and forwarded cancel; dropped absorbs
+    // the unit).  Without a casualty it remains the hard bug it always was.
+    PX_ASSERT_MSG(rt_.has_lost_peers(), "parcel for unbound object gid");
+    rt_.note_lost_gid(dest);
+    return true;
+  }
   // When the authoritative owner is us but the object is gone, creation is
   // racing delivery; dispatch and let the action handle or assert.
   return *owner != id_;
@@ -173,7 +198,7 @@ void locality::send_forward_feedback(const parcel::parcel& p) {
   if (!rt_.distributed() || !rt_.migration_enabled()) return;
   if (p.source == gas::invalid_locality || p.source == id_) return;
   if (!hint_gate_allows(p.destination, p.source)) return;
-  if (p.destination.home() == id_) {
+  if (rt_.effective_home(p.destination) == id_) {
     // resolve_authoritative just refreshed our cache with the directory's
     // answer; piggyback it to the sender.
     if (const auto owner = rt_.gas().cached(id_, p.destination)) {

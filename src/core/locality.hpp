@@ -66,6 +66,11 @@ class locality {
   bool erase_object(gas::gid id);
   std::size_t object_count() const;
 
+  // Resident objects whose gid is homed at `home` — the survivors'
+  // re-registration sweep after rank loss (runtime::note_peer_failure)
+  // re-homes exactly these at the casualty's successor.
+  std::vector<gas::gid> resident_objects_homed_at(gas::locality_id home) const;
+
   // ----------------------------------------------------------- LCO sinks
 
   // Registers a single-shot parcel target (e.g. a future's write end) and

@@ -15,6 +15,7 @@
 #include "patterns/counters.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
 
@@ -220,10 +221,39 @@ runtime::runtime(runtime_params params)
       sp.spin_us = shm_cfg.get_int("shm.spin_us", sp.spin_us);
       dist_ = std::make_unique<net::shm_transport>(sp);
     }
+    // Resilience knobs + fault plan resolve from this rank's own
+    // environment: the heartbeat/lease must be live *before* the wire-params
+    // exchange (a rank that dies mid-boot must not hang the others), so
+    // they cannot ride rank 0's blob; launchers set them uniformly.
+    util::config rcfg;
+    rcfg.load_environment();
     net::bootstrap_params bp;
     bp.rank = rank_;
     bp.nranks = static_cast<std::uint32_t>(params_.localities);
     bp.root = params_.net.root;
+    bp.heartbeat_interval_us = static_cast<std::uint64_t>(rcfg.get_int(
+        "heartbeat.interval_us",
+        static_cast<std::int64_t>(bp.heartbeat_interval_us)));
+    bp.lease_ms = static_cast<std::uint64_t>(
+        rcfg.get_int("lease.ms", static_cast<std::int64_t>(bp.lease_ms)));
+    if (rcfg.contains("fault")) {
+      const std::string spec = rcfg.get_string("fault", "");
+      const auto plan = util::fault_plan::parse(spec);
+      PX_ASSERT_MSG(plan.has_value(),
+                    "PX_FAULT does not parse — a fault plan that cannot arm "
+                    "must refuse to run, not silently do nothing");
+      fault_ = std::make_unique<util::fault_injector>(
+          plan->for_rank(static_cast<std::uint64_t>(rank_)),
+          static_cast<std::uint64_t>(rank_));
+      if (!fault_->empty()) dist_->arm_faults(fault_.get());
+    }
+    // Locally-detected link deaths (tcp EOF, shm pid probe) feed the same
+    // funnel as the control plane's lease expiry.  Installed before
+    // connect_peers per the transport contract; until survive mode is
+    // armed below, the funnel's bootstrap leg makes any death fatal.
+    dist_->set_peer_death_handler([this](std::size_t r) {
+      note_peer_failure(static_cast<gas::locality_id>(r));
+    });
     bootstrap_ = std::make_unique<net::bootstrap>(bp);
     const std::vector<std::byte> blob =
         rank_ == 0 ? encode_wire_params() : std::vector<std::byte>{};
@@ -330,6 +360,13 @@ runtime::runtime(runtime_params params)
     // also cross-checks the counter-schema digest — boot-time gid
     // allocation must have replayed identically in every process.
     bootstrap_->barrier(introspect_.schema_digest());
+    // Survive mode arms only now, after every rank proved it booted: a
+    // death *during* boot stays fatal machine-wide (the partial machine
+    // exits with a diagnostic inside the lease), while a death after this
+    // point is survivable — the handler funnels into note_peer_failure.
+    bootstrap_->set_peer_down_handler([this](std::uint32_t r) {
+      note_peer_failure(static_cast<gas::locality_id>(r));
+    });
     // Clock sync rides the control plane after the barrier so the RTT
     // samples are not polluted by the connect storm.  Collective, so it
     // runs only under the machine-agreed toggles (rank 0's wire blob) —
@@ -505,6 +542,7 @@ void runtime::register_counters() {
          {"runtime/agas/binds", "runtime/agas/cache_hits",
           "runtime/agas/cache_misses", "runtime/agas/migrations",
           "runtime/agas/stale_refreshes", "runtime/agas/hint_evictions",
+          "runtime/agas/gids_lost",
           "runtime/lco/depleted_threads",
           "runtime/lco/continuations", "runtime/lco/fires",
           "runtime/fabric/in_flight", "runtime/rebalance/rounds",
@@ -529,6 +567,9 @@ void runtime::register_counters() {
           [this] { return agas_.stats().stale_refreshes; });
   reg.add(0, "runtime/agas/hint_evictions",
           [this] { return agas_.stats().hint_evictions; });
+  // Unique gids that can no longer resolve because they died with a lost
+  // rank (docs/resilience.md); 0 for the whole life of a healthy machine.
+  reg.add(0, "runtime/agas/gids_lost", [this] { return gids_lost(); });
 
   reg.add_raw(0, "runtime/lco/depleted_threads",
               lco::lco_counters::depleted_threads_created);
@@ -605,6 +646,10 @@ void runtime::stop() {
     // past it, every rank has already marked peer disconnects expected.
     dist_->expect_peer_disconnects();
     bootstrap_->barrier();
+    // Goodbye handshake after the barrier: from here on heartbeat EOFs
+    // and lease expiries are orderly teardown, not deaths — without it a
+    // fast-exiting rank would be declared a casualty by the survivors.
+    bootstrap_->expect_shutdown();
   }
   for (auto& loc : localities_) {
     if (loc != nullptr) loc->sched_.stop();
@@ -651,24 +696,58 @@ gas::gid runtime::locality_gid(gas::locality_id id) const {
   return locality_gids_[id];
 }
 
+gas::locality_id runtime::effective_home(gas::gid id) const noexcept {
+  const gas::locality_id home = id.home();
+  if (!distributed_) return home;
+  const std::uint64_t mask = peer_dead_mask_.load(std::memory_order_acquire);
+  if (((mask >> home) & 1u) == 0) return home;
+  // Deterministic succession: the next live rank scanning upward mod
+  // nranks.  Pure arithmetic over the dead mask, so every survivor elects
+  // the same successor without a coordination round; repeated losses just
+  // step further along the ring.
+  const std::size_t n = params_.localities;
+  for (std::size_t step = 1; step < n; ++step) {
+    const auto r =
+        static_cast<gas::locality_id>((home + step) % n);
+    if (((mask >> r) & 1u) == 0) return r;
+  }
+  return home;  // unreachable while this process lives (we are a live rank)
+}
+
 gas::locality_id runtime::owner_of(gas::locality_id from, gas::gid id) {
-  // LCO sinks and hardware names never migrate: the home *is* the owner.
-  // Data/process objects go through AGAS (cache, then home directory).
+  // LCO sinks and hardware names never migrate: the home *is* the owner —
+  // and both die with their home's process (a sink is process-local state),
+  // so no successor is consulted; route() retires parcels for them.
   if (id.kind() == gas::gid_kind::lco ||
       id.kind() == gas::gid_kind::hardware) {
     return id.home();
   }
   if (distributed_ && id.home() != rank_) {
-    // The authoritative directory shard lives in the home rank's process.
-    // With migration off the home *is* the owner by construction; with it
-    // on, a forwarding-cache hint (learned from a home forward's piggyback
-    // or an explicit px.agas_resolve) short-circuits the extra hop, and
-    // absent a hint the parcel routes to the home, whose directory
-    // forwards it onward — always correct, at most one hop stale.
-    if (migration_enabled_) {
-      if (const auto hint = agas_.cached(rank_, id)) return *hint;
+    const gas::locality_id home = effective_home(id);
+    if (home != rank_) {
+      // The authoritative directory shard lives in the (effective) home
+      // rank's process.  With migration off the home *is* the owner by
+      // construction; with it on, a forwarding-cache hint (learned from a
+      // home forward's piggyback or an explicit px.agas_resolve)
+      // short-circuits the extra hop — unless it points at a casualty
+      // (purged on the death verdict, but a racing read can still see
+      // one), and absent a hint the parcel routes to the home, whose
+      // directory forwards it onward — always correct, at most one hop
+      // stale.
+      if (migration_enabled_) {
+        if (const auto hint = agas_.cached(rank_, id)) {
+          if (((peer_dead_mask_.load(std::memory_order_acquire) >> *hint) &
+               1u) == 0) {
+            return *hint;
+          }
+        }
+      }
+      return home;
     }
-    return id.home();
+    // We are the casualty's successor for this gid: fall through — the
+    // adopted shard below is the authority now (populated by survivors'
+    // re-registrations; still-missing entries resolve unbound and the
+    // parcel is reported lost rather than wedging).
   }
   const auto owner = agas_.resolve(from, id);
   return owner.value_or(gas::invalid_locality);
@@ -686,8 +765,28 @@ void runtime::route(gas::locality_id from, parcel::parcel p) {
     return;
   }
   const gas::locality_id owner = owner_of(from, p.destination);
-  PX_ASSERT_MSG(owner != gas::invalid_locality,
-                "route: destination gid is unbound");
+  if (owner == gas::invalid_locality) {
+    // Unbound destination.  With a confirmed casualty this is the expected
+    // fate of an object that died with it (entry purged from our shard, or
+    // never re-registered into an adopted one): retire the parcel into the
+    // dropped books — never wedge resolution.  Healthy machine: the hard
+    // bug it always was.
+    PX_ASSERT_MSG(has_lost_peers(), "route: destination gid is unbound");
+    note_lost_gid(p.destination);
+    at(from).note_dropped();
+    return;
+  }
+  if (distributed_ && owner != rank_ &&
+      ((peer_dead_mask_.load(std::memory_order_acquire) >> owner) & 1u) !=
+          0) {
+    // The owner rank is confirmed dead (non-migratable gid homed there, or
+    // a resolution that still names the casualty): the object is gone with
+    // its process.  Drop here, before the transport — the link is already
+    // torn down.
+    note_lost_gid(p.destination);
+    at(from).note_dropped();
+    return;
+  }
   if (owner == from) {
     // Local fast path: intra-locality parcels do not touch the fabric
     // (the locality is the synchronous domain; its internal latency is
@@ -801,13 +900,28 @@ void runtime::wait_quiescent() {
     // delivered across two identical consecutive rounds (counting
     // termination detection — see net/bootstrap.hpp).  The round is
     // paced naturally: local passes block while local work is live.
-    // Dropped parcels (dead links) leave the sent balance: they will
-    // never be delivered anywhere, and counting them would make the
-    // global sent == delivered test unsatisfiable forever.
-    if (bootstrap_->quiesce_round(locally_stable, activity_snapshot(),
-                                  dist_->messages_sent_total() -
-                                      dist_->parcels_dropped_total(),
-                                  dist_->parcels_received_total())) {
+    // Dropped parcels (dead links, fault drops) leave the sent balance:
+    // they will never be delivered anywhere, and counting them would make
+    // the global sent == delivered test unsatisfiable forever.  Under
+    // rank loss the round runs over the live membership with the
+    // casualty's whole column subtracted from both sides — the units we
+    // sent it are unknowable, the units it sent us already counted — so
+    // the collective converges minus the casualty (the control plane's
+    // mask agreement keeps ranks with divergent views from quiescing).
+    // A rank whose failure sweep (transport fold, directory re-homing,
+    // gossip) has not caught up with the control plane's dead mask must
+    // not report stable: the verdict would let peers resume sending while
+    // this rank's directory still routes through the casualty.  The
+    // bootstrap can flag a death (heartbeat EOF) strictly before the
+    // peer-down handler finishes the sweep, so the mask comparison — not
+    // the handler having been called — is the gate.
+    const std::uint64_t dead = bootstrap_->dead_mask();
+    const bool swept =
+        peer_swept_mask_.load(std::memory_order_acquire) == dead;
+    if (bootstrap_->quiesce_round(locally_stable && swept,
+                                  activity_snapshot(),
+                                  dist_->live_units_sent(dead),
+                                  dist_->live_units_received(dead))) {
       return;
     }
   }
@@ -919,6 +1033,28 @@ parcel::action_id agas_update_action_id() {
 [[maybe_unused]] const parcel::action_id k_agas_update_registration =
     agas_update_action_id();
 
+// Death gossip: the first rank to confirm a casualty tells the others, so
+// survivors that never exchanged a byte with the dead rank still fold it
+// into their books (the control plane's kTagPeerDown covers ranks root
+// reaches; this covers root learning from a non-root detector, and any
+// rank the heartbeat hasn't timed out yet).  Raw-registered like px.sink:
+// a death verdict is control plane and must not queue behind user fibers.
+parcel::action_id peer_down_action_id() {
+  static const parcel::action_id id =
+      parcel::action_registry::global().register_action(
+          "px.peer_down", +[](void* ctx, const parcel::parcel_view& pv) {
+            auto* loc = static_cast<locality*>(ctx);
+            const auto dead = util::from_bytes<std::uint32_t>(pv.arguments());
+            loc->rt().note_peer_failure(
+                static_cast<gas::locality_id>(dead));
+          });
+  return id;
+}
+
+// Eager: action ids are positional; every rank must mint this at boot.
+[[maybe_unused]] const parcel::action_id k_peer_down_registration =
+    peer_down_action_id();
+
 }  // namespace
 
 void runtime::tag_migratable_object(gas::gid id, std::string type_name) {
@@ -956,14 +1092,109 @@ std::vector<gas::gid> runtime::migratable_residents(std::size_t max) const {
 
 std::uint8_t runtime::apply_agas_update(gas::gid id,
                                         gas::locality_id new_owner) {
-  PX_ASSERT_MSG(!distributed_ || id.home() == rank_,
+  // effective_home: after a rank loss this update may land at the
+  // casualty's successor, whose adopted shard starts empty — hence the
+  // tolerant rebind (upsert) instead of migrate's bound-entry assert.
+  PX_ASSERT_MSG(!distributed_ || effective_home(id) == rank_,
                 "px.agas_update landed off the home rank");
-  agas_.migrate(id, new_owner);
+  agas_.rebind(id, new_owner);
   // Refresh this rank's own forwarding view too: routing from the home
   // should go straight to the new owner, not through a stale cache entry
   // that would bounce the parcel off the previous one.
   agas_.note_owner(rank_, id, new_owner);
   return 1;
+}
+
+// ------------------------------------------------------------- resilience
+
+void runtime::note_peer_failure(gas::locality_id rank) {
+  if (!distributed_ || rank == rank_ ||
+      rank >= static_cast<gas::locality_id>(params_.localities)) {
+    return;
+  }
+  const std::uint64_t bit = 1ull << rank;
+  if (peer_dead_mask_.fetch_or(bit, std::memory_order_acq_rel) & bit) {
+    return;  // a verdict for this casualty already ran the sweep
+  }
+  PX_LOG_WARN("rank %u: peer rank %u confirmed dead — continuing with "
+              "reduced membership",
+              static_cast<unsigned>(rank_), static_cast<unsigned>(rank));
+  // Order is load-bearing.  (1) Fold the casualty into the transport books
+  // (close the link, freeze the lost-unit figure) so quiescence accounting
+  // never counts units the casualty can no longer deliver.  (2) Tell the
+  // control plane: its dead mask gates the quiesce verdict, and on rank 0
+  // it broadcasts kTagPeerDown to the other survivors.  Note: when the
+  // control plane is what detected the death, both steps are no-ops (their
+  // masks are already set), which is also what breaks the handler cycle.
+  // (3) Repair the directory so routing keeps resolving.  (4) Gossip
+  // px.peer_down — the parcels route with the repaired view.
+  dist_->mark_peer_dead(rank);
+  bootstrap_->note_rank_dead(static_cast<std::uint32_t>(rank));
+  rehome_gids_after_loss(rank);
+  broadcast_peer_down(rank);
+  // Sweep complete: only now may wait_quiescent report this casualty as
+  // handled (the quiesce stability gate compares this mask against the
+  // bootstrap's dead mask, which is set strictly earlier).
+  peer_swept_mask_.fetch_or(bit, std::memory_order_release);
+}
+
+void runtime::note_lost_gid(gas::gid id) {
+  bool fresh = false;
+  {
+    std::lock_guard lock(lost_gids_lock_);
+    fresh = lost_gids_.insert(id).second;
+  }
+  if (fresh) {
+    gids_lost_.fetch_add(1, std::memory_order_relaxed);
+    // Once per gid, not per parcel: a storm aimed at a lost object must
+    // not turn the log into the bottleneck.
+    PX_LOG_WARN("gid %s lost with a dead rank; parcels for it are dropped",
+                id.to_string().c_str());
+  }
+}
+
+void runtime::rehome_gids_after_loss(gas::locality_id dead) {
+  // Hints pointing at the casualty would bounce parcels off a torn-down
+  // link; purge them so routing falls back to (effective-)home.
+  agas_.purge_owner_hints(rank_, dead);
+  // Entries in our own directory shard whose owner was the casualty: the
+  // objects died with its process.  Unbind them — resolution answers
+  // "unbound" and route() retires the parcel — and report each lost.
+  for (const gas::gid id : agas_.drop_entries_owned_by(rank_, dead)) {
+    note_lost_gid(id);
+  }
+  // Resident objects homed at the casualty survive here but their
+  // directory authority is gone: re-register each at the successor (who
+  // adopts the casualty's shard index; possibly us).  Objects that were
+  // *resident at* the casualty have nobody to speak for them — their first
+  // parcel resolves unbound at the successor and is reported lost there.
+  const gas::locality_id succ =
+      effective_home(gas::gid::make(gas::gid_kind::data, dead, 1));
+  for (const gas::gid id : here().resident_objects_homed_at(dead)) {
+    if (succ == rank_) {
+      agas_.rebind(id, rank_);
+      agas_.note_owner(rank_, id, rank_);
+      continue;
+    }
+    parcel::parcel p;
+    p.destination = locality_gid(succ);
+    p.action = agas_update_action_id();
+    p.arguments = util::to_bytes(
+        std::tuple<std::uint64_t, gas::locality_id>(id.bits(), rank_));
+    here().send(std::move(p));
+  }
+}
+
+void runtime::broadcast_peer_down(gas::locality_id dead) {
+  const std::uint64_t mask = peer_dead_mask_.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < params_.localities; ++r) {
+    if (r == rank_ || ((mask >> r) & 1u) != 0) continue;
+    parcel::parcel p;
+    p.destination = locality_gid(static_cast<gas::locality_id>(r));
+    p.action = peer_down_action_id();
+    p.arguments = util::to_bytes(static_cast<std::uint32_t>(dead));
+    here().send(std::move(p));
+  }
 }
 
 std::uint8_t runtime::migrate_implant(const parcel::migration_record& rec) {
@@ -996,7 +1227,10 @@ std::uint8_t runtime::migrate_implant(const parcel::migration_record& rec) {
   // Implant before the directory flips: from this moment a parcel landing
   // here (raced ahead on a fresh hint) dispatches instead of bouncing.
   here().put_object(id, std::move(obj));
-  if (id.home() == rank_) {
+  // effective_home: if the gid's encoded home died, the directory flip
+  // goes to (or happens at) the adopted shard's successor instead.
+  const gas::locality_id dir_home = effective_home(id);
+  if (dir_home == rank_) {
     apply_agas_update(id, rank_);
   } else {
     lco::promise<std::uint8_t> prom;
@@ -1004,7 +1238,7 @@ std::uint8_t runtime::migrate_implant(const parcel::migration_record& rec) {
     const parcel::continuation cont =
         make_promise_sink<std::uint8_t>(here(), std::move(prom));
     parcel::parcel p;
-    p.destination = locality_gid(id.home());
+    p.destination = locality_gid(dir_home);
     p.action = agas_update_action_id();
     p.cont = cont;
     p.arguments = util::to_bytes(

@@ -71,6 +71,10 @@ namespace px::net {
 class bootstrap;
 }  // namespace px::net
 
+namespace px::util {
+class fault_injector;
+}  // namespace px::util
+
 namespace px::core {
 
 class echo_manager;
@@ -171,6 +175,9 @@ class runtime {
 
   gas::agas& gas() noexcept { return agas_; }
   gas::name_service& names() noexcept { return names_; }
+  // The distributed backend's resilience ledger (per-peer unit books,
+  // dead-peer mask, lost-unit totals); nullptr under the sim backend.
+  net::distributed_transport* dist() noexcept { return dist_.get(); }
   // The wire, backend-agnostic; and the simulated fabric specifically
   // (latency model, histogram — asserts under the tcp backend).
   net::transport& transport() noexcept { return *transport_; }
@@ -346,6 +353,42 @@ class runtime {
   std::uint8_t migrate_implant(const parcel::migration_record& rec);
   std::uint8_t apply_agas_update(gas::gid id, gas::locality_id new_owner);
 
+  // ----------------------------------------------------------- resilience
+  //
+  // Surviving rank loss (docs/resilience.md).  Deaths funnel through
+  // note_peer_failure from every detector — the bootstrap lease expiry,
+  // the transport's own link-death accounting, and px.peer_down parcels
+  // from peers that saw it first.  The first observation per casualty
+  // folds the loss into the transport books, tells the control plane
+  // (rank 0 re-broadcasts), re-homes the directory, and gossips
+  // px.peer_down to the other survivors; later observations are no-ops.
+
+  // Idempotent external death verdict for `rank`.  Thread-safe; callable
+  // from the heartbeat thread, the transport progress thread, and parcel
+  // handlers alike.
+  void note_peer_failure(gas::locality_id rank);
+
+  // The live authority for gids homed at `id.home()`: the home itself
+  // while it lives, else the deterministic successor — the next live rank
+  // scanning upward mod nranks, so every survivor elects the same one
+  // with no coordination.
+  gas::locality_id effective_home(gas::gid id) const noexcept;
+
+  // Confirmed-dead peer ranks as a bitmask (bit r = rank r lost), and
+  // whether any loss has been confirmed at all.
+  std::uint64_t lost_peer_mask() const noexcept {
+    return peer_dead_mask_.load(std::memory_order_acquire);
+  }
+  bool has_lost_peers() const noexcept { return lost_peer_mask() != 0; }
+
+  // Objects whose gid can no longer resolve because they died with a lost
+  // rank: unique-gid count (the runtime/agas/gids_lost counter), and the
+  // recording hook the route/arrival paths call per affected gid.
+  std::uint64_t gids_lost() const noexcept {
+    return gids_lost_.load(std::memory_order_relaxed);
+  }
+  void note_lost_gid(gas::gid id);
+
  private:
   friend class locality;
 
@@ -358,6 +401,12 @@ class runtime {
   // so every process runs identical parcel-pipeline behavior.
   std::vector<std::byte> encode_wire_params() const;
   void apply_wire_params(std::span<const std::byte> blob);
+  // Rank-loss repair steps (called once per casualty by note_peer_failure):
+  // purge hints at the casualty, drop directory entries for objects that
+  // died with it, re-register resident remotely-homed gids at the
+  // successor; then gossip px.peer_down to the remaining survivors.
+  void rehome_gids_after_loss(gas::locality_id dead);
+  void broadcast_peer_down(gas::locality_id dead);
 
   runtime_params params_;
   gas::agas agas_;
@@ -373,6 +422,9 @@ class runtime {
   std::vector<std::unique_ptr<introspect::monitor>> monitors_;
   std::unique_ptr<rebalancer> balancer_;
   std::unique_ptr<net::bootstrap> bootstrap_;  // distributed control plane
+  // PX_FAULT injector, armed on dist_'s send seam; declared before the
+  // transport so the progress thread never outlives it.
+  std::unique_ptr<util::fault_injector> fault_;
   std::unique_ptr<net::fabric> fabric_;        // sim backend
   std::unique_ptr<net::distributed_transport> dist_;  // tcp or shm backend
   net::transport* transport_ = nullptr;        // whichever backend is live
@@ -408,6 +460,21 @@ class runtime {
   // local timestamps onto rank 0's clock.
   std::vector<introspect::counter_sample> trace_boot_counters_;
   std::int64_t clock_offset_ns_ = 0;
+
+  // Resilience bookkeeping: which peer ranks this process has confirmed
+  // dead (the idempotence guard for note_peer_failure — one repair sweep
+  // and one gossip round per casualty, no matter how many detectors fire),
+  // and the unique gids reported lost with them.
+  std::atomic<std::uint64_t> peer_dead_mask_{0};
+  // Set only once the full repair sweep (transport fold, directory
+  // re-homing, gossip) for a casualty has finished.  wait_quiescent gates
+  // local stability on this mask matching the bootstrap's dead mask, so a
+  // quiescence verdict cannot land while a survivor's directory still
+  // routes through the dead rank.
+  std::atomic<std::uint64_t> peer_swept_mask_{0};
+  mutable util::spinlock lost_gids_lock_;
+  std::unordered_set<gas::gid> lost_gids_;
+  std::atomic<std::uint64_t> gids_lost_{0};
 
   bool eager_flush_ = true;  // resolved from params/env in the ctor
   bool migration_enabled_ = false;  // cross-process protocol (tcp only)

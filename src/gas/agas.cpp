@@ -152,6 +152,56 @@ void agas::migrate(gid id, locality_id new_owner) {
   migrations_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void agas::rebind(gid id, locality_id owner) {
+  PX_ASSERT(id.valid());
+  PX_ASSERT(owner < shards_.size());
+  shard& s = home_shard(id);
+  std::lock_guard lock(s.lock);
+  auto [it, inserted] = s.entries.try_emplace(id);
+  if (inserted) {
+    it->second.owner = owner;
+    it->second.version = 1;
+    binds_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  it->second.owner = owner;
+  it->second.version += 1;
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<gid> agas::drop_entries_owned_by(locality_id home,
+                                             locality_id dead) {
+  PX_ASSERT(home < shards_.size());
+  std::vector<gid> dropped;
+  shard& s = *shards_[home];
+  std::lock_guard lock(s.lock);
+  for (auto it = s.entries.begin(); it != s.entries.end();) {
+    if (it->second.owner == dead) {
+      dropped.push_back(it->first);
+      it = s.entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t agas::purge_owner_hints(locality_id asking, locality_id dead) {
+  PX_ASSERT(asking < caches_.size());
+  cache& c = *caches_[asking];
+  std::lock_guard lock(c.lock);
+  std::size_t purged = 0;
+  for (auto it = c.entries.begin(); it != c.entries.end();) {
+    if (it->second.owner == dead) {
+      it = c.entries.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
 void agas::invalidate_cache(locality_id asking, gid id) {
   cache& c = *caches_[asking];
   std::lock_guard lock(c.lock);

@@ -74,6 +74,21 @@ class agas {
   // until lazily refreshed.
   void migrate(gid id, locality_id new_owner);
 
+  // Tolerant upsert: migrate when the entry exists, bind when it does not.
+  // Used for post-rank-loss re-homing — the successor rank adopts the
+  // casualty's directory shard starting from empty, so survivors'
+  // re-registrations must not trip the bound-twice/unbound asserts.
+  void rebind(gid id, locality_id owner);
+
+  // Directory repair after rank loss: erase every entry in `home`'s shard
+  // whose owner is `dead` (those objects died with the casualty's process)
+  // and return the erased gids so the runtime can report them lost.
+  std::vector<gid> drop_entries_owned_by(locality_id home, locality_id dead);
+
+  // Forwarding-cache repair after rank loss: drop every hint in `asking`'s
+  // cache that points at `dead`.  Returns how many were purged.
+  std::size_t purge_owner_hints(locality_id asking, locality_id dead);
+
   // Drops a cached translation (e.g. after the runtime observed it stale).
   void invalidate_cache(locality_id asking, gid id);
 

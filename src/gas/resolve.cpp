@@ -25,7 +25,9 @@ parcel::action_id agas_resolve_action_id() {
             auto* loc = static_cast<core::locality*>(ctx);
             const auto bits = util::from_bytes<std::uint64_t>(pv.arguments());
             const gid id = gid::from_bits(bits);
-            PX_ASSERT_MSG(id.home() == loc->id(),
+            // effective_home: the casualty's successor answers for its
+            // adopted shard after a rank loss (docs/resilience.md).
+            PX_ASSERT_MSG(loc->rt().effective_home(id) == loc->id(),
                           "px.agas_resolve parcel landed off the home rank");
             const auto owner =
                 loc->rt().gas().resolve_authoritative(loc->id(), id);
@@ -65,7 +67,7 @@ parcel::action_id agas_hint_action_id() {
 
 void send_resolve(core::locality& from, gid id, parcel::continuation cont) {
   parcel::parcel p;
-  p.destination = from.rt().locality_gid(id.home());
+  p.destination = from.rt().locality_gid(from.rt().effective_home(id));
   p.action = agas_resolve_action_id();
   p.cont = cont;
   p.arguments = util::to_bytes(id.bits());

@@ -128,6 +128,7 @@ shm_transport::shm_transport(shm_params params) : params_(params) {
     params_.spin_us = cores >= 2u * params_.nranks ? 50 : 2;
   }
   token_ = make_token(params_.rank);
+  init_peer_books(params_.nranks, params_.rank);
 
   own_db_seg_ =
       util::shm_segment::create(token_, sizeof(detail::shm_doorbell));
@@ -314,6 +315,17 @@ void shm_transport::send(message m) {
   msgs_tx_.fetch_add(1, std::memory_order_relaxed);
   parcels_tx_.fetch_add(units, std::memory_order_relaxed);
   bytes_tx_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+  account_sent(m.dest, units);
+
+  // Fault seam (PX_FAULT): an armed drop takes the whole batch before the
+  // record becomes visible to the peer; a kill never returns.
+  if (fault_drop_units(m.dest, units) > 0) {
+    dropped_total_.fetch_add(units, std::memory_order_release);
+    account_dropped(m.dest, units);
+    pool_.release(std::move(m.payload));
+    notify_if_drained();
+    return;
+  }
 
   peer& p = *peers_[m.dest];
   bool to_ring = false;
@@ -344,12 +356,13 @@ void shm_transport::send(message m) {
     ring_doorbell(p);
   } else if (dropped) {
     dropped_total_.fetch_add(units, std::memory_order_release);
+    account_dropped(m.dest, units);
     if (oversize) {
       PX_LOG_WARN(
           "shm send: frame of %zu bytes exceeds ring capacity %zu/2, "
           "dropping %u parcels (raise PX_SHM_RING_BYTES)",
           m.payload.size(), p.cap, units);
-    } else if (!closing_.load(std::memory_order_acquire)) {
+    } else if (!disconnects_expected()) {
       PX_LOG_WARN("shm send: peer %u link is down, dropping %u parcels",
                   m.dest, units);
     }
@@ -409,6 +422,7 @@ bool shm_transport::pump_ring(peer& p) {
       handler_(m);
       pool_.release(std::move(m.payload));
       received_total_.fetch_add(*count, std::memory_order_release);
+      account_delivered(p.rank, *count);
     } else {
       pool_.release(std::move(buf));
     }
@@ -420,12 +434,13 @@ bool shm_transport::pump_ring(peer& p) {
   if (any) ring_doorbell(p);  // space freed + consumption progressed
   if (!p.eof_noted && r.producer_closed.load(std::memory_order_acquire) != 0 &&
       head == r.tail.load(std::memory_order_acquire)) {
+    // Producer-side EOF with the ring drained: same verdict rules as a tcp
+    // EOF — orderly iff disconnects were announced, otherwise the close
+    // routes through the shared death books (note_peer_closed).
     p.eof_noted = true;
-    if (!closing_.load(std::memory_order_acquire) &&
-        !stopping_.load(std::memory_order_acquire)) {
-      PX_LOG_WARN("shm transport rank %u: peer %u closed its producer side",
-                  params_.rank, p.rank);
-    }
+    const bool expected = disconnects_expected() ||
+                          stopping_.load(std::memory_order_acquire);
+    close_peer(p, expected ? nullptr : "peer closed its producer side");
   }
   return any;
 }
@@ -447,8 +462,7 @@ bool shm_transport::pump_pend(peer& p) {
 
 void shm_transport::close_peer(peer& p, const char* why) {
   if (!p.open.exchange(false, std::memory_order_acq_rel)) return;
-  if (!closing_.load(std::memory_order_acquire) &&
-      !stopping_.load(std::memory_order_acquire)) {
+  if (why != nullptr) {
     PX_LOG_WARN("shm transport rank %u: closing link to peer %u (%s)",
                 params_.rank, p.rank, why);
   }
@@ -461,18 +475,31 @@ void shm_transport::close_peer(peer& p, const char* why) {
     p.pendq.clear();
     p.pend_units.store(0, std::memory_order_release);
   }
-  // Ring-resident units the peer will never (verifiably) consume: retire
-  // them into the dropped books so global conservation stays satisfiable.
-  const std::uint64_t rung = p.ring_units.load(std::memory_order_acquire);
-  const std::uint64_t consumed =
-      p.out != nullptr ? p.out->consumed_units.load(std::memory_order_acquire)
-                       : 0;
-  orphaned += rung > consumed ? rung - consumed : 0;
-  if (orphaned > 0) {
-    dropped_total_.fetch_add(orphaned, std::memory_order_release);
+  if (why == nullptr) {
+    // Orderly close: ring-resident units the peer will never (verifiably)
+    // consume retire into the dropped books so conservation stays
+    // satisfiable without a death verdict.
+    const std::uint64_t rung = p.ring_units.load(std::memory_order_acquire);
+    const std::uint64_t consumed =
+        p.out != nullptr ? p.out->consumed_units.load(std::memory_order_acquire)
+                         : 0;
+    orphaned += rung > consumed ? rung - consumed : 0;
+    if (orphaned > 0) {
+      dropped_total_.fetch_add(orphaned, std::memory_order_release);
+      account_dropped(p.rank, orphaned);
+    }
   }
+  // Unexpected close: leave the outstanding column intact — the shared
+  // death fold (note_peer_closed) charges everything sent-minus-dropped as
+  // lost, the same conservative verdict tcp reaches.  Splitting consumed
+  // vs unconsumed units here would make parcels_lost race with how far the
+  // casualty's consumer got before dying.
   ring_doorbell(p);
   notify_if_drained();
+  // Shared disconnect books last, with no locks held: orderly closes are
+  // counted, unexpected ones become a death verdict (and may re-enter the
+  // transport through the peer-death handler).
+  note_peer_closed(p.rank, why == nullptr);
 }
 
 std::uint64_t shm_transport::in_flight() const noexcept {
@@ -508,11 +535,27 @@ void shm_transport::drain() {
   }
 }
 
+void shm_transport::close_link(std::size_t rank) {
+  // External death verdict (heartbeat lease, px.peer_down): the progress
+  // thread owns peer state, so park the request and wake it.
+  pending_dead_.fetch_or(1ull << rank, std::memory_order_acq_rel);
+  own_db_->seq.fetch_add(1, std::memory_order_seq_cst);
+  futex_wake_one(&own_db_->seq);
+}
+
 void shm_transport::progress_loop() {
   using clock = std::chrono::steady_clock;
   auto last_probe = clock::now();
   for (;;) {
     const std::uint32_t seq = own_db_->seq.load(std::memory_order_acquire);
+    const std::uint64_t doomed =
+        pending_dead_.exchange(0, std::memory_order_acq_rel);
+    if (doomed != 0) {
+      for (std::uint32_t r = 0; r < params_.nranks; ++r) {
+        if (((doomed >> r) & 1u) == 0 || r == params_.rank) continue;
+        close_peer(*peers_[r], "peer declared dead by the control plane");
+      }
+    }
     bool did = false;
     for (auto& pp : peers_) {
       peer& p = *pp;
@@ -524,7 +567,9 @@ void shm_transport::progress_loop() {
       }
       if (p.open.load(std::memory_order_acquire) && p.out != nullptr &&
           p.out->consumer_closed.load(std::memory_order_acquire) != 0) {
-        close_peer(p, "peer closed its consumer side");
+        const bool expected = disconnects_expected() ||
+                              stopping_.load(std::memory_order_acquire);
+        close_peer(p, expected ? nullptr : "peer closed its consumer side");
       }
     }
     notify_if_drained();
@@ -619,7 +664,9 @@ std::vector<extra_link_counter> shm_transport::extra_link_counters(
                 "shm link: remote ranks keep their own books");
   return {{"ring_full_waits",
            ring_full_waits_.load(std::memory_order_relaxed)},
-          {"wakeups", wakeups_.load(std::memory_order_relaxed)}};
+          {"wakeups", wakeups_.load(std::memory_order_relaxed)},
+          {"peer_failed", peers_failed_total()},
+          {"parcels_lost", parcels_lost_total()}};
 }
 
 }  // namespace px::net

@@ -111,9 +111,10 @@ class shm_transport final : public distributed_transport {
   link_counters link(endpoint_id ep) const override;
   const char* backend_name() const noexcept override { return "shm"; }
   bool whole_frame_delivery() const noexcept override { return true; }
-  // Two shm-specific rows: sends parked because a peer ring was full, and
-  // futex wakeups actually issued (0 under steady spin = the zero-syscall
-  // hot path is real).
+  // Shm-specific rows: sends parked because a peer ring was full, futex
+  // wakeups actually issued (0 under steady spin = the zero-syscall hot
+  // path is real), plus the shared resilience rows (peers confirmed dead,
+  // units lost with them).
   std::vector<extra_link_counter> extra_link_counters(
       endpoint_id ep) const override;
 
@@ -123,11 +124,13 @@ class shm_transport final : public distributed_transport {
   std::uint64_t parcels_dropped_total() const noexcept override {
     return dropped_total_.load(std::memory_order_acquire);
   }
-  void expect_peer_disconnects() noexcept override {
-    closing_.store(true, std::memory_order_release);
-  }
 
   const shm_params& params() const noexcept { return params_; }
+
+ protected:
+  // distributed_transport resilience seam: request an asynchronous close
+  // of the link to `rank` on the progress thread (external death verdict).
+  void close_link(std::size_t rank) override;
 
  private:
   struct outgoing {
@@ -165,6 +168,8 @@ class shm_transport final : public distributed_transport {
   bool ring_write(peer& p, const std::byte* data, std::size_t len,
                   std::uint32_t units);
   void ring_doorbell(peer& p);
+  // `why == nullptr` means an orderly/expected close; anything else is an
+  // unexpected disconnect and marks the peer dead in the shared books.
   void close_peer(peer& p, const char* why);
   void notify_if_drained();
 
@@ -181,7 +186,8 @@ class shm_transport final : public distributed_transport {
 
   std::atomic<bool> traffic_started_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<bool> closing_{false};
+  // Ranks whose links close_link() asked the progress thread to tear down.
+  std::atomic<std::uint64_t> pending_dead_{0};
 
   std::atomic<std::uint64_t> sent_total_{0};
   std::atomic<std::uint64_t> received_total_{0};

@@ -36,6 +36,7 @@ tcp_transport::tcp_transport(tcp_params params) : params_(params) {
   PX_ASSERT_MSG(pipe(wake_fds_) == 0, "tcp_transport: pipe() failed");
   detail::set_nonblocking(wake_fds_[0]);
   detail::set_nonblocking(wake_fds_[1]);
+  init_peer_books(params_.nranks, params_.rank);
   for (std::uint32_t r = 0; r < params_.nranks; ++r) {
     peers_.push_back(std::make_unique<peer>());
     peers_.back()->rank = r;
@@ -142,6 +143,16 @@ void tcp_transport::send(message m) {
   PX_ASSERT(m.units >= 1);
   traffic_started_.store(true, std::memory_order_release);
   const std::uint32_t units = m.units;
+  account_sent(m.dest, units);
+  if (fault_drop_units(m.dest, units) > 0) {
+    // Injected drop (PX_FAULT): the units retire into the conservation
+    // books exactly like a dead-link drop, so quiescence still balances.
+    sent_total_.fetch_add(units, std::memory_order_acq_rel);
+    dropped_total_.fetch_add(units, std::memory_order_acq_rel);
+    account_dropped(m.dest, units);
+    pool_.release(std::move(m.payload));
+    return;
+  }
   sent_total_.fetch_add(units, std::memory_order_acq_rel);
   in_flight_.fetch_add(units, std::memory_order_acq_rel);
   msgs_tx_.fetch_add(1, std::memory_order_relaxed);
@@ -164,6 +175,7 @@ void tcp_transport::send(message m) {
     // A dead link mid-run: drop (with the drop recorded so the quiescence
     // books stay balanced) rather than wedge every drain() forever.
     dropped_total_.fetch_add(units, std::memory_order_acq_rel);
+    account_dropped(m.dest, units);
     retire_in_flight(units);
     PX_LOG_WARN("tcp send: peer %u link is down, dropping %u parcels",
                 m.dest, units);
@@ -196,7 +208,9 @@ bool tcp_transport::pump_sends(peer& p) {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
       if (n < 0 && errno == EINTR) continue;
-      close_peer(p, "send error");
+      const bool expected = stopping_.load(std::memory_order_acquire) ||
+                            disconnects_expected();
+      close_peer(p, expected ? nullptr : "send error");
       return false;
     }
     const std::uint32_t units = front->units;
@@ -223,13 +237,15 @@ bool tcp_transport::pump_reads(peer& p) {
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
-      close_peer(p, "recv error");
+      const bool expected = stopping_.load(std::memory_order_acquire) ||
+                            disconnects_expected();
+      close_peer(p, expected ? nullptr : "recv error");
       return false;
     }
     if (n == 0) {
       // Orderly EOF: normal during shutdown, a lost peer otherwise.
       const bool expected = stopping_.load(std::memory_order_acquire) ||
-                            closing_.load(std::memory_order_acquire);
+                            disconnects_expected();
       close_peer(p, expected ? nullptr : "peer closed mid-run");
       return false;
     }
@@ -256,6 +272,7 @@ bool tcp_transport::pump_reads(peer& p) {
       // distributed quiescence books means the parcels' local effects
       // (thread spawns, counter bumps) are already visible.
       received_total_.fetch_add(units, std::memory_order_acq_rel);
+      account_delivered(p.rank, units);
     }
   }
 }
@@ -277,10 +294,22 @@ void tcp_transport::close_peer(peer& p, const char* why) {
     // Unsendable parcels must leave both the in-flight books (or drain()
     // wedges) and the quiescence sent balance (or quiesce rounds spin).
     dropped_total_.fetch_add(orphaned, std::memory_order_acq_rel);
+    account_dropped(p.rank, orphaned);
     retire_in_flight(orphaned);
   }
   close(p.fd);
   p.fd = -1;
+  // Shared disconnect books last, with the fold complete and no locks
+  // held: an unexpected close marks the peer dead, freezes its lost-unit
+  // figure, and fires the runtime's death handler.
+  note_peer_closed(p.rank, why == nullptr);
+}
+
+void tcp_transport::close_link(std::size_t rank) {
+  // External death verdict: the progress thread owns the sockets, so just
+  // flag the rank and kick the poll loop.
+  pending_dead_.fetch_or(1ull << rank, std::memory_order_acq_rel);
+  wake_progress();
 }
 
 void tcp_transport::progress_loop() {
@@ -291,6 +320,16 @@ void tcp_transport::progress_loop() {
     if (stopping_.load(std::memory_order_acquire) &&
         in_flight_.load(std::memory_order_acquire) == 0) {
       return;  // every accepted parcel reached the kernel: graceful drain
+    }
+    // External death verdicts (mark_peer_dead) land here so every
+    // socket close runs on the thread that owns the sockets.
+    if (const std::uint64_t doomed =
+            pending_dead_.exchange(0, std::memory_order_acq_rel)) {
+      for (std::size_t r = 0; r < peers_.size(); ++r) {
+        if (((doomed >> r) & 1u) && peers_[r]->open) {
+          close_peer(*peers_[r], "peer declared dead by the control plane");
+        }
+      }
     }
     pfds.clear();
     pfd_peers.clear();
@@ -370,7 +409,9 @@ std::vector<extra_link_counter> tcp_transport::extra_link_counters(
   for (const auto& p : peers_) {
     reconnects += p->reconnects.load(std::memory_order_relaxed);
   }
-  return {{"reconnects", reconnects}};
+  return {{"reconnects", reconnects},
+          {"peer_failed", peers_failed_total()},
+          {"parcels_lost", parcels_lost_total()}};
 }
 
 }  // namespace px::net

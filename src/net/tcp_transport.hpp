@@ -110,14 +110,12 @@ class tcp_transport final : public distributed_transport {
     return dropped_total_.load(std::memory_order_acquire);
   }
 
-  // Orderly-shutdown notice (runtime::stop after the global quiescence
-  // verdict + barrier): peers will now close their sockets at their own
-  // pace — treat EOFs as normal instead of warning about a lost peer.
-  void expect_peer_disconnects() noexcept override {
-    closing_.store(true, std::memory_order_release);
-  }
-
   const tcp_params& params() const noexcept { return params_; }
+
+ protected:
+  // distributed_transport resilience seam: request an asynchronous close
+  // of the link to `rank` on the progress thread (external death verdict).
+  void close_link(std::size_t rank) override;
 
  private:
   struct outgoing {
@@ -143,6 +141,8 @@ class tcp_transport final : public distributed_transport {
   // Reads everything available, reassembles, dispatches complete frames;
   // returns false on EOF/error.
   bool pump_reads(peer& p);
+  // `why == nullptr` means an orderly/expected close; anything else is an
+  // unexpected disconnect and marks the peer dead in the shared books.
   void close_peer(peer& p, const char* why);
 
   tcp_params params_;
@@ -158,7 +158,8 @@ class tcp_transport final : public distributed_transport {
 
   std::atomic<bool> traffic_started_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<bool> closing_{false};  // peers are expected to disconnect
+  // Ranks whose links close_link() asked the progress thread to tear down.
+  std::atomic<std::uint64_t> pending_dead_{0};
   // Removes `units` from the in-flight books and wakes drain() waiters on
   // the transition to zero (notify under drain_mutex_: lost-wakeup-free).
   void retire_in_flight(std::uint64_t units);

@@ -2,12 +2,111 @@
 
 #include "net/socket_util.hpp"
 #include "parcel/parcel.hpp"
+#include "util/assert.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace px::net {
 
 // Key functions: anchor the transport vtables in one translation unit.
 transport::~transport() = default;
 distributed_transport::~distributed_transport() = default;
+
+void distributed_transport::init_peer_books(std::size_t nranks,
+                                            std::size_t self) {
+  PX_ASSERT_MSG(nranks <= 64, "peer ledger caps the machine at 64 ranks");
+  self_rank_ = self;
+  units_to_ = std::vector<std::atomic<std::uint64_t>>(nranks);
+  units_from_ = std::vector<std::atomic<std::uint64_t>>(nranks);
+  dropped_to_ = std::vector<std::atomic<std::uint64_t>>(nranks);
+}
+
+void distributed_transport::account_sent(std::size_t rank,
+                                         std::uint64_t units) noexcept {
+  if (rank < units_to_.size()) units_to_[rank].fetch_add(units);
+}
+
+void distributed_transport::account_delivered(std::size_t rank,
+                                              std::uint64_t units) noexcept {
+  if (rank < units_from_.size()) units_from_[rank].fetch_add(units);
+}
+
+void distributed_transport::account_dropped(std::size_t rank,
+                                            std::uint64_t units) noexcept {
+  if (rank < dropped_to_.size()) dropped_to_[rank].fetch_add(units);
+}
+
+std::uint64_t distributed_transport::fault_drop_units(
+    std::size_t rank, std::uint64_t units) noexcept {
+  if (fault_ == nullptr) return 0;
+  return fault_->on_send(rank, units);
+}
+
+std::uint64_t distributed_transport::units_sent_to(
+    std::size_t rank) const noexcept {
+  return rank < units_to_.size() ? units_to_[rank].load() : 0;
+}
+
+std::uint64_t distributed_transport::units_received_from(
+    std::size_t rank) const noexcept {
+  return rank < units_from_.size() ? units_from_[rank].load() : 0;
+}
+
+std::uint64_t distributed_transport::units_dropped_to(
+    std::size_t rank) const noexcept {
+  return rank < dropped_to_.size() ? dropped_to_[rank].load() : 0;
+}
+
+std::uint64_t distributed_transport::live_units_sent(
+    std::uint64_t dead_mask) const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < units_to_.size(); ++r) {
+    if (r == self_rank_ || ((dead_mask >> r) & 1u)) continue;
+    const std::uint64_t to = units_to_[r].load();
+    const std::uint64_t dropped = dropped_to_[r].load();
+    sum += to > dropped ? to - dropped : 0;
+  }
+  return sum;
+}
+
+std::uint64_t distributed_transport::live_units_received(
+    std::uint64_t dead_mask) const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t r = 0; r < units_from_.size(); ++r) {
+    if (r == self_rank_ || ((dead_mask >> r) & 1u)) continue;
+    sum += units_from_[r].load();
+  }
+  return sum;
+}
+
+void distributed_transport::mark_peer_dead(std::size_t rank) noexcept {
+  if (rank >= units_to_.size() || rank == self_rank_) return;
+  if (peer_confirmed_dead(rank)) return;  // verdict already landed
+  close_link(rank);
+}
+
+void distributed_transport::note_peer_closed(std::size_t rank, bool orderly) {
+  if (orderly) {
+    orderly_disconnects_.fetch_add(1);
+    return;
+  }
+  // One death verdict per peer, no matter how many sources observe it
+  // (EOF + pid probe + lease can all fire for the same casualty).
+  const std::uint64_t bit = 1ull << rank;
+  if (dead_mask_.fetch_or(bit) & bit) return;
+  unexpected_disconnects_.fetch_add(1);
+  peers_failed_.fetch_add(1);
+  // The link is closed and its queue folded, so the books are final:
+  // everything sent toward the casualty minus what we already dropped
+  // actually reached the wire, and its fate died with the peer.
+  const std::uint64_t to = units_sent_to(rank);
+  const std::uint64_t dropped = units_dropped_to(rank);
+  parcels_lost_.fetch_add(to > dropped ? to - dropped : 0);
+  PX_LOG_WARN("net: peer rank %zu confirmed dead (%llu units lost)", rank,
+              static_cast<unsigned long long>(to > dropped ? to - dropped
+                                                           : 0));
+  if (on_peer_death_) on_peer_death_(rank);
+}
 
 std::optional<std::uint32_t> whole_frame_ingest::accept(
     std::span<const std::byte> frame) {

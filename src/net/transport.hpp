@@ -24,6 +24,7 @@
 //     and must not block for long.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -32,6 +33,10 @@
 #include <vector>
 
 #include "util/buffer_pool.hpp"
+
+namespace px::util {
+class fault_injector;
+}
 
 namespace px::net {
 
@@ -188,6 +193,18 @@ class whole_frame_ingest {
 // future RDMA transport) and consumed by the runtime's distributed boot
 // and quiescence machinery.  The fabric is not one of these — it models a
 // whole machine in one process.
+//
+// The base class owns the *peer ledger*: per-peer unit books (sent to /
+// received from / dropped toward each rank), the orderly-vs-unexpected
+// disconnect accounting, and the `mark_peer_dead` seam every death source
+// funnels through — a tcp EOF mid-run, the shm pid probe or closed flag,
+// and the bootstrap lease expiry all land in the same books, so both
+// backends report rank loss identically (docs/resilience.md).  A backend's
+// job is reduced to (a) calling account_sent/account_delivered/
+// account_dropped next to its own counters, (b) routing every peer-close
+// through note_peer_closed, and (c) implementing close_link() so an
+// external death verdict tears the link down and folds its outstanding
+// units into the dropped books.
 class distributed_transport : public transport {
  public:
   ~distributed_transport() override;  // key function (transport.cpp)
@@ -208,8 +225,102 @@ class distributed_transport : public transport {
   virtual std::uint64_t parcels_dropped_total() const noexcept = 0;
 
   // Arms orderly-shutdown mode: subsequent peer EOFs/closures are expected
-  // teardown, not anomalies worth a warning.
-  virtual void expect_peer_disconnects() noexcept = 0;
+  // teardown, not anomalies worth a warning.  Both backends consult this
+  // shared flag (it used to be consulted only on the tcp EOF path).
+  void expect_peer_disconnects() noexcept { closing_.store(true); }
+  bool disconnects_expected() const noexcept { return closing_.load(); }
+
+  // ---- resilience seam -------------------------------------------------
+
+  // External death verdict (bootstrap lease expiry, px.peer_down from a
+  // peer): tear down the link to `rank` and fold its outstanding units
+  // into the conservation books.  Idempotent; thread-safe; the actual
+  // close runs on the backend's progress thread.
+  void mark_peer_dead(std::size_t rank) noexcept;
+
+  // Called once per confirmed-dead peer, after the link is closed and the
+  // books folded.  Runs on the backend's progress thread; must not block.
+  // Must be installed before connect_peers().
+  void set_peer_death_handler(std::function<void(std::size_t)> h) {
+    on_peer_death_ = std::move(h);
+  }
+
+  // Arms deterministic fault injection (PX_FAULT) on the send path; null
+  // (the default) costs one pointer test per send.  Install before
+  // connect_peers().
+  void arm_faults(util::fault_injector* f) noexcept { fault_ = f; }
+
+  bool peer_confirmed_dead(std::size_t rank) const noexcept {
+    return (dead_mask_.load() >> rank) & 1u;
+  }
+  std::uint64_t dead_peer_mask() const noexcept { return dead_mask_.load(); }
+  std::uint64_t peers_failed_total() const noexcept {
+    return peers_failed_.load();
+  }
+  // Units this endpoint put on the wire toward now-dead peers whose fate
+  // is unknown (the casualty may or may not have handled them before
+  // dying): the lost_to_casualty term of the conservation identity.
+  std::uint64_t parcels_lost_total() const noexcept {
+    return parcels_lost_.load();
+  }
+  std::uint64_t orderly_disconnects() const noexcept {
+    return orderly_disconnects_.load();
+  }
+  std::uint64_t unexpected_disconnects() const noexcept {
+    return unexpected_disconnects_.load();
+  }
+
+  // Per-peer unit books (index == rank; the self row stays zero).
+  std::uint64_t units_sent_to(std::size_t rank) const noexcept;
+  std::uint64_t units_received_from(std::size_t rank) const noexcept;
+  std::uint64_t units_dropped_to(std::size_t rank) const noexcept;
+
+  // The reduced-membership quiescence ledger: units on the wire toward /
+  // received from peers *not* in `dead_mask` — the casualty's column
+  // drops out of both sides, so Mattern rounds converge minus the
+  // casualty (runtime::wait_quiescent).
+  std::uint64_t live_units_sent(std::uint64_t dead_mask) const noexcept;
+  std::uint64_t live_units_received(std::uint64_t dead_mask) const noexcept;
+
+ protected:
+  // Backend obligation for mark_peer_dead: request an asynchronous close
+  // of the link to `rank` on the progress thread (close + fold outstanding
+  // units + note_peer_closed), exactly like a locally-detected death.
+  virtual void close_link(std::size_t rank) = 0;
+
+  // Sized nranks; `self` reserved (never accounted).  Call from the ctor.
+  void init_peer_books(std::size_t nranks, std::size_t self);
+
+  void account_sent(std::size_t rank, std::uint64_t units) noexcept;
+  void account_delivered(std::size_t rank, std::uint64_t units) noexcept;
+  void account_dropped(std::size_t rank, std::uint64_t units) noexcept;
+
+  // Fault-injection hook for the send path: returns how many of `units`
+  // the backend must silently drop (0 when disarmed); may not return at
+  // all (a `kill` action SIGKILLs the process mid-call).
+  std::uint64_t fault_drop_units(std::size_t rank,
+                                 std::uint64_t units) noexcept;
+
+  // Shared disconnect bookkeeping — every peer-close path funnels here,
+  // after the backend folded the link's outstanding units into its
+  // dropped books.  An unexpected close marks the peer dead, freezes the
+  // lost-units figure, and fires the death handler; an orderly close only
+  // counts.  Call with no backend locks held.
+  void note_peer_closed(std::size_t rank, bool orderly);
+
+ private:
+  std::atomic<bool> closing_{false};
+  std::atomic<std::uint64_t> dead_mask_{0};
+  std::atomic<std::uint64_t> peers_failed_{0};
+  std::atomic<std::uint64_t> parcels_lost_{0};
+  std::atomic<std::uint64_t> orderly_disconnects_{0};
+  std::atomic<std::uint64_t> unexpected_disconnects_{0};
+  std::vector<std::atomic<std::uint64_t>> units_to_;
+  std::vector<std::atomic<std::uint64_t>> units_from_;
+  std::vector<std::atomic<std::uint64_t>> dropped_to_;
+  std::size_t self_rank_ = 0;
+  std::function<void(std::size_t)> on_peer_death_;
+  util::fault_injector* fault_ = nullptr;
 };
 
 // Parses "host:port" (the PX_NET_LISTEN / PX_NET_ROOT syntax); asserts on

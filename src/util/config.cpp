@@ -120,6 +120,10 @@ std::vector<knob_info> config::known_knobs() {
       knob("net.listen", "data-plane bind address (tcp only)"),
       knob("net.root", "rank 0 bootstrap listen address (tcp/shm)"),
       knob("migration", "cross-process object migration on/off (tcp/shm)"),
+      knob("heartbeat.interval_us",
+           "control-plane heartbeat cadence (tcp/shm)"),
+      knob("lease.ms", "failure lease: a rank silent this long is dead"),
+      knob("fault", "fault-injection plan (docs/resilience.md grammar)"),
       knob("shm.ring_bytes", "shm backend: per-direction ring bytes per pair"),
       knob("shm.spin_us", "shm backend: receiver spin before futex sleep"),
       knob("parcel.flush_bytes", "coalesced-frame byte threshold"),

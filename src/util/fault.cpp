@@ -1,0 +1,159 @@
+#include "util/fault.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace px::util {
+
+namespace {
+
+// Strict unsigned parse: the whole token must be digits.
+std::optional<std::uint64_t> parse_uint(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;  // overflow
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::optional<fault_action> parse_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string action = spec.substr(0, colon);
+
+  fault_action a;
+  if (action == "kill") {
+    a.what = fault_action::kind::kill;
+  } else if (action == "drop") {
+    a.what = fault_action::kind::drop;
+  } else if (action == "delay") {
+    a.what = fault_action::kind::delay;
+  } else {
+    return std::nullopt;
+  }
+
+  bool saw_rank = false;
+  for (const auto& field : split(spec.substr(colon + 1), ',')) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = field.substr(0, eq);
+    const auto value = parse_uint(field.substr(eq + 1));
+    if (!value) return std::nullopt;
+    if (key == "rank") {
+      a.rank = *value;
+      saw_rank = true;
+    } else if (key == "after_parcels") {
+      a.after_parcels = *value;
+    } else if (key == "count") {
+      if (*value == 0) return std::nullopt;  // dropping nothing is a typo
+      a.count = *value;
+    } else if (key == "peer") {
+      a.peer = *value;
+    } else if (key == "ms") {
+      a.ms = *value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  // Every action must name the rank that performs it; an unaddressed
+  // fault firing on every rank at once is never what a test means.
+  if (!saw_rank) return std::nullopt;
+  return a;
+}
+
+}  // namespace
+
+std::optional<fault_plan> fault_plan::parse(const std::string& spec) {
+  if (spec.empty()) return std::nullopt;
+  fault_plan plan;
+  for (const auto& s : split(spec, ';')) {
+    const auto a = parse_spec(s);
+    if (!a) return std::nullopt;
+    plan.actions.push_back(*a);
+  }
+  return plan;
+}
+
+std::vector<fault_action> fault_plan::for_rank(std::uint64_t rank) const {
+  std::vector<fault_action> out;
+  for (const auto& a : actions) {
+    if (a.rank == rank) out.push_back(a);
+  }
+  return out;
+}
+
+fault_injector::fault_injector(std::vector<fault_action> actions,
+                               std::uint64_t self_rank) {
+  for (auto& a : actions) {
+    if (a.rank != self_rank) continue;
+    actions_.push_back(armed{a, false, 0});
+  }
+}
+
+std::uint64_t fault_injector::on_send(std::uint64_t peer,
+                                      std::uint64_t units) {
+  std::uint64_t delay_ms = 0;
+  std::uint64_t drop = 0;
+  bool die = false;
+  {
+    std::lock_guard<std::mutex> g(lock_);
+    sent_ += units;
+    for (auto& arm : actions_) {
+      if (arm.done) continue;
+      if (arm.act.peer && *arm.act.peer != peer) continue;
+      if (sent_ < arm.act.after_parcels) continue;
+      switch (arm.act.what) {
+        case fault_action::kind::kill:
+          die = true;
+          break;
+        case fault_action::kind::delay:
+          delay_ms = arm.act.ms;
+          arm.done = true;
+          break;
+        case fault_action::kind::drop:
+          // A batch frame cannot be partially discarded without
+          // re-encoding, so a drop takes the whole send; `count` bounds
+          // how many consecutive sends are taken.
+          arm.dropped += 1;
+          if (arm.dropped >= arm.act.count) arm.done = true;
+          drop = units;
+          break;
+      }
+    }
+  }
+  if (die) {
+    PX_LOG_WARN("fault: kill firing on this rank (PX_FAULT)");
+    raise(SIGKILL);
+  }
+  if (delay_ms != 0) {
+    PX_LOG_WARN("fault: delaying send path %llu ms (PX_FAULT)",
+                static_cast<unsigned long long>(delay_ms));
+    usleep(static_cast<useconds_t>(delay_ms * 1000));
+  }
+  return drop;
+}
+
+}  // namespace px::util

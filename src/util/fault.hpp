@@ -1,0 +1,89 @@
+// Deterministic fault injection for the resilience test harness.
+//
+// A fault plan is parsed from PX_FAULT and armed on the distributed
+// transport's send path, so faults strike at exact points in the parcel
+// stream instead of at wall-clock times (docs/resilience.md).  Grammar:
+//
+//   plan    := spec (';' spec)*
+//   spec    := action ':' field (',' field)*
+//   action  := 'kill' | 'drop' | 'delay'
+//   field   := key '=' uint
+//   key     := 'rank' | 'after_parcels' | 'count' | 'peer' | 'ms'
+//
+// Examples:
+//   kill:rank=2,after_parcels=500      rank 2 SIGKILLs itself after its
+//                                      transport accepts its 500th parcel
+//   drop:rank=1,after_parcels=10,count=3   rank 1 silently drops its next
+//                                      3 sends once 10 parcels have been
+//                                      accepted (the units retire into
+//                                      the dropped conservation books)
+//   delay:rank=0,after_parcels=100,ms=5    rank 0 stalls its send path 5ms
+//                                      once, at parcel 100
+//
+// Parsing is strict: an unknown action or key, a malformed number, or an
+// empty field yields std::nullopt — a fault spec that does not parse must
+// refuse to arm rather than silently doing nothing (CI negative-tests
+// this).  When PX_FAULT is unset nothing is constructed and the transport
+// pays one null-pointer test per send.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace px::util {
+
+struct fault_action {
+  enum class kind : std::uint8_t { kill, drop, delay };
+  kind what = kind::kill;
+  // Which rank performs the action; every action must name one.
+  std::uint64_t rank = 0;
+  // Fire once this rank's transport has accepted this many parcels.
+  std::uint64_t after_parcels = 0;
+  // drop: how many consecutive sends (batch frames) to drop (default 1).
+  std::uint64_t count = 1;
+  // Restrict to parcels addressed to this peer (default: any peer).
+  std::optional<std::uint64_t> peer;
+  // delay: stall duration in milliseconds.
+  std::uint64_t ms = 0;
+};
+
+struct fault_plan {
+  std::vector<fault_action> actions;
+
+  // Strict parse of the PX_FAULT grammar above; nullopt on any error.
+  static std::optional<fault_plan> parse(const std::string& spec);
+
+  // The subset of actions assigned to `rank`.
+  std::vector<fault_action> for_rank(std::uint64_t rank) const;
+};
+
+// Per-process injector, armed on the transport send seam.  `on_send` is
+// called with every parcel batch the transport accepts (dest peer, unit
+// count) *before* the bytes become visible to the peer; it returns the
+// number of those units the transport must drop (0 = proceed).  A `kill`
+// action does not return: it raises SIGKILL mid-call, exactly like a
+// lost node.
+class fault_injector {
+ public:
+  fault_injector(std::vector<fault_action> actions, std::uint64_t self_rank);
+
+  // Thread-safe; called from locality threads and progress threads.
+  std::uint64_t on_send(std::uint64_t peer, std::uint64_t units);
+
+  bool empty() const { return actions_.empty(); }
+
+ private:
+  struct armed {
+    fault_action act;
+    bool done = false;
+    std::uint64_t dropped = 0;  // drop progress
+  };
+  std::mutex lock_;
+  std::vector<armed> actions_;
+  std::uint64_t sent_ = 0;  // parcels accepted by this rank's transport
+};
+
+}  // namespace px::util

@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <signal.h>
+#include <sys/prctl.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -42,11 +43,21 @@ pid_t spawn_process(
     const std::vector<std::string>& argv,
     const std::vector<std::pair<std::string, std::string>>& extra_env) {
   PX_ASSERT(!argv.empty());
+  const pid_t parent = getpid();
   const pid_t pid = fork();
   PX_ASSERT_MSG(pid >= 0, "subproc: fork() failed");
   if (pid != 0) return pid;
 
-  // Child: apply the environment overrides, then exec.
+  // Child: die with the parent.  A crashed/killed test parent must never
+  // strand a mesh of live ranks — without this only wait_exit's hard cap
+  // reaps them, and a SIGKILLed parent never reaches wait_exit at all.
+  // PR_SET_PDEATHSIG survives execv; re-check the parent afterwards to
+  // close the fork-then-parent-dies race (the signal only fires for deaths
+  // that happen after the prctl).
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (getppid() != parent) _exit(126);
+
+  // Apply the environment overrides, then exec.
   for (const auto& [key, value] : extra_env) {
     setenv(key.c_str(), value.c_str(), 1);
   }

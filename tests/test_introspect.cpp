@@ -86,7 +86,7 @@ TEST(Introspect, ListEnumeratesCounterSubtrees) {
     EXPECT_TRUE(rt.introspection().read(c.id).has_value()) << c.path;
   }
   // Global services.
-  EXPECT_EQ(rt.introspection().list("runtime/agas").size(), 6u);
+  EXPECT_EQ(rt.introspection().list("runtime/agas").size(), 7u);
   EXPECT_EQ(rt.introspection().list("runtime/lco").size(), 3u);
   EXPECT_GE(rt.introspection().list("runtime/rebalance").size(), 5u);
   // The locality hardware gids are *not* counters.

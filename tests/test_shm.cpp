@@ -270,10 +270,11 @@ TEST(Shm, GarbageFramePoisonsLinkNothingDelivered) {
   m.payload = util::to_bytes(std::string("not a frame at all"));
   pair.a->send(std::move(m));
 
-  // The receiver rejects via frame_view::parse, closes the link, and the
-  // sender's conservation books absorb the loss as a drop.
+  // The receiver rejects via frame_view::parse and closes the link; with
+  // no disconnect announced, the sender treats the closure as a death
+  // verdict and conservatively charges the outstanding unit as lost.
   ASSERT_TRUE(
-      eventually([&] { return pair.a->parcels_dropped_total() == 1u; }));
+      eventually([&] { return pair.a->parcels_lost_total() == 1u; }));
   pair.a->drain();
   EXPECT_FALSE(delivered.load());
   EXPECT_EQ(pair.b->parcels_received_total(), 0u);
@@ -328,8 +329,10 @@ TEST(Shm, ManySmallFramesFlowThroughRingWrap) {
   // Tiny ring + fast sender: the overflow queue must have engaged rather
   // than anything blocking or dropping.
   const auto extras = pair.a->extra_link_counters(0);
-  ASSERT_EQ(extras.size(), 2u);
+  ASSERT_EQ(extras.size(), 4u);
   EXPECT_STREQ(extras[0].name, "ring_full_waits");
+  EXPECT_STREQ(extras[2].name, "peer_failed");
+  EXPECT_STREQ(extras[3].name, "parcels_lost");
 
   pair.a->expect_peer_disconnects();
   pair.b->expect_peer_disconnects();
