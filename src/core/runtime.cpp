@@ -914,10 +914,17 @@ void runtime::wait_quiescent() {
     // this rank's directory still routes through the casualty.  The
     // bootstrap can flag a death (heartbeat EOF) strictly before the
     // peer-down handler finishes the sweep, so the mask comparison — not
-    // the handler having been called — is the gate.
+    // the handler having been called — is the gate.  Two masks, because
+    // the sweep's transport step is asynchronous: peer_swept_mask_ covers
+    // the directory/gossip repairs done inline in note_peer_failure, and
+    // the transport's folded mask covers the close fold that
+    // mark_peer_dead only *queues* on the progress thread.  Requiring
+    // both means the conservation books (parcels_lost, peer_failed) are
+    // final for every casualty before a verdict can land.
     const std::uint64_t dead = bootstrap_->dead_mask();
     const bool swept =
-        peer_swept_mask_.load(std::memory_order_acquire) == dead;
+        peer_swept_mask_.load(std::memory_order_acquire) == dead &&
+        (dist_->folded_peer_mask() & dead) == dead;
     if (bootstrap_->quiesce_round(locally_stable && swept,
                                   activity_snapshot(),
                                   dist_->live_units_sent(dead),
@@ -1119,22 +1126,25 @@ void runtime::note_peer_failure(gas::locality_id rank) {
   PX_LOG_WARN("rank %u: peer rank %u confirmed dead — continuing with "
               "reduced membership",
               static_cast<unsigned>(rank_), static_cast<unsigned>(rank));
-  // Order is load-bearing.  (1) Fold the casualty into the transport books
-  // (close the link, freeze the lost-unit figure) so quiescence accounting
-  // never counts units the casualty can no longer deliver.  (2) Tell the
-  // control plane: its dead mask gates the quiesce verdict, and on rank 0
-  // it broadcasts kTagPeerDown to the other survivors.  Note: when the
-  // control plane is what detected the death, both steps are no-ops (their
-  // masks are already set), which is also what breaks the handler cycle.
-  // (3) Repair the directory so routing keeps resolving.  (4) Gossip
-  // px.peer_down — the parcels route with the repaired view.
+  // (1) Ask the transport to fold the casualty into the conservation
+  // books.  This only *requests* the fold: close_link queues the close on
+  // the backend progress thread, so the books (parcels_lost freeze,
+  // peer_failed) may settle after this function returns — which is why
+  // wait_quiescent gates on the transport's folded mask in addition to
+  // peer_swept_mask_ below.  (2) Tell the control plane: its dead mask
+  // gates the quiesce verdict, and on rank 0 it broadcasts kTagPeerDown
+  // to the other survivors.  Note: when the control plane or the
+  // transport is what detected the death, the corresponding step is a
+  // no-op (its mask is already set), which is also what breaks the
+  // handler cycle.  (3) Repair the directory so routing keeps resolving.
+  // (4) Gossip px.peer_down — the parcels route with the repaired view.
   dist_->mark_peer_dead(rank);
   bootstrap_->note_rank_dead(static_cast<std::uint32_t>(rank));
   rehome_gids_after_loss(rank);
   broadcast_peer_down(rank);
-  // Sweep complete: only now may wait_quiescent report this casualty as
-  // handled (the quiesce stability gate compares this mask against the
-  // bootstrap's dead mask, which is set strictly earlier).
+  // Directory sweep complete: wait_quiescent may report this casualty as
+  // handled once it also sees the transport's folded bit (the close
+  // queued in step (1) may still be in flight on the progress thread).
   peer_swept_mask_.fetch_or(bit, std::memory_order_release);
 }
 

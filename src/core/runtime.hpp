@@ -466,11 +466,13 @@ class runtime {
   // and one gossip round per casualty, no matter how many detectors fire),
   // and the unique gids reported lost with them.
   std::atomic<std::uint64_t> peer_dead_mask_{0};
-  // Set only once the full repair sweep (transport fold, directory
-  // re-homing, gossip) for a casualty has finished.  wait_quiescent gates
-  // local stability on this mask matching the bootstrap's dead mask, so a
-  // quiescence verdict cannot land while a survivor's directory still
-  // routes through the dead rank.
+  // Set once the inline repair sweep (directory re-homing, gossip) for a
+  // casualty has finished; the transport's close fold is asynchronous and
+  // tracked separately by dist_->folded_peer_mask().  wait_quiescent
+  // gates local stability on *both* masks matching the bootstrap's dead
+  // mask, so a quiescence verdict cannot land while a survivor's
+  // directory still routes through the dead rank or its conservation
+  // books are still settling.
   std::atomic<std::uint64_t> peer_swept_mask_{0};
   mutable util::spinlock lost_gids_lock_;
   std::unordered_set<gas::gid> lost_gids_;

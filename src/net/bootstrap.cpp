@@ -474,12 +474,19 @@ void bootstrap::hb_loop_root() {
     }
     if (now - last_tx >= interval) {
       last_tx = now;
-      std::lock_guard lock(hb_send_mutex_);
-      for (const std::uint32_t r : fd_rank) {
-        if (!is_alive(r)) continue;
-        if (!try_send_record(hb_fds_[r], kTagHb, {})) {
-          death_verdict(r, "heartbeat channel reset");
+      // Verdicts re-take hb_send_mutex_ to broadcast kTagPeerDown, so a
+      // verdict issued under the fan-out lock self-deadlocks this thread.
+      // Collect the failed ranks and judge them after the lock drops.
+      std::vector<std::uint32_t> reset;
+      {
+        std::lock_guard lock(hb_send_mutex_);
+        for (const std::uint32_t r : fd_rank) {
+          if (!is_alive(r)) continue;
+          if (!try_send_record(hb_fds_[r], kTagHb, {})) reset.push_back(r);
         }
+      }
+      for (const std::uint32_t r : reset) {
+        death_verdict(r, "heartbeat channel reset");
       }
     }
     for (const std::uint32_t r : fd_rank) {
@@ -515,8 +522,12 @@ void bootstrap::hb_loop_rank() {
       } else if (rec->first == kTagPeerDown) {
         PX_ASSERT_MSG(rec->second.size() == 4,
                       "bootstrap: malformed peer-down record");
-        death_verdict(read_u32(rec->second.data()),
-                      "announced dead by rank 0");
+        // Wire-supplied rank: bounds-check before the 1<<rank inside
+        // death_verdict (mirrors note_rank_dead's guard).
+        const std::uint32_t dead = read_u32(rec->second.data());
+        if (dead < params_.nranks) {
+          death_verdict(dead, "announced dead by rank 0");
+        }
       } else if (rec->first == kTagGoodbye) {
         // Root is shutting the machine down cleanly; everything that goes
         // silent from here is expected.

@@ -105,6 +105,10 @@ void distributed_transport::note_peer_closed(std::size_t rank, bool orderly) {
   PX_LOG_WARN("net: peer rank %zu confirmed dead (%llu units lost)", rank,
               static_cast<unsigned long long>(to > dropped ? to - dropped
                                                            : 0));
+  // Publish the fold only now that the books are final: readers gating on
+  // folded_peer_mask() may assume parcels_lost/peers_failed include this
+  // casualty the moment they observe the bit.
+  folded_mask_.fetch_or(bit, std::memory_order_acq_rel);
   if (on_peer_death_) on_peer_death_(rank);
 }
 

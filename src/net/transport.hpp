@@ -254,6 +254,14 @@ class distributed_transport : public transport {
     return (dead_mask_.load() >> rank) & 1u;
   }
   std::uint64_t dead_peer_mask() const noexcept { return dead_mask_.load(); }
+  // Peers whose close fold has fully retired: link closed, lost-unit
+  // figure frozen, peer_failed counted.  Distinct from dead_peer_mask(),
+  // whose bit is the fold's *entry* guard and is visible before the books
+  // settle; readers that need final books (the quiesce swept gate,
+  // conservation checks) must gate on this mask instead.
+  std::uint64_t folded_peer_mask() const noexcept {
+    return folded_mask_.load(std::memory_order_acquire);
+  }
   std::uint64_t peers_failed_total() const noexcept {
     return peers_failed_.load();
   }
@@ -311,6 +319,7 @@ class distributed_transport : public transport {
  private:
   std::atomic<bool> closing_{false};
   std::atomic<std::uint64_t> dead_mask_{0};
+  std::atomic<std::uint64_t> folded_mask_{0};
   std::atomic<std::uint64_t> peers_failed_{0};
   std::atomic<std::uint64_t> parcels_lost_{0};
   std::atomic<std::uint64_t> orderly_disconnects_{0};

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -24,19 +25,34 @@ std::string self_exe_path() {
 }
 
 int pick_free_tcp_port() {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  PX_ASSERT(fd >= 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  PX_ASSERT(bind(fd, reinterpret_cast<const sockaddr*>(&addr),
-                 sizeof addr) == 0);
-  socklen_t len = sizeof addr;
-  PX_ASSERT(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
-  const int port = ntohs(addr.sin_port);
-  close(fd);
-  return port;
+  // The port has to survive a close-then-rebind handoff (the parent picks
+  // it, a spawned rank 0 binds it), so a plain bind(:0)+close probe races
+  // other concurrently-launching test parents: two parents can be handed
+  // the same ephemeral port and the slower rank 0 dies on bind.  Instead,
+  // probe a pid-salted sequence — concurrent parents walk disjoint
+  // sequences, so the close-to-rebind window is never contested — and
+  // verify each candidate is actually bindable before handing it out.
+  static std::atomic<unsigned> seq{0};
+  const unsigned salt = static_cast<unsigned>(getpid()) * 7919u +
+                        seq.fetch_add(1) * 131071u;
+  for (unsigned attempt = 0; attempt < 512; ++attempt) {
+    const int port =
+        static_cast<int>(15000u + (salt + attempt * 257u) % 45000u);
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    PX_ASSERT(fd >= 0);
+    const int one = 1;
+    (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    const int rc =
+        bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    close(fd);
+    if (rc == 0) return port;
+  }
+  PX_ASSERT_MSG(false, "subproc: no bindable tcp port in 512 probes");
+  return -1;
 }
 
 pid_t spawn_process(

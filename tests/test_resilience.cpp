@@ -319,6 +319,23 @@ constexpr std::uint64_t kStormPerPeer = 400;
 void kill_storm_rank_body() {
   core::runtime rt;
   const auto n = static_cast<std::uint32_t>(rt.num_localities());
+  // Warm-up round, fully quiesced before the storm.  The lost charge at
+  // fold time is cumulative-sent-minus-dropped toward the casualty, so
+  // this guarantees every survivor's charge is positive: without it, a
+  // rank-2 child racing far ahead under load can reach its kill threshold
+  // before any survivor put a unit on the wire toward it, and every
+  // survivor unit then retires as a post-fold drop with nothing charged
+  // lost (the parent asserts net_lost > 0).  Rank 2's own warm-up sends
+  // stay far below the PX_FAULT threshold, so it always survives to the
+  // storm.
+  rt.run([&] {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (r == rt.rank()) continue;
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        core::apply<&resil_storm_hit>(rt.locality_gid(r));
+      }
+    }
+  });
   rt.run([&] {
     for (std::uint32_t r = 0; r < n; ++r) {
       if (r == rt.rank()) continue;
@@ -363,11 +380,14 @@ void run_kill_storm(const std::string& test_name, const std::string& backend) {
   for (int r = 0; r < 4; ++r) {
     std::remove((books + "." + std::to_string(r)).c_str());
   }
-  // Short lease so detection (and the test) is fast; the kill threshold
-  // lands mid-storm (rank 2 sends 3 * kStormPerPeer units in total).
+  // The SIGKILL is detected via heartbeat-channel EOF, so the lease is a
+  // backstop, not the detection path — keep it generous enough that a
+  // scheduling stall under parallel test load cannot fake a second death
+  // mid-storm.  The kill threshold lands mid-storm (rank 2 sends
+  // 3 * kStormPerPeer units in total).
   run_ranks_with_env(4, test_name, backend,
                      {{"PX_FAULT", "kill:rank=2,after_parcels=400"},
-                      {"PX_LEASE_MS", "2000"},
+                      {"PX_LEASE_MS", "5000"},
                       {"PX_HEARTBEAT_INTERVAL_US", "20000"},
                       {"PXTEST_BOOKS", books}},
                      {0, 0, -1, 0});
@@ -496,6 +516,13 @@ void rehome_rank_body() {
     }
   });
 
+  // Poke baseline, snapshotted *before* the kill barrier: after phase 3's
+  // verdict a peer can race ahead into phase 4 and have its pokes
+  // delivered here while this thread is still between the verdict and the
+  // load — a later snapshot would absorb those pokes and undercount the
+  // phase-4 delta.  No resil_poke exists before phase 4, so this is safe.
+  const std::uint64_t before = g_resil_pokes.load();
+
   // Phase 3: the kill.  Survivors' run() completes only once the loss is
   // detected, agreed machine-wide, and folded into everyone's books.
   rt.run([&] {
@@ -511,7 +538,6 @@ void rehome_rank_body() {
   // Drop the local hint first so the pokes exercise the re-homed directory
   // (rank 0 == next live rank after 2), not a warm cache.
   rt.gas().invalidate_cache(rt.rank(), obj_a);
-  const std::uint64_t before = g_resil_pokes.load();
   rt.run([&] {
     for (int i = 0; i < 10; ++i) core::apply<&resil_poke>(obj_a);
   });
@@ -537,7 +563,7 @@ TEST(Resilience, KillRankReHomesDirectory) {
     return;
   }
   run_ranks_with_env(3, "Resilience.KillRankReHomesDirectory", "tcp",
-                     {{"PX_LEASE_MS", "2000"},
+                     {{"PX_LEASE_MS", "5000"},
                       {"PX_HEARTBEAT_INTERVAL_US", "20000"}},
                      {0, 0, -1});
 }
